@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: default
+ * experiment scales (override with SVARD_FULL=1 or the individual
+ * knobs), per-module characterization rigs, and manufacturer grouping.
+ */
+#ifndef SVARD_BENCH_BENCH_UTIL_H
+#define SVARD_BENCH_BENCH_UTIL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "charz/characterizer.h"
+#include "common/table.h"
+#include "fault/vuln_model.h"
+
+namespace svard::bench {
+
+/** Device + model + characterizer for one module. */
+struct ModuleRig
+{
+    explicit ModuleRig(const std::string &label)
+        : spec(dram::moduleByLabel(label)),
+          subarrays(std::make_shared<dram::SubarrayMap>(spec)),
+          model(std::make_shared<fault::VulnerabilityModel>(spec,
+                                                            subarrays)),
+          device(spec, subarrays, model),
+          charz(device)
+    {}
+
+    const dram::ModuleSpec &spec;
+    std::shared_ptr<dram::SubarrayMap> subarrays;
+    std::shared_ptr<fault::VulnerabilityModel> model;
+    dram::DramDevice device;
+    charz::Characterizer charz;
+};
+
+/** All 15 module labels in paper order. */
+inline std::vector<std::string>
+allLabels()
+{
+    std::vector<std::string> out;
+    for (const auto &m : dram::allModules())
+        out.push_back(m.label);
+    return out;
+}
+
+/**
+ * Default characterization options at bench scale: every row with
+ * SVARD_FULL=1, otherwise a prime-strided subsample (a power-of-two
+ * stride would alias with subarray boundaries and oversample edge
+ * rows). SVARD_ROWS_PER_BANK overrides the target sample size.
+ */
+inline charz::CharzOptions
+benchCharzOptions(const dram::ModuleSpec &spec, bool quick_wcdp = true)
+{
+    charz::CharzOptions opt;
+    opt.quickWcdp = quick_wcdp;
+    if (fullScale()) {
+        opt.rowStep = 1;
+        return opt;
+    }
+    const int64_t target = envInt("SVARD_ROWS_PER_BANK", 384);
+    uint32_t step = static_cast<uint32_t>(
+        std::max<int64_t>(1, spec.rowsPerBank / target));
+    // Snap to an odd (subarray-coprime) stride.
+    if (step % 2 == 0)
+        ++step;
+    opt.rowStep = step;
+    return opt;
+}
+
+} // namespace svard::bench
+
+#endif // SVARD_BENCH_BENCH_UTIL_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: the fraction of spatial features (bank /
+ * row / subarray address bits, distance to sense amplifiers) whose F1
+ * score for predicting a row's HC_first exceeds a threshold, swept
+ * from 0 to 1 per module. The drop between 0.6 and 0.7 and the empty
+ * set above 0.8 are the published shape.
+ */
+#include "bench_util.h"
+#include "charz/features.h"
+
+using namespace svard;
+using namespace svard::bench;
+
+int
+main()
+{
+    Table t("Fig. 9: fraction of spatial features above an F1 threshold",
+            {"Module", "F1>=0.0", "0.1", "0.2", "0.3", "0.4", "0.5",
+             "0.6", "0.7", "0.8", "0.9"});
+
+    for (const auto &label : allLabels()) {
+        ModuleRig rig(label);
+        // Full 6-pattern WCDP with 2 iterations: quantization noise
+        // would otherwise wash the correlations out (see Sec. 5.4.2).
+        auto opt = benchCharzOptions(rig.spec, /*quick_wcdp=*/false);
+        opt.iterations = 2;
+        opt.banks = {1, 4};
+        const auto results = rig.charz.characterizeModule(opt);
+        const auto scores =
+            charz::spatialFeatureScores(rig.spec, *rig.subarrays,
+                                        results);
+        std::vector<std::string> row = {label};
+        for (int i = 0; i < 10; ++i)
+            row.push_back(Table::fmt(
+                charz::fractionAboveF1(scores, i / 10.0 - 1e-9), 3));
+        t.addRow(std::move(row));
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: the effect of 68 days of continuous
+ * double-sided hammering at 80C on module H3's HC_first values, as the
+ * population fractions moving between before/after quantized values.
+ * Weak rows degrade by one tested step; rows at 128K never change.
+ */
+#include "bench_util.h"
+#include "charz/aging.h"
+
+using namespace svard;
+using namespace svard::bench;
+
+int
+main()
+{
+    ModuleRig rig("H3"); // the paper ages H3
+    auto opt = benchCharzOptions(rig.spec);
+    opt.banks = {1};
+    opt.iterations = 2;
+    const auto res = charz::agingExperiment(rig.spec, opt);
+
+    Table t("Fig. 10: HC_first before vs after aging (module H3)",
+            {"Before", "After", "FractionOfBefore", "Rows"});
+    for (const auto &[key, n] : res.transitions) {
+        t.addRow({Table::fmtHc(key.first), Table::fmtHc(key.second),
+                  Table::fmt(res.fraction(key.first, key.second), 4),
+                  Table::fmt(int64_t(n))});
+    }
+    t.print();
+
+    Table c("Fig. 10: changed fraction per before-aging HC_first",
+            {"Before", "Changed"});
+    for (const auto &[hc, n] : res.beforeTotals)
+        c.addRow({Table::fmtHc(hc),
+                  Table::fmt(res.changedFraction(hc), 4)});
+    c.print();
+    return 0;
+}

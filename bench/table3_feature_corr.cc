@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Table 3: the spatial features whose F1 score for
+ * predicting HC_first exceeds 0.7, per module. Only the four Samsung
+ * modules should produce rows, with average F1 in the ~0.71-0.77 band
+ * and nothing above 0.8.
+ */
+#include "bench_util.h"
+#include "charz/features.h"
+#include "common/stats.h"
+
+using namespace svard;
+using namespace svard::bench;
+
+int
+main()
+{
+    Table t("Table 3: spatial features with F1 > 0.7",
+            {"Module", "Feature", "Bit", "F1", "AvgF1(module)"});
+
+    for (const auto &label : allLabels()) {
+        ModuleRig rig(label);
+        auto opt = benchCharzOptions(rig.spec, /*quick_wcdp=*/false);
+        opt.iterations = 2;
+        opt.banks = {1, 4};
+        const auto results = rig.charz.characterizeModule(opt);
+        const auto scores =
+            charz::spatialFeatureScores(rig.spec, *rig.subarrays,
+                                        results);
+        const auto strong = charz::featuresAbove(scores, 0.7);
+        if (strong.empty())
+            continue;
+        std::vector<double> f1s;
+        for (const auto &s : strong)
+            f1s.push_back(s.f1);
+        for (const auto &s : strong)
+            t.addRow({label, dram::featureKindName(s.kind),
+                      Table::fmt(int64_t(s.bit)), Table::fmt(s.f1, 3),
+                      Table::fmt(mean(f1s), 3)});
+    }
+    t.print();
+    return 0;
+}

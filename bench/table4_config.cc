@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the simulated system configuration used by
+ * the Fig. 12 / Fig. 13 performance evaluation.
+ */
+#include "common/table.h"
+#include "sim/config.h"
+
+using namespace svard;
+
+int
+main()
+{
+    sim::SimConfig cfg;
+    Table t("Table 4: simulated system configuration",
+            {"Component", "Configuration"});
+    t.addRow({"Processor",
+              std::to_string(cfg.cores) + " cores, " +
+                  Table::fmt(cfg.cpuGhz, 1) + " GHz, " +
+                  std::to_string(cfg.issueWidth) + "-wide issue, " +
+                  std::to_string(cfg.instrWindow) +
+                  "-entry instruction window"});
+    t.addRow({"DRAM",
+              "DDR4-" + std::to_string(3200) + ", " +
+                  std::to_string(cfg.channels) + " channel, " +
+                  std::to_string(cfg.ranks) + " ranks/channel, " +
+                  std::to_string(cfg.bankGroups) + " bank groups, " +
+                  std::to_string(cfg.banksPerGroup) +
+                  " banks/bank group, " +
+                  Table::fmtHc(int64_t(cfg.rowsPerBank)) +
+                  " rows/bank"});
+    t.addRow({"Memory Ctrl.",
+              std::to_string(cfg.readQueue) + "-entry read / " +
+                  std::to_string(cfg.writeQueue) +
+                  "-entry write queues, FR-FCFS with column cap " +
+                  std::to_string(cfg.columnCap) +
+                  ", open-row policy, MOP address mapping (width " +
+                  std::to_string(cfg.mopWidth) + ")"});
+    t.addRow({"Timing",
+              "tRCD " + Table::fmt(cfg.timing.tRCD / 1000.0, 2) +
+                  "ns, tRP " + Table::fmt(cfg.timing.tRP / 1000.0, 2) +
+                  "ns, tRAS " +
+                  Table::fmt(cfg.timing.tRAS / 1000.0, 2) +
+                  "ns, tREFI " +
+                  Table::fmt(cfg.timing.tREFI / 1e6, 2) + "us, tREFW " +
+                  Table::fmt(cfg.timing.tREFW / 1e9, 0) + "ms"});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Security face-off: drive a double-sided RowHammer attack against the
+ * weakest row of a module with every defense in the loop, with and
+ * without Svärd, and report bitflips plus the price each defense paid.
+ * Also demonstrates the RowPress hazard: a pressed attack (tAggOn=2us)
+ * defeats pure activation counting.
+ *
+ * Usage: attack_defense_demo [module=S2]
+ */
+#include <cstdio>
+#include <memory>
+
+#include "defense/aqua.h"
+#include "defense/blockhammer.h"
+#include "defense/graphene.h"
+#include "defense/harness.h"
+#include "defense/hydra.h"
+#include "defense/para.h"
+#include "defense/rrs.h"
+#include "fault/vuln_model.h"
+
+using namespace svard;
+using defense::AttackOptions;
+using defense::runDoubleSidedAttack;
+
+namespace {
+
+std::unique_ptr<defense::Defense>
+make(int i, std::shared_ptr<const core::ThresholdProvider> thr)
+{
+    switch (i) {
+      case 0: return std::make_unique<defense::Para>(thr, 7);
+      case 1: return std::make_unique<defense::BlockHammer>(thr);
+      case 2: return std::make_unique<defense::Hydra>(thr);
+      case 3: return std::make_unique<defense::Aqua>(thr);
+      case 4: return std::make_unique<defense::Rrs>(thr);
+      default: return std::make_unique<defense::Graphene>(thr);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string label = argc > 1 ? argv[1] : "S2";
+    const auto &spec = dram::moduleByLabel(label);
+    auto subarrays = std::make_shared<dram::SubarrayMap>(spec);
+    auto model =
+        std::make_shared<fault::VulnerabilityModel>(spec, subarrays);
+    auto profile = std::make_shared<core::VulnProfile>(
+        core::VulnProfile::fromModel(*model));
+
+    AttackOptions attack;
+    attack.refreshWindows = 1;
+    attack.maxActsPerAggressor = 200 * 1024;
+    {
+        dram::DramDevice probe_dev(spec, subarrays, model);
+        attack.victim =
+            probe_dev.mapping().toLogical(model->weakestRow(attack.bank));
+    }
+
+    std::printf("Attacking %s's weakest row (HC_first = %lldK)\n\n",
+                label.c_str(),
+                (long long)spec.hcFirstMin / 1024);
+    std::printf("%-12s %-9s %9s %9s %9s %9s\n", "defense", "config",
+                "bitflips", "refreshes", "throttles", "migrations");
+
+    {
+        dram::DramDevice dev(spec, subarrays, model);
+        const auto r = runDoubleSidedAttack(dev, nullptr, attack);
+        std::printf("%-12s %-9s %9llu %9s %9s %9s\n", "(none)", "-",
+                    (unsigned long long)r.bitflips, "-", "-", "-");
+    }
+    const char *names[] = {"PARA", "BlockHammer", "Hydra",
+                           "AQUA", "RRS", "Graphene"};
+    for (int i = 0; i < 6; ++i) {
+        for (int with_svard = 0; with_svard < 2; ++with_svard) {
+            std::shared_ptr<const core::ThresholdProvider> thr;
+            if (with_svard)
+                thr = std::make_shared<core::Svard>(profile);
+            else
+                thr = std::make_shared<core::UniformThreshold>(
+                    profile->minThreshold(), spec.rowsPerBank);
+            dram::DramDevice dev(spec, subarrays, model);
+            auto d = make(i, thr);
+            const auto r = runDoubleSidedAttack(dev, d.get(), attack);
+            std::printf("%-12s %-9s %9llu %9llu %9llu %9llu\n",
+                        names[i], with_svard ? "Svärd" : "uniform",
+                        (unsigned long long)r.bitflips,
+                        (unsigned long long)r.preventiveRefreshes,
+                        (unsigned long long)r.throttleEvents,
+                        (unsigned long long)r.migrations);
+        }
+    }
+
+    // RowPress hazard (beyond the paper, rooted in its Sec. 5.3 data).
+    std::printf("\nRowPress hazard: pressed attack (tAggOn = 2us) vs "
+                "activation counting\n");
+    attack.tAggOn = 2 * dram::kPsPerUs;
+    dram::DramDevice dev(spec, subarrays, model);
+    defense::Graphene g(std::make_shared<core::Svard>(profile));
+    const auto r = runDoubleSidedAttack(dev, &g, attack);
+    std::printf("Graphene under RowPress: %llu bitflips "
+                "(activation counts alone are not sufficient)\n",
+                (unsigned long long)r.bitflips);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Characterize one module end to end (Alg. 1) and dump a per-row CSV,
+ * the way a profiling campaign on the real infrastructure would.
+ *
+ * Usage: characterize_module [module=S0] [rows_per_bank=256] [csv_path]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "charz/characterizer.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "fault/vuln_model.h"
+
+using namespace svard;
+
+int
+main(int argc, char **argv)
+{
+    const std::string label = argc > 1 ? argv[1] : "S0";
+    const long target = argc > 2 ? std::atol(argv[2]) : 256;
+    const std::string csv = argc > 3 ? argv[3] : "";
+
+    const auto &spec = dram::moduleByLabel(label);
+    auto subarrays = std::make_shared<dram::SubarrayMap>(spec);
+    auto model =
+        std::make_shared<fault::VulnerabilityModel>(spec, subarrays);
+    dram::DramDevice device(spec, subarrays, model);
+    charz::Characterizer charz(device);
+
+    charz::CharzOptions opt;
+    uint32_t step = std::max<long>(1, spec.rowsPerBank / target);
+    if (step % 2 == 0)
+        ++step; // avoid aliasing with subarray boundaries
+    opt.rowStep = step;
+
+    Table t("Characterization of " + label,
+            {"bank", "logical_row", "phys_row", "rel_loc", "wcdp",
+             "ber_128k", "hc_first"});
+    std::vector<double> hcs, bers;
+    for (uint32_t bank : opt.banks) {
+        auto bank_opt = opt;
+        bank_opt.banks = {bank};
+        for (const auto &r : charz.characterizeBank(bank, bank_opt)) {
+            t.addRow({Table::fmt(int64_t(r.bank)),
+                      Table::fmt(int64_t(r.logicalRow)),
+                      Table::fmt(int64_t(r.physRow)),
+                      Table::fmt(r.relativeLocation, 4),
+                      fault::patternName(r.wcdp),
+                      Table::fmt(r.ber128k, 6),
+                      Table::fmt(r.hcFirst)});
+            hcs.push_back(double(r.hcFirst));
+            bers.push_back(r.ber128k);
+        }
+    }
+
+    if (!csv.empty()) {
+        if (t.writeCsv(csv))
+            std::printf("wrote %zu rows to %s\n", t.rows(), csv.c_str());
+        else
+            std::printf("could not write %s\n", csv.c_str());
+    } else {
+        t.print();
+    }
+    std::printf("\n%s summary: HC_first min %.0f avg %.1fK max %.0f | "
+                "BER mean %.6f CV %.2f%% | %llu activations issued\n",
+                label.c_str(), minOf(hcs), mean(hcs) / 1024.0,
+                maxOf(hcs), mean(bers),
+                coefficientOfVariation(bers) * 100.0,
+                (unsigned long long)device.stats().activates);
+    return 0;
+}

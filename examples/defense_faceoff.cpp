@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Performance face-off on the cycle-level simulator: one workload mix,
+ * every defense, at a chosen worst-case HC_first, with and without
+ * Svärd (module S0's profile). Prints the three paper metrics
+ * normalized to the no-defense baseline — a single-mix slice of
+ * Fig. 12.
+ *
+ * Usage: defense_faceoff [hc_first=128] [requests_per_core=6000]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "fault/vuln_model.h"
+#include "sim/system.h"
+
+using namespace svard;
+using namespace svard::sim;
+
+int
+main(int argc, char **argv)
+{
+    const double threshold = argc > 1 ? std::atof(argv[1]) : 128.0;
+    const size_t requests = argc > 2 ? std::atol(argv[2]) : 6000;
+
+    SimConfig cfg;
+    ExperimentRunner runner(cfg, requests);
+    WorkloadMix mix;
+    mix.name = "faceoff";
+    mix.benchIdx = {16, 17, 16, 17, 0, 2, 8, 11};
+
+    const auto &spec = dram::moduleByLabel("S0");
+    auto sa = std::make_shared<dram::SubarrayMap>(spec);
+    fault::VulnerabilityModel model(spec, sa);
+    auto profile = std::make_shared<core::VulnProfile>(
+        core::VulnProfile::fromModel(model)
+            .resampledTo(16, cfg.rowsPerBank)
+            .scaledTo(threshold));
+
+    const auto base = runner.runMix(mix, DefenseKind::None, nullptr);
+    std::printf("No defense: WS %.3f HS %.3f maxSd %.3f "
+                "(HC_first sweep point: %.0f)\n\n",
+                base.weightedSpeedup, base.harmonicSpeedup,
+                base.maxSlowdown, threshold);
+    std::printf("%-12s %-9s %10s %10s %10s\n", "defense", "config",
+                "normWS", "normHS", "normMaxSd");
+
+    for (DefenseKind kind :
+         {DefenseKind::Para, DefenseKind::BlockHammer,
+          DefenseKind::Hydra, DefenseKind::Aqua, DefenseKind::Rrs,
+          DefenseKind::Graphene}) {
+        for (int with_svard = 0; with_svard < 2; ++with_svard) {
+            std::shared_ptr<const core::ThresholdProvider> thr;
+            if (with_svard)
+                thr = std::make_shared<core::Svard>(profile);
+            else
+                thr = std::make_shared<core::UniformThreshold>(
+                    threshold, cfg.rowsPerBank);
+            const auto m = runner.runMix(mix, kind, thr);
+            std::printf("%-12s %-9s %10.4f %10.4f %10.4f\n",
+                        defenseKindName(kind),
+                        with_svard ? "Svärd-S0" : "uniform",
+                        m.weightedSpeedup / base.weightedSpeedup,
+                        m.harmonicSpeedup / base.harmonicSpeedup,
+                        m.maxSlowdown / base.maxSlowdown);
+        }
+    }
+    return 0;
+}

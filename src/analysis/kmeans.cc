@@ -1,0 +1,208 @@
+#include "analysis/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace svard::analysis {
+
+namespace {
+
+double
+sqDist(const Point &a, const Point &b)
+{
+    double acc = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+        const double diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+} // anonymous namespace
+
+KMeansResult
+kMeans(const std::vector<Point> &points, uint32_t k, uint64_t seed,
+       int max_iters)
+{
+    SVARD_ASSERT(!points.empty(), "k-means on empty input");
+    SVARD_ASSERT(k >= 1 && k <= points.size(), "invalid k");
+    const size_t n = points.size();
+    const size_t dim = points[0].size();
+    Rng rng(seed);
+
+    KMeansResult res;
+    res.assignment.assign(n, 0);
+
+    // k-means++ seeding: first centroid uniform, then proportional to
+    // squared distance from the nearest chosen centroid.
+    res.centroids.push_back(points[rng.below(n)]);
+    std::vector<double> dist2(n, 0.0);
+    while (res.centroids.size() < k) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : res.centroids)
+                best = std::min(best, sqDist(points[i], c));
+            dist2[i] = best;
+            total += best;
+        }
+        size_t pick = 0;
+        if (total > 0.0) {
+            double target = rng.uniform() * total;
+            double acc = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                acc += dist2[i];
+                if (acc >= target) {
+                    pick = i;
+                    break;
+                }
+            }
+        } else {
+            pick = rng.below(n);
+        }
+        res.centroids.push_back(points[pick]);
+    }
+
+    // Lloyd iterations.
+    std::vector<double> sums(k * dim);
+    std::vector<uint64_t> counts(k);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            uint32_t best_c = 0;
+            for (uint32_t c = 0; c < k; ++c) {
+                const double d = sqDist(points[i], res.centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            if (res.assignment[i] != best_c) {
+                res.assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        res.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (size_t i = 0; i < n; ++i) {
+            const uint32_t c = res.assignment[i];
+            ++counts[c];
+            for (size_t d = 0; d < dim; ++d)
+                sums[c * dim + d] += points[i][d];
+        }
+        for (uint32_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue; // empty cluster keeps its previous centroid
+            for (size_t d = 0; d < dim; ++d)
+                res.centroids[c][d] =
+                    sums[c * dim + d] / static_cast<double>(counts[c]);
+        }
+    }
+
+    res.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        res.inertia += sqDist(points[i], res.centroids[res.assignment[i]]);
+    return res;
+}
+
+double
+silhouetteScore(const std::vector<Point> &points,
+                const std::vector<uint32_t> &assignment, uint32_t k,
+                size_t max_samples, uint64_t seed)
+{
+    SVARD_ASSERT(points.size() == assignment.size(),
+                 "silhouette size mismatch");
+    const size_t n = points.size();
+    if (k < 2 || n < 2)
+        return 0.0;
+
+    // Subsample evaluation points; distances are still measured
+    // against the full clustering via per-cluster mean distances.
+    std::vector<size_t> samples;
+    if (n <= max_samples) {
+        samples.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            samples[i] = i;
+    } else {
+        Rng rng(seed);
+        samples.reserve(max_samples);
+        const double stride = static_cast<double>(n) /
+                              static_cast<double>(max_samples);
+        for (size_t s = 0; s < max_samples; ++s) {
+            const size_t base = static_cast<size_t>(s * stride);
+            const size_t jitter = rng.below(std::max<size_t>(
+                1, static_cast<size_t>(stride)));
+            samples.push_back(std::min(base + jitter, n - 1));
+        }
+    }
+
+    // Pre-bucket point indices by cluster, subsampled per cluster to
+    // bound the pairwise cost.
+    std::vector<std::vector<size_t>> members(k);
+    for (size_t i = 0; i < n; ++i)
+        members[assignment[i]].push_back(i);
+    constexpr size_t kPerClusterCap = 256;
+    Rng crng(seed ^ 0x51C0ULL);
+    for (auto &m : members) {
+        if (m.size() > kPerClusterCap) {
+            for (size_t i = 0; i < kPerClusterCap; ++i)
+                std::swap(m[i], m[i + crng.below(m.size() - i)]);
+            m.resize(kPerClusterCap);
+        }
+    }
+
+    uint32_t nonempty = 0;
+    for (const auto &m : members)
+        if (!m.empty())
+            ++nonempty;
+    if (nonempty < 2)
+        return 0.0;
+
+    double total = 0.0;
+    size_t counted = 0;
+    auto sq = [&](size_t a, size_t b) { return sqDist(points[a],
+                                                      points[b]); };
+    for (size_t i : samples) {
+        const uint32_t own = assignment[i];
+        if (members[own].size() < 2)
+            continue;
+        // a(i): mean distance to own cluster.
+        double a_sum = 0.0;
+        size_t a_cnt = 0;
+        for (size_t j : members[own]) {
+            if (j == i)
+                continue;
+            a_sum += std::sqrt(sq(i, j));
+            ++a_cnt;
+        }
+        if (a_cnt == 0)
+            continue;
+        const double a = a_sum / static_cast<double>(a_cnt);
+        // b(i): smallest mean distance to another cluster.
+        double b = std::numeric_limits<double>::max();
+        for (uint32_t c = 0; c < k; ++c) {
+            if (c == own || members[c].empty())
+                continue;
+            double s = 0.0;
+            for (size_t j : members[c])
+                s += std::sqrt(sq(i, j));
+            b = std::min(b, s / static_cast<double>(members[c].size()));
+        }
+        const double denom = std::max(a, b);
+        if (denom > 0.0) {
+            total += (b - a) / denom;
+            ++counted;
+        }
+    }
+    return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+} // namespace svard::analysis

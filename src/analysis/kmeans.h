@@ -1,0 +1,52 @@
+/**
+ * @file
+ * k-means clustering (k-means++ initialization, Lloyd iterations) and
+ * the silhouette score, as used by the subarray reverse-engineering
+ * methodology (paper Sec. 5.4.1, Fig. 8).
+ */
+#ifndef SVARD_ANALYSIS_KMEANS_H
+#define SVARD_ANALYSIS_KMEANS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svard::analysis {
+
+/** A point in a small fixed-dimensional feature space. */
+using Point = std::vector<double>;
+
+/** Result of one k-means run. */
+struct KMeansResult
+{
+    std::vector<Point> centroids;     ///< k cluster centers
+    std::vector<uint32_t> assignment; ///< cluster index per input point
+    double inertia = 0.0;             ///< sum of squared distances
+    int iterations = 0;               ///< Lloyd iterations executed
+};
+
+/**
+ * Run k-means with k-means++ seeding.
+ *
+ * @param points input points (all must share one dimensionality)
+ * @param k number of clusters (1 <= k <= points.size())
+ * @param seed RNG seed for the ++ initialization
+ * @param max_iters Lloyd iteration cap
+ */
+KMeansResult kMeans(const std::vector<Point> &points, uint32_t k,
+                    uint64_t seed = 1, int max_iters = 60);
+
+/**
+ * Mean silhouette coefficient of a clustering, in [-1, 1]; higher
+ * means better-separated clusters. Computed on a uniform subsample of
+ * at most `max_samples` points (exact silhouette is O(n^2)).
+ * Returns 0 for degenerate clusterings (k < 2 effective clusters).
+ */
+double silhouetteScore(const std::vector<Point> &points,
+                       const std::vector<uint32_t> &assignment,
+                       uint32_t k, size_t max_samples = 2048,
+                       uint64_t seed = 1);
+
+} // namespace svard::analysis
+
+#endif // SVARD_ANALYSIS_KMEANS_H

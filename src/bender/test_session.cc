@@ -1,0 +1,152 @@
+#include "bender/test_session.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace svard::bender {
+
+TestSession::TestSession(dram::DramDevice &device)
+    : device_(device), timing_(device.timing())
+{}
+
+void
+TestSession::act(uint32_t bank, uint32_t row)
+{
+    device_.activate(bank, row, now_);
+    ++acts_;
+    now_ += timing_.tRCD;
+}
+
+void
+TestSession::pre(uint32_t bank)
+{
+    device_.precharge(bank, now_);
+    now_ += timing_.tRP;
+}
+
+void
+TestSession::wait(dram::Tick duration)
+{
+    SVARD_ASSERT(duration >= 0, "negative wait");
+    now_ += duration;
+}
+
+void
+TestSession::resetClock()
+{
+    programStart_ = now_;
+    overrunLatched_ = false;
+}
+
+bool
+TestSession::refreshWindowExceeded() const
+{
+    return now_ - programStart_ > timing_.tREFW;
+}
+
+void
+TestSession::initRow(uint32_t bank, uint32_t row, uint8_t fill)
+{
+    act(bank, row);
+    device_.writeRowFill(bank, row, fill);
+    // Streaming the full row out of the write queue: one burst per
+    // 64B cache line.
+    const uint32_t lines = device_.spec().rowBytes / 64;
+    wait(timing_.tBL * lines);
+    pre(bank);
+}
+
+void
+TestSession::hammerDoubleSided(uint32_t bank, uint32_t aggr_low,
+                               uint32_t aggr_high, uint64_t count,
+                               dram::Tick t_agg_on)
+{
+    // Alg. 1 hammer_doublesided: one "hammer" is one activation of
+    // each aggressor, each held open for t_agg_on. Uses the device's
+    // bulk path; equivalent to the alternating per-command loop.
+    const dram::Tick t_on = std::max(t_agg_on, timing_.tRAS);
+    device_.hammer(bank, aggr_high, count, t_on, now_);
+    device_.hammer(bank, aggr_low, count, t_on, now_);
+    now_ += 2 * static_cast<dram::Tick>(count) * (t_on + timing_.tRP);
+    acts_ += 2 * count;
+    if (refreshWindowExceeded() && !overrunLatched_) {
+        overrunLatched_ = true;
+        ++overruns_;
+    }
+}
+
+void
+TestSession::hammerSingleSided(uint32_t bank, uint32_t aggr,
+                               uint64_t count, dram::Tick t_agg_on)
+{
+    const dram::Tick t_on = std::max(t_agg_on, timing_.tRAS);
+    device_.hammer(bank, aggr, count, t_on, now_);
+    now_ += static_cast<dram::Tick>(count) * (t_on + timing_.tRP);
+    acts_ += count;
+    if (refreshWindowExceeded() && !overrunLatched_) {
+        overrunLatched_ = true;
+        ++overruns_;
+    }
+}
+
+BerMeasurement
+TestSession::readAndCompare(uint32_t bank, uint32_t row, uint8_t expected)
+{
+    act(bank, row);
+    BerMeasurement m;
+    m.flippedBits = device_.countMismatchedBits(bank, row, expected);
+    m.totalBits = device_.spec().rowBytes * 8ull;
+    const uint32_t lines = device_.spec().rowBytes / 64;
+    wait(timing_.tBL * lines);
+    pre(bank);
+    return m;
+}
+
+BerMeasurement
+TestSession::measureBer(uint32_t bank, uint32_t victim,
+                        uint32_t aggr_low, uint32_t aggr_high,
+                        fault::DataPattern dp, uint64_t hammer_count,
+                        dram::Tick t_agg_on)
+{
+    return measureBer(bank, victim,
+                      std::vector<uint32_t>{aggr_low, aggr_high}, dp,
+                      hammer_count, t_agg_on);
+}
+
+BerMeasurement
+TestSession::measureBer(uint32_t bank, uint32_t victim,
+                        const std::vector<uint32_t> &aggressors,
+                        fault::DataPattern dp, uint64_t hammer_count,
+                        dram::Tick t_agg_on)
+{
+    SVARD_ASSERT(!aggressors.empty(), "measureBer needs aggressors");
+    resetClock();
+    initRow(bank, victim, fault::victimFill(dp));
+    for (uint32_t a : aggressors)
+        initRow(bank, a, fault::aggressorFill(dp));
+    const dram::Tick t_on = std::max(t_agg_on, timing_.tRAS);
+    for (uint32_t a : aggressors) {
+        device_.hammer(bank, a, hammer_count, t_on, now_);
+        now_ += static_cast<dram::Tick>(hammer_count) *
+                (t_on + timing_.tRP);
+        acts_ += hammer_count;
+    }
+    if (refreshWindowExceeded() && !overrunLatched_) {
+        overrunLatched_ = true;
+        ++overruns_;
+    }
+    return readAndCompare(bank, victim, fault::victimFill(dp));
+}
+
+std::vector<uint32_t>
+TestSession::aggressorRowsOf(uint32_t row) const
+{
+    const uint32_t phys = device_.mapping().toPhysical(row);
+    std::vector<uint32_t> out;
+    for (uint32_t n : device_.subarrays().disturbedNeighbors(phys))
+        out.push_back(device_.mapping().toLogical(n));
+    return out;
+}
+
+} // namespace svard::bender

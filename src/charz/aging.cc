@@ -1,0 +1,61 @@
+#include "charz/aging.h"
+
+#include <memory>
+
+#include "fault/vuln_model.h"
+
+namespace svard::charz {
+
+double
+AgingResult::fraction(int64_t before, int64_t after) const
+{
+    auto tot = beforeTotals.find(before);
+    if (tot == beforeTotals.end() || tot->second == 0)
+        return 0.0;
+    auto it = transitions.find({before, after});
+    const uint64_t n = it == transitions.end() ? 0 : it->second;
+    return static_cast<double>(n) / static_cast<double>(tot->second);
+}
+
+double
+AgingResult::changedFraction(int64_t before) const
+{
+    auto tot = beforeTotals.find(before);
+    if (tot == beforeTotals.end() || tot->second == 0)
+        return 0.0;
+    uint64_t changed = 0;
+    for (const auto &[key, n] : transitions)
+        if (key.first == before && key.second != before)
+            changed += n;
+    return static_cast<double>(changed) /
+           static_cast<double>(tot->second);
+}
+
+AgingResult
+agingExperiment(const dram::ModuleSpec &spec, const CharzOptions &opt)
+{
+    auto subarrays = std::make_shared<dram::SubarrayMap>(spec);
+    auto fresh_model =
+        std::make_shared<fault::VulnerabilityModel>(spec, subarrays,
+                                                    false);
+    auto aged_model =
+        std::make_shared<fault::VulnerabilityModel>(spec, subarrays,
+                                                    true);
+    dram::DramDevice fresh_dev(spec, subarrays, fresh_model);
+    dram::DramDevice aged_dev(spec, subarrays, aged_model);
+    Characterizer fresh(fresh_dev);
+    Characterizer aged(aged_dev);
+
+    AgingResult out;
+    for (uint32_t bank : opt.banks) {
+        for (uint32_t r = 0; r < spec.rowsPerBank; r += opt.rowStep) {
+            const auto before = fresh.characterizeRow(bank, r, opt);
+            const auto after = aged.characterizeRow(bank, r, opt);
+            ++out.transitions[{before.hcFirst, after.hcFirst}];
+            ++out.beforeTotals[before.hcFirst];
+        }
+    }
+    return out;
+}
+
+} // namespace svard::charz

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aging experiment (paper Sec. 5.5, Fig. 10): a module is fully
+ * characterized, subjected to 68 days of continuous double-sided
+ * hammering at 80 C, and re-characterized; the experiment reports the
+ * HC_first transition populations before vs. after aging.
+ */
+#ifndef SVARD_CHARZ_AGING_H
+#define SVARD_CHARZ_AGING_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "charz/characterizer.h"
+
+namespace svard::charz {
+
+/** Transition populations between quantized HC_first values. */
+struct AgingResult
+{
+    /** count[(before, after)] over all tested rows. */
+    std::map<std::pair<int64_t, int64_t>, uint64_t> transitions;
+
+    /** Rows tested per before-aging HC_first (normalization base). */
+    std::map<int64_t, uint64_t> beforeTotals;
+
+    /** Fraction of rows at `before` that moved to `after`. */
+    double fraction(int64_t before, int64_t after) const;
+
+    /** Fraction of rows at `before` whose HC_first changed at all. */
+    double changedFraction(int64_t before) const;
+};
+
+/**
+ * Run the before/after characterization on one module. The "after"
+ * device carries the aged fault model (68-day stress transform); row
+ * identity is preserved, so transitions are row-accurate.
+ */
+AgingResult agingExperiment(const dram::ModuleSpec &spec,
+                            const CharzOptions &opt);
+
+} // namespace svard::charz
+
+#endif // SVARD_CHARZ_AGING_H

@@ -1,0 +1,185 @@
+#include "charz/characterizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace svard::charz {
+
+Characterizer::Characterizer(dram::DramDevice &device)
+    : device_(device), session_(device)
+{}
+
+RowResult
+Characterizer::characterizeRow(uint32_t bank, uint32_t victim,
+                               const CharzOptions &opt)
+{
+    const auto &labels = dram::testedHammerCounts();
+    const int64_t max_hc = labels.back();
+
+    RowResult out;
+    out.bank = bank;
+    out.logicalRow = victim;
+    out.physRow = device_.mapping().toPhysical(victim);
+    out.relativeLocation =
+        static_cast<double>(out.physRow) /
+        static_cast<double>(device_.spec().rowsPerBank);
+
+    const auto aggressors = session_.aggressorRowsOf(victim);
+    out.numAggressors = static_cast<uint32_t>(aggressors.size());
+
+    out.hcFirst = max_hc;
+    for (int iter = 0; iter < std::max(opt.iterations, 1); ++iter) {
+        // --- WCDP discovery at the maximum tested hammer count ---
+        double best_ber = -1.0;
+        fault::DataPattern wcdp = fault::DataPattern::RowStripe;
+        const std::vector<fault::DataPattern> quick = {
+            fault::DataPattern::RowStripe,
+            fault::DataPattern::RowStripeInv,
+        };
+        const auto &patterns =
+            opt.quickWcdp
+                ? quick
+                : std::vector<fault::DataPattern>(
+                      fault::allDataPatterns.begin(),
+                      fault::allDataPatterns.end());
+        for (auto dp : patterns) {
+            const auto m = session_.measureBer(
+                bank, victim, aggressors, dp,
+                static_cast<uint64_t>(max_hc), opt.tAggOn);
+            if (m.ber() > best_ber) {
+                best_ber = m.ber();
+                wcdp = dp;
+            }
+        }
+        if (best_ber > out.ber128k) {
+            out.ber128k = best_ber;
+            out.wcdp = wcdp;
+        }
+        if (best_ber > 0.0)
+            out.flippedAtMaxCount = true;
+
+        // --- ascending hammer-count sweep at the WCDP ---
+        int64_t hc_first = max_hc;
+        for (int64_t hc : labels) {
+            if (hc >= out.hcFirst && iter > 0)
+                break; // cannot improve the recorded worst case
+            const auto m = session_.measureBer(
+                bank, victim, aggressors, wcdp,
+                static_cast<uint64_t>(hc), opt.tAggOn);
+            if (m.flippedBits > 0) {
+                hc_first = hc;
+                break;
+            }
+        }
+        out.hcFirst = std::min(out.hcFirst, hc_first);
+    }
+    return out;
+}
+
+std::vector<RowResult>
+Characterizer::characterizeBank(uint32_t bank, const CharzOptions &opt)
+{
+    SVARD_ASSERT(opt.rowStep >= 1, "rowStep must be >= 1");
+    std::vector<RowResult> out;
+    const uint32_t rows = device_.spec().rowsPerBank;
+    for (uint32_t r = 0; r < rows; r += opt.rowStep)
+        out.push_back(characterizeRow(bank, r, opt));
+    for (uint32_t r : opt.extraRows)
+        if (r % opt.rowStep != 0)
+            out.push_back(characterizeRow(bank, r, opt));
+    return out;
+}
+
+std::vector<RowResult>
+Characterizer::characterizeModule(const CharzOptions &opt)
+{
+    std::vector<RowResult> out;
+    for (uint32_t bank : opt.banks) {
+        auto bank_results = characterizeBank(bank, opt);
+        out.insert(out.end(), bank_results.begin(), bank_results.end());
+    }
+    return out;
+}
+
+core::VulnProfile
+buildProfile(const dram::ModuleSpec &spec,
+             const std::vector<RowResult> &results, uint32_t num_bins)
+{
+    SVARD_ASSERT(!results.empty(), "no characterization results");
+    const auto &labels = dram::testedHammerCounts();
+
+    // Reuse fromModel's binning scheme: bins keyed to tested hammer
+    // counts, safe bound = previous tested count, weak-end merge to
+    // fit num_bins.
+    std::vector<double> bounds;
+    for (size_t i = 0; i < labels.size(); ++i)
+        bounds.push_back(i == 0
+                             ? 0.75 * static_cast<double>(labels[0])
+                             : static_cast<double>(labels[i - 1]));
+    std::vector<uint32_t> bin_of_label(labels.size());
+    std::vector<double> merged;
+    if (num_bins >= labels.size()) {
+        merged = bounds;
+        for (size_t i = 0; i < labels.size(); ++i)
+            bin_of_label[i] = static_cast<uint32_t>(i);
+    } else {
+        const size_t excess = labels.size() - num_bins;
+        merged.push_back(bounds[0]);
+        bin_of_label[0] = 0;
+        for (size_t i = 1; i < labels.size(); ++i) {
+            if (i <= excess) {
+                bin_of_label[i] = 0;
+            } else {
+                bin_of_label[i] = static_cast<uint32_t>(merged.size());
+                merged.push_back(bounds[i]);
+            }
+        }
+    }
+    auto label_index = [&](int64_t hc) {
+        for (size_t i = 0; i < labels.size(); ++i)
+            if (labels[i] == hc)
+                return i;
+        SVARD_PANIC("HC_first not a tested hammer count");
+    };
+
+    core::VulnProfile prof(spec.label + "-measured", spec.banks,
+                           spec.rowsPerBank, std::move(merged));
+
+    // Tested rows per bank, sorted by physical row (the profile's key
+    // space) for interpolation.
+    std::map<uint32_t, std::vector<std::pair<uint32_t, uint8_t>>> tested;
+    for (const auto &r : results)
+        tested[r.bank].push_back(
+            {r.physRow,
+             static_cast<uint8_t>(bin_of_label[label_index(r.hcFirst)])});
+    for (auto &[bank, rows] : tested)
+        std::sort(rows.begin(), rows.end());
+
+    // Untested banks fall back to bank (tested banks' union would be
+    // unsafe to fabricate); use the first tested bank's rows.
+    const auto &fallback = tested.begin()->second;
+    for (uint32_t bank = 0; bank < spec.banks; ++bank) {
+        const auto &rows =
+            tested.count(bank) ? tested.at(bank) : fallback;
+        size_t cursor = 0;
+        for (uint32_t r = 0; r < spec.rowsPerBank; ++r) {
+            while (cursor + 1 < rows.size() &&
+                   rows[cursor + 1].first <= r)
+                ++cursor;
+            // Nearest tested row (cursor points at the last <= r).
+            uint8_t bin = rows[cursor].second;
+            if (cursor + 1 < rows.size()) {
+                const uint32_t d_lo = r - rows[cursor].first;
+                const uint32_t d_hi = rows[cursor + 1].first - r;
+                if (d_hi < d_lo)
+                    bin = rows[cursor + 1].second;
+            }
+            prof.setBin(bank, r, bin);
+        }
+    }
+    return prof;
+}
+
+} // namespace svard::charz

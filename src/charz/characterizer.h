@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The paper's core characterization loop (Alg. 1): per-row worst-case
+ * data pattern discovery at 128K hammers, the 14-point hammer-count
+ * sweep that yields HC_first, tAggOn sweeps for RowPress, and the
+ * bank/row iteration with worst-case-over-iterations recording.
+ */
+#ifndef SVARD_CHARZ_CHARACTERIZER_H
+#define SVARD_CHARZ_CHARACTERIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/test_session.h"
+#include "core/vuln_profile.h"
+#include "dram/device.h"
+
+namespace svard::charz {
+
+/** Knobs of the Alg. 1 test loop. */
+struct CharzOptions
+{
+    /** Banks to test: one representative bank per bank group (Sec. 4.3). */
+    std::vector<uint32_t> banks = {1, 4, 10, 15};
+
+    /** Test every Nth row of a bank (1 = all rows, as the paper does). */
+    uint32_t rowStep = 1;
+
+    /** Extra victim rows to include regardless of rowStep. */
+    std::vector<uint32_t> extraRows;
+
+    /** Aggressor on-time (36 ns = max activation rate; Alg. 1). */
+    dram::Tick tAggOn = 36 * dram::kPsPerNs;
+
+    /**
+     * Test repetitions; the smallest HC_first and largest BER across
+     * iterations are recorded (Sec. 4.1, worst-case measure).
+     */
+    int iterations = 1;
+
+    /**
+     * When set, WCDP discovery tests only the two row stripes instead
+     * of all six patterns (fast mode; stripes dominate WCDP).
+     */
+    bool quickWcdp = false;
+};
+
+/** Per-victim-row characterization result. */
+struct RowResult
+{
+    uint32_t bank = 0;
+    uint32_t logicalRow = 0;
+    uint32_t physRow = 0;
+    double relativeLocation = 0.0;     ///< physRow / rowsPerBank
+    fault::DataPattern wcdp = fault::DataPattern::RowStripe;
+    double ber128k = 0.0;              ///< BER at 128K hammers, WCDP
+    int64_t hcFirst = 0;               ///< quantized to tested counts
+    bool flippedAtMaxCount = false;    ///< any flip observed at 128K
+    uint32_t numAggressors = 2;        ///< 1 at subarray edges
+};
+
+/**
+ * Runs Alg. 1 against a device-under-test through a TestSession.
+ * The characterizer never consults the fault model directly — all
+ * knowledge comes from DRAM commands and read-back data, exactly as on
+ * the real infrastructure.
+ */
+class Characterizer
+{
+  public:
+    explicit Characterizer(dram::DramDevice &device);
+
+    /** Characterize one victim row (WCDP + HC_first sweep). */
+    RowResult characterizeRow(uint32_t bank, uint32_t victim,
+                              const CharzOptions &opt);
+
+    /** Characterize a bank per the options' row sampling. */
+    std::vector<RowResult> characterizeBank(uint32_t bank,
+                                            const CharzOptions &opt);
+
+    /** Full module sweep: all banks in the options. */
+    std::vector<RowResult> characterizeModule(const CharzOptions &opt);
+
+    bender::TestSession &session() { return session_; }
+
+  private:
+    dram::DramDevice &device_;
+    bender::TestSession session_;
+};
+
+/**
+ * Build a Svärd vulnerability profile from characterization results.
+ * Rows the sweep skipped inherit the bin of the nearest tested row in
+ * the same bank (a deployment would characterize every row; subsampled
+ * sweeps use this interpolation and stay safe only statistically —
+ * fromModel() gives the exact full-characterization profile).
+ */
+core::VulnProfile buildProfile(const dram::ModuleSpec &spec,
+                               const std::vector<RowResult> &results,
+                               uint32_t num_bins = 14);
+
+} // namespace svard::charz
+
+#endif // SVARD_CHARZ_CHARACTERIZER_H

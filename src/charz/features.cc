@@ -1,0 +1,101 @@
+#include "charz/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/classify.h"
+
+namespace svard::charz {
+
+namespace {
+
+int
+bitsFor(uint32_t max_value)
+{
+    int bits = 1;
+    while ((1u << bits) <= max_value && bits < 31)
+        ++bits;
+    return bits;
+}
+
+} // anonymous namespace
+
+std::vector<FeatureScore>
+spatialFeatureScores(const dram::ModuleSpec &spec,
+                     const dram::SubarrayMap &subarrays,
+                     const std::vector<RowResult> &results)
+{
+    using Kind = dram::FeatureEffect::Kind;
+
+    std::vector<int64_t> classes;
+    classes.reserve(results.size());
+    for (const auto &r : results)
+        classes.push_back(r.hcFirst);
+
+    // Feature extraction per row.
+    std::vector<uint32_t> bank_v, row_v, sa_v, dist_v;
+    uint32_t max_sa = 0, max_dist = 0;
+    for (const auto &r : results) {
+        const auto loc = subarrays.locate(r.physRow);
+        bank_v.push_back(r.bank);
+        row_v.push_back(r.physRow);
+        sa_v.push_back(loc.subarray);
+        dist_v.push_back(loc.distanceToSenseAmps());
+        max_sa = std::max(max_sa, loc.subarray);
+        max_dist = std::max(max_dist, loc.distanceToSenseAmps());
+    }
+
+    struct FeatureDef
+    {
+        Kind kind;
+        const std::vector<uint32_t> *values;
+        int bits;
+    };
+    const FeatureDef defs[] = {
+        {Kind::BankAddr, &bank_v, bitsFor(spec.banks - 1)},
+        {Kind::RowAddr, &row_v, bitsFor(spec.rowsPerBank - 1)},
+        {Kind::SubarrayAddr, &sa_v, bitsFor(max_sa)},
+        {Kind::Distance, &dist_v, bitsFor(max_dist)},
+    };
+
+    std::vector<FeatureScore> out;
+    std::vector<uint8_t> feature(results.size());
+    for (const auto &def : defs) {
+        for (int bit = 0; bit < def.bits; ++bit) {
+            for (size_t i = 0; i < results.size(); ++i)
+                feature[i] =
+                    static_cast<uint8_t>(((*def.values)[i] >> bit) & 1);
+            out.push_back({def.kind, bit,
+                           analysis::binaryFeatureF1(feature, classes)});
+        }
+    }
+    return out;
+}
+
+double
+fractionAboveF1(const std::vector<FeatureScore> &scores, double threshold)
+{
+    if (scores.empty())
+        return 0.0;
+    size_t n = 0;
+    for (const auto &s : scores)
+        if (s.f1 > threshold)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(scores.size());
+}
+
+std::vector<FeatureScore>
+featuresAbove(const std::vector<FeatureScore> &scores, double threshold)
+{
+    std::vector<FeatureScore> out;
+    for (const auto &s : scores)
+        if (s.f1 > threshold)
+            out.push_back(s);
+    std::sort(out.begin(), out.end(),
+              [](const FeatureScore &a, const FeatureScore &b) {
+                  return a.f1 > b.f1;
+              });
+    return out;
+}
+
+} // namespace svard::charz

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Spatial-feature correlation analysis (paper Sec. 5.4.2): every bit
+ * of a row's bank address, row address, subarray address, and distance
+ * to the sense amplifiers is treated as a binary predictor of the
+ * row's quantized HC_first; the predictor's weighted F1 score measures
+ * the correlation (Fig. 9, Table 3).
+ */
+#ifndef SVARD_CHARZ_FEATURES_H
+#define SVARD_CHARZ_FEATURES_H
+
+#include <vector>
+
+#include "charz/characterizer.h"
+#include "dram/module_spec.h"
+#include "dram/subarray.h"
+
+namespace svard::charz {
+
+/** F1 score of one spatial-feature bit. */
+struct FeatureScore
+{
+    dram::FeatureEffect::Kind kind;
+    int bit;
+    double f1;
+};
+
+/**
+ * Score every spatial-feature bit against the results' HC_first
+ * classes. Feature bit widths are derived from the geometry (bank
+ * count, rows per bank, subarray count, largest distance).
+ */
+std::vector<FeatureScore>
+spatialFeatureScores(const dram::ModuleSpec &spec,
+                     const dram::SubarrayMap &subarrays,
+                     const std::vector<RowResult> &results);
+
+/** Fraction of features scoring strictly above an F1 threshold (Fig. 9). */
+double fractionAboveF1(const std::vector<FeatureScore> &scores,
+                       double threshold);
+
+/** Features above a threshold, strongest first (Table 3). */
+std::vector<FeatureScore>
+featuresAbove(const std::vector<FeatureScore> &scores, double threshold);
+
+} // namespace svard::charz
+
+#endif // SVARD_CHARZ_FEATURES_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status/error reporting helpers (gem5-style fatal/panic/warn/inform).
+ *
+ * panic(): an internal invariant was violated (a bug in this library);
+ * aborts so a debugger/core dump can capture state.
+ * fatal(): the caller supplied an impossible configuration; exits(1).
+ * warn()/inform(): non-fatal status lines on stderr/stdout.
+ */
+#ifndef SVARD_COMMON_LOG_H
+#define SVARD_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace svard {
+
+/** Print an error location prefix and abort. Use for internal bugs. */
+[[noreturn]] inline void
+panicAt(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+/** Print an error location prefix and exit(1). Use for user errors. */
+[[noreturn]] inline void
+fatalAt(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning on stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational message on stdout. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace svard
+
+#define SVARD_PANIC(msg) ::svard::panicAt(__FILE__, __LINE__, (msg))
+#define SVARD_FATAL(msg) ::svard::fatalAt(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; active in all build types. */
+#define SVARD_ASSERT(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            SVARD_PANIC(std::string("assertion failed: ") + #cond +        \
+                        ": " + (msg));                                     \
+    } while (0)
+
+#endif // SVARD_COMMON_LOG_H

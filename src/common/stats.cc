@@ -1,0 +1,161 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace svard {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stdev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+coefficientOfVariation(const std::vector<double> &xs)
+{
+    const double m = mean(xs);
+    if (m == 0.0)
+        return 0.0;
+    return stdev(xs) / m;
+}
+
+double
+quantile(std::vector<double> xs, double p)
+{
+    SVARD_ASSERT(!xs.empty(), "quantile of empty sample");
+    SVARD_ASSERT(p >= 0.0 && p <= 1.0, "quantile p out of range");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double pos = p * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+BoxStats
+boxStats(std::vector<double> xs)
+{
+    BoxStats out;
+    if (xs.empty())
+        return out;
+    std::sort(xs.begin(), xs.end());
+    out.n = xs.size();
+    out.min = xs.front();
+    out.max = xs.back();
+    out.mean = mean(xs);
+    out.q1 = quantile(xs, 0.25);
+    out.median = quantile(xs, 0.50);
+    out.q3 = quantile(xs, 0.75);
+    const double iqr = out.q3 - out.q1;
+    const double lo_limit = out.q1 - 1.5 * iqr;
+    const double hi_limit = out.q3 + 1.5 * iqr;
+    // Whiskers sit on the most extreme observations inside the 1.5*IQR
+    // fences, matching the paper's plots.
+    out.whiskerLow = out.min;
+    for (double x : xs) {
+        if (x >= lo_limit) {
+            out.whiskerLow = x;
+            break;
+        }
+    }
+    out.whiskerHigh = out.max;
+    for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+        if (*it <= hi_limit) {
+            out.whiskerHigh = *it;
+            break;
+        }
+    }
+    return out;
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+CategoricalHistogram::CategoricalHistogram(std::vector<int64_t> labels)
+    : labels_(std::move(labels))
+{
+    for (int64_t l : labels_)
+        counts_[l] = 0;
+}
+
+void
+CategoricalHistogram::add(int64_t label)
+{
+    auto it = counts_.find(label);
+    SVARD_ASSERT(it != counts_.end(), "unknown histogram label");
+    ++it->second;
+    ++total_;
+}
+
+uint64_t
+CategoricalHistogram::count(int64_t label) const
+{
+    auto it = counts_.find(label);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+CategoricalHistogram::fraction(int64_t label) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(label)) / static_cast<double>(total_);
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    SVARD_ASSERT(xs.size() == ys.size(), "pearson size mismatch");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace svard

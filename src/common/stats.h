@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the characterization analyses:
+ * mean/stdev/CV, quartiles and box-and-whisker summaries (Fig. 3/7),
+ * and fixed-bin histograms (Fig. 5).
+ */
+#ifndef SVARD_COMMON_STATS_H
+#define SVARD_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace svard {
+
+/**
+ * Box-and-whiskers summary exactly as the paper defines it (footnote 10):
+ * the box spans the first to third quartile, whiskers mark the central
+ * 1.5*IQR range clamped to observed data, and the mean is reported
+ * separately (the white circle in the paper's plots).
+ */
+struct BoxStats
+{
+    double min = 0.0;         ///< smallest observation
+    double whiskerLow = 0.0;  ///< low whisker (>= q1 - 1.5*IQR)
+    double q1 = 0.0;          ///< first quartile
+    double median = 0.0;      ///< second quartile
+    double q3 = 0.0;          ///< third quartile
+    double whiskerHigh = 0.0; ///< high whisker (<= q3 + 1.5*IQR)
+    double max = 0.0;         ///< largest observation
+    double mean = 0.0;        ///< arithmetic mean
+    size_t n = 0;             ///< number of observations
+};
+
+/** Arithmetic mean; 0 for an empty range. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 if fewer than 2 points. */
+double stdev(const std::vector<double> &xs);
+
+/**
+ * Coefficient of variation = stdev/mean (paper footnote 11), as a
+ * fraction (multiply by 100 for the percentages the paper annotates).
+ */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/** p-th quantile (0 <= p <= 1) with linear interpolation. */
+double quantile(std::vector<double> xs, double p);
+
+/** Full box-and-whiskers summary of a sample. */
+BoxStats boxStats(std::vector<double> xs);
+
+/** Minimum of a sample; 0 for empty. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum of a sample; 0 for empty. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Histogram over caller-specified ordered bin labels, e.g. the 14 tested
+ * hammer counts of Alg. 1. Values are counted at the *exact* label
+ * (categorical, as in Fig. 5), not by range.
+ */
+class CategoricalHistogram
+{
+  public:
+    explicit CategoricalHistogram(std::vector<int64_t> labels);
+
+    /** Count one observation of the given label; unknown labels panic. */
+    void add(int64_t label);
+
+    /** Number of observations at a label. */
+    uint64_t count(int64_t label) const;
+
+    /** Fraction of all observations at a label. */
+    double fraction(int64_t label) const;
+
+    /** Total observations. */
+    uint64_t total() const { return total_; }
+
+    const std::vector<int64_t> &labels() const { return labels_; }
+
+  private:
+    std::vector<int64_t> labels_;
+    std::map<int64_t, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** Pearson correlation coefficient; 0 if either side is constant. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+} // namespace svard
+
+#endif // SVARD_COMMON_STATS_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Svärd mechanism (paper Sec. 6): a small metadata table consulted
+ * on every row activation that supplies the read-disturbance defense
+ * with a per-victim-row HC_first threshold instead of the worst-case
+ * chip-wide value. Defenses consume the ThresholdProvider interface;
+ * "no Svärd" is the UniformThreshold provider pinned at the chip's
+ * worst-case HC_first, which is exactly how the paper's baselines are
+ * configured.
+ */
+#ifndef SVARD_CORE_SVARD_H
+#define SVARD_CORE_SVARD_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/vuln_profile.h"
+
+namespace svard::core {
+
+/**
+ * Per-row threshold oracle consulted by defenses on each activation.
+ * Thresholds are expressed in hammers (activation pairs), matching
+ * HC_first's unit.
+ */
+class ThresholdProvider
+{
+  public:
+    virtual ~ThresholdProvider() = default;
+
+    /** Safe HC_first lower bound of a potential *victim* row. */
+    virtual double victimThreshold(uint32_t bank, uint32_t row) const = 0;
+
+    /**
+     * Activation budget of an *aggressor* row: the smallest safe
+     * threshold among the rows its activation disturbs (its two
+     * logical neighbors; conservatively clamped at array edges).
+     */
+    virtual double aggressorBudget(uint32_t bank, uint32_t row) const;
+
+    /** Chip-wide worst case (used for sizing defense structures). */
+    virtual double worstCase() const = 0;
+
+    virtual uint32_t rowsPerBank() const = 0;
+};
+
+/**
+ * Baseline configuration without Svärd: every row is treated as being
+ * as vulnerable as the chip's weakest row.
+ */
+class UniformThreshold : public ThresholdProvider
+{
+  public:
+    UniformThreshold(double hc_first, uint32_t rows_per_bank)
+        : hcFirst_(hc_first), rowsPerBank_(rows_per_bank)
+    {}
+
+    double
+    victimThreshold(uint32_t, uint32_t) const override
+    {
+        return hcFirst_;
+    }
+    double worstCase() const override { return hcFirst_; }
+    uint32_t rowsPerBank() const override { return rowsPerBank_; }
+
+  private:
+    double hcFirst_;
+    uint32_t rowsPerBank_;
+};
+
+/**
+ * Svärd proper: the memory-controller (or in-DRAM) metadata table that
+ * maps an activated row address to its vulnerability bin's threshold
+ * (paper Fig. 11). Lookup is a direct index — overlappable with the
+ * row activation itself (Sec. 6.4) — and the storage cost is
+ * profile().metadataBits().
+ */
+class Svard : public ThresholdProvider
+{
+  public:
+    explicit Svard(std::shared_ptr<const VulnProfile> profile);
+
+    double victimThreshold(uint32_t bank, uint32_t row) const override;
+    double worstCase() const override;
+    uint32_t rowsPerBank() const override;
+
+    const VulnProfile &profile() const { return *profile_; }
+
+    /** Table lookups served (each overlaps a row activation). */
+    uint64_t lookups() const { return lookups_; }
+
+  private:
+    std::shared_ptr<const VulnProfile> profile_;
+    mutable uint64_t lookups_ = 0;
+};
+
+} // namespace svard::core
+
+#endif // SVARD_CORE_SVARD_H

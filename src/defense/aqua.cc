@@ -1,0 +1,45 @@
+#include "defense/aqua.h"
+
+namespace svard::defense {
+
+Aqua::Aqua(std::shared_ptr<const core::ThresholdProvider> thr)
+    : Aqua(std::move(thr), Params{})
+{}
+
+Aqua::Aqua(std::shared_ptr<const core::ThresholdProvider> thr,
+           Params params)
+    : Defense(std::move(thr)), params_(params)
+{}
+
+void
+Aqua::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
+                 std::vector<PreventiveAction> &out)
+{
+    ++stats_.activationsObserved;
+    const double budget = aggressorBudget(bank, row);
+    const uint32_t count = ++counts_[key(bank, row)];
+    if (static_cast<double>(count) < params_.migrateFraction * budget)
+        return;
+
+    // Quarantine: the aggressor's content moves to the reserved
+    // region at the top of the bank (recycled round-robin), after
+    // which its old neighbors stop being disturbed by it.
+    const uint32_t rows = threshold_->rowsPerBank();
+    const uint32_t q_rows = std::max<uint32_t>(
+        1, static_cast<uint32_t>(params_.quarantineFraction * rows));
+    uint32_t &cursor = nextQuarantine_[bank];
+    const uint32_t dest = rows - q_rows + (cursor % q_rows);
+    ++cursor;
+    out.push_back({PreventiveAction::Kind::MigrateRow, bank, row, dest,
+                   0});
+    ++stats_.migrations;
+    counts_[key(bank, row)] = 0;
+}
+
+void
+Aqua::onEpochEnd(dram::Tick /* now */)
+{
+    counts_.clear();
+}
+
+} // namespace svard::defense

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AQUA (Saxena et al., MICRO 2022): quarantines aggressor rows. When a
+ * row's activation count crosses a fraction of the threshold, its
+ * content is migrated to a reserved quarantine region, breaking the
+ * aggressor-victim adjacency; the quarantine is recycled FIFO. The
+ * overhead is the migration bandwidth (one full row read + write).
+ */
+#ifndef SVARD_DEFENSE_AQUA_H
+#define SVARD_DEFENSE_AQUA_H
+
+#include <unordered_map>
+
+#include "defense/defense.h"
+
+namespace svard::defense {
+
+class Aqua : public Defense
+{
+  public:
+    struct Params
+    {
+        /** Fraction of the threshold that triggers quarantine. */
+        double migrateFraction = 0.5;
+        /** Quarantine region size as a fraction of the bank's rows. */
+        double quarantineFraction = 0.01;
+        dram::Tick refreshWindow = 64LL * 1000 * 1000 * 1000;
+    };
+
+    explicit Aqua(std::shared_ptr<const core::ThresholdProvider> thr);
+    Aqua(std::shared_ptr<const core::ThresholdProvider> thr,
+         Params params);
+
+    const char *name() const override { return "AQUA"; }
+
+    void onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                    std::vector<PreventiveAction> &out) override;
+
+    void onEpochEnd(dram::Tick now) override;
+
+  private:
+    uint64_t
+    key(uint32_t bank, uint32_t row) const
+    {
+        return (static_cast<uint64_t>(bank) << 32) | row;
+    }
+
+    Params params_;
+    std::unordered_map<uint64_t, uint32_t> counts_;
+    std::unordered_map<uint32_t, uint32_t> nextQuarantine_; ///< per bank
+};
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_AQUA_H

@@ -1,0 +1,122 @@
+#include "defense/blockhammer.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace svard::defense {
+
+CountingBloomFilter::CountingBloomFilter(size_t counters, int hashes,
+                                         uint64_t seed)
+    : counters_(counters, 0), hashes_(hashes), seed_(seed)
+{}
+
+size_t
+CountingBloomFilter::index(uint64_t key, int hash) const
+{
+    return hashSeed({seed_, static_cast<uint64_t>(hash), key}) %
+           counters_.size();
+}
+
+uint32_t
+CountingBloomFilter::insert(uint64_t key)
+{
+    uint32_t est = UINT32_MAX;
+    for (int h = 0; h < hashes_; ++h)
+        est = std::min(est, ++counters_[index(key, h)]);
+    return est;
+}
+
+uint32_t
+CountingBloomFilter::estimate(uint64_t key) const
+{
+    uint32_t est = UINT32_MAX;
+    for (int h = 0; h < hashes_; ++h)
+        est = std::min(est, counters_[index(key, h)]);
+    return est;
+}
+
+void
+CountingBloomFilter::clear()
+{
+    std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+BlockHammer::BlockHammer(
+    std::shared_ptr<const core::ThresholdProvider> thr)
+    : BlockHammer(std::move(thr), Params{})
+{}
+
+BlockHammer::BlockHammer(
+    std::shared_ptr<const core::ThresholdProvider> thr, Params params)
+    : Defense(std::move(thr)), params_(params),
+      cbf_{{params.cbfCounters, params.cbfHashes, 0xB10C1},
+           {params.cbfCounters, params.cbfHashes, 0xB10C2}}
+{}
+
+void
+BlockHammer::onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                        std::vector<PreventiveAction> &out)
+{
+    ++stats_.activationsObserved;
+
+    // Swap the filter pair every half refresh window (RowBlocker's
+    // time-interleaving): counts older than a full window expire.
+    const dram::Tick half = params_.refreshWindow / 2;
+    if (now - lastSwap_ >= half) {
+        active_ ^= 1;
+        cbf_[active_].clear();
+        lastSwap_ = now;
+        nextAllowed_.clear();
+    }
+
+    const uint64_t k = key(bank, row);
+    const double budget = aggressorBudget(bank, row);
+    const double blacklist_at = params_.blacklistFraction * budget;
+    const uint32_t estimate = cbf_[active_].estimate(k);
+
+    if (static_cast<double>(estimate) + 1.0 >= blacklist_at) {
+        // Blacklisted (or about to be): admit at most at the rate
+        // that spreads the remaining budget over the rest of the
+        // window. A denied attempt is throttled *without* counting —
+        // the activation has not happened yet.
+        auto it = nextAllowed_.find(k);
+        const dram::Tick earliest =
+            it == nextAllowed_.end() ? now : it->second;
+        if (earliest > now) {
+            out.push_back({PreventiveAction::Kind::Throttle, bank, row,
+                           0, earliest - now});
+            ++stats_.throttleEvents;
+            stats_.throttleDelayTotal += earliest - now;
+            return;
+        }
+        const double remaining =
+            std::max(budget - static_cast<double>(estimate), 1.0);
+        const dram::Tick window_left = std::max<dram::Tick>(
+            params_.refreshWindow - (now - lastSwap_), 1);
+        const dram::Tick min_interval = static_cast<dram::Tick>(
+            static_cast<double>(window_left) / remaining);
+        nextAllowed_[k] = now + min_interval;
+    }
+    cbf_[active_].insert(k);
+    cbf_[active_ ^ 1].insert(k);
+}
+
+void
+BlockHammer::onEpochEnd(dram::Tick now)
+{
+    cbf_[0].clear();
+    cbf_[1].clear();
+    nextAllowed_.clear();
+    lastSwap_ = now;
+}
+
+bool
+BlockHammer::isBlacklisted(uint32_t bank, uint32_t row) const
+{
+    const double budget = aggressorBudget(bank, row);
+    return cbf_[active_].estimate(key(bank, row)) >=
+           params_.blacklistFraction * budget;
+}
+
+} // namespace svard::defense

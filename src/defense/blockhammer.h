@@ -1,0 +1,90 @@
+/**
+ * @file
+ * BlockHammer (Yağlıkçı et al., HPCA 2021): tracks activation rates in
+ * a pair of time-interleaved counting Bloom filters (RowBlocker) and
+ * throttles activations to blacklisted rows so no row can reach its
+ * HC_first threshold within a refresh window.
+ *
+ * Svärd integration: the blacklist threshold and throttle rate are
+ * derived per aggressor from its neighbors' thresholds, so rows whose
+ * victims are strong are throttled later and more gently.
+ */
+#ifndef SVARD_DEFENSE_BLOCKHAMMER_H
+#define SVARD_DEFENSE_BLOCKHAMMER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace svard::defense {
+
+/** Counting Bloom filter with k hash functions over m counters. */
+class CountingBloomFilter
+{
+  public:
+    CountingBloomFilter(size_t counters, int hashes, uint64_t seed);
+
+    /** Increment; returns the new (min-) estimate for the key. */
+    uint32_t insert(uint64_t key);
+
+    /** Min-counter estimate (never undercounts a key's true count). */
+    uint32_t estimate(uint64_t key) const;
+
+    void clear();
+
+  private:
+    size_t index(uint64_t key, int hash) const;
+
+    std::vector<uint32_t> counters_;
+    int hashes_;
+    uint64_t seed_;
+};
+
+class BlockHammer : public Defense
+{
+  public:
+    struct Params
+    {
+        size_t cbfCounters = 1024;
+        int cbfHashes = 3;
+        /** Fraction of the threshold at which a row is blacklisted. */
+        double blacklistFraction = 0.5;
+        dram::Tick refreshWindow = 64LL * 1000 * 1000 * 1000; // 64 ms
+    };
+
+    explicit BlockHammer(
+        std::shared_ptr<const core::ThresholdProvider> thr);
+    BlockHammer(std::shared_ptr<const core::ThresholdProvider> thr,
+                Params params);
+
+    const char *name() const override { return "BlockHammer"; }
+
+    void onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                    std::vector<PreventiveAction> &out) override;
+
+    void onEpochEnd(dram::Tick now) override;
+
+    /** Whether a row is currently blacklisted (tests/diagnostics). */
+    bool isBlacklisted(uint32_t bank, uint32_t row) const;
+
+  private:
+    uint64_t
+    key(uint32_t bank, uint32_t row) const
+    {
+        return (static_cast<uint64_t>(bank) << 32) | row;
+    }
+
+    Params params_;
+    // Time-interleaved filter pair: one active, one draining, swapped
+    // every half refresh window so stale counts expire.
+    CountingBloomFilter cbf_[2];
+    int active_ = 0;
+    dram::Tick lastSwap_ = 0;
+    // Minimum legal next-activation time for throttled rows.
+    std::unordered_map<uint64_t, dram::Tick> nextAllowed_;
+};
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_BLOCKHAMMER_H

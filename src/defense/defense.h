@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Common interface of read-disturbance defenses.
+ *
+ * A defense observes every row activation the memory controller issues
+ * and may demand preventive actions: victim-row refreshes (PARA,
+ * Hydra), activation throttling (BlockHammer), row migration (AQUA) or
+ * row swaps (RRS), and metadata traffic (Hydra's off-chip counters).
+ * The controller executes the actions, which is where the performance
+ * overhead the paper measures comes from.
+ *
+ * Every defense consults a core::ThresholdProvider for the HC_first
+ * threshold to enforce. The provider is the Svärd integration point
+ * (paper Fig. 11): UniformThreshold reproduces the defense's baseline
+ * configuration; core::Svard supplies per-row thresholds.
+ */
+#ifndef SVARD_DEFENSE_DEFENSE_H
+#define SVARD_DEFENSE_DEFENSE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/svard.h"
+#include "dram/types.h"
+
+namespace svard::defense {
+
+/** One preventive action demanded by a defense. */
+struct PreventiveAction
+{
+    enum class Kind : uint8_t
+    {
+        RefreshRow,     ///< preventively refresh a victim row
+        Throttle,       ///< delay the triggering activation
+        MigrateRow,     ///< move `row` to `row2` (quarantine)
+        SwapRows,       ///< swap `row` and `row2`
+        MetadataAccess, ///< off-chip metadata transfer (counter r/w)
+    };
+    Kind kind;
+    uint32_t bank = 0;   ///< flat bank index
+    uint32_t row = 0;
+    uint32_t row2 = 0;   ///< migration/swap partner
+    dram::Tick delay = 0;///< throttle duration
+};
+
+/** Common statistics every defense maintains. */
+struct DefenseStats
+{
+    uint64_t activationsObserved = 0;
+    uint64_t preventiveRefreshes = 0;
+    uint64_t throttleEvents = 0;
+    dram::Tick throttleDelayTotal = 0;
+    uint64_t migrations = 0;
+    uint64_t swaps = 0;
+    uint64_t metadataAccesses = 0;
+};
+
+/**
+ * Read-disturbance defense observing the controller's ACT stream.
+ * Banks are flat indices across ranks; rows are logical addresses.
+ */
+class Defense
+{
+  public:
+    explicit Defense(std::shared_ptr<const core::ThresholdProvider> thr)
+        : threshold_(std::move(thr))
+    {}
+    virtual ~Defense() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Observe an activation; append any preventive actions to `out`.
+     * Called by the controller for every ACT (demand or maintenance).
+     */
+    virtual void onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                            std::vector<PreventiveAction> &out) = 0;
+
+    /** Refresh-window rollover: counters of this epoch reset. */
+    virtual void onEpochEnd(dram::Tick now) { (void)now; }
+
+    const DefenseStats &stats() const { return stats_; }
+
+    const core::ThresholdProvider &threshold() const
+    {
+        return *threshold_;
+    }
+
+  protected:
+    /** Threshold lookup for a victim row (bank folded to profile). */
+    double
+    victimThreshold(uint32_t bank, uint32_t row) const
+    {
+        return threshold_->victimThreshold(foldBank(bank), row);
+    }
+
+    /** Activation budget of an aggressor row. */
+    double
+    aggressorBudget(uint32_t bank, uint32_t row) const
+    {
+        return threshold_->aggressorBudget(foldBank(bank), row);
+    }
+
+    /** Profiles cover one rank's banks; fold flat bank indices. */
+    uint32_t
+    foldBank(uint32_t bank) const
+    {
+        return bank % 16;
+    }
+
+    std::shared_ptr<const core::ThresholdProvider> threshold_;
+    DefenseStats stats_;
+};
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_DEFENSE_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Graphene-style exact counter defense (Park et al., MICRO 2020),
+ * idealized: per-row activation counts per refresh window (we model
+ * the Misra-Gries table as large enough to be exact, which Graphene's
+ * sizing guarantees for the tracked threshold); a row crossing half
+ * its budget triggers neighbor refreshes. Included as the extension /
+ * ablation reference: a defense whose only overhead is the preventive
+ * refreshes themselves.
+ */
+#ifndef SVARD_DEFENSE_GRAPHENE_H
+#define SVARD_DEFENSE_GRAPHENE_H
+
+#include <unordered_map>
+
+#include "defense/defense.h"
+
+namespace svard::defense {
+
+class Graphene : public Defense
+{
+  public:
+    struct Params
+    {
+        double refreshFraction = 0.5;
+        dram::Tick refreshWindow = 64LL * 1000 * 1000 * 1000;
+    };
+
+    explicit Graphene(
+        std::shared_ptr<const core::ThresholdProvider> thr);
+    Graphene(std::shared_ptr<const core::ThresholdProvider> thr,
+             Params params);
+
+    const char *name() const override { return "Graphene"; }
+
+    void onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                    std::vector<PreventiveAction> &out) override;
+
+    void onEpochEnd(dram::Tick now) override;
+
+  private:
+    uint64_t
+    key(uint32_t bank, uint32_t row) const
+    {
+        return (static_cast<uint64_t>(bank) << 32) | row;
+    }
+
+    Params params_;
+    std::unordered_map<uint64_t, uint32_t> counts_;
+};
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_GRAPHENE_H

@@ -1,0 +1,97 @@
+#include "defense/hydra.h"
+
+#include <algorithm>
+
+namespace svard::defense {
+
+Hydra::Hydra(std::shared_ptr<const core::ThresholdProvider> thr)
+    : Hydra(std::move(thr), Params{})
+{}
+
+Hydra::Hydra(std::shared_ptr<const core::ThresholdProvider> thr,
+             Params params)
+    : Defense(std::move(thr)), params_(params)
+{}
+
+bool
+Hydra::rccAccess(uint64_t row_key, uint32_t bank,
+                 std::vector<PreventiveAction> &out)
+{
+    auto it = rccMap_.find(row_key);
+    if (it != rccMap_.end()) {
+        rccLru_.splice(rccLru_.begin(), rccLru_, it->second);
+        ++rccHits_;
+        return true;
+    }
+    ++rccMisses_;
+    // Miss: fetch the counter line from the DRAM-resident RCT.
+    out.push_back({PreventiveAction::Kind::MetadataAccess, bank, 0, 0,
+                   0});
+    ++stats_.metadataAccesses;
+    if (rccMap_.size() >= params_.rccEntries) {
+        // Evict LRU; counters are write-back, so eviction writes the
+        // line to DRAM.
+        const uint64_t victim = rccLru_.back();
+        rccLru_.pop_back();
+        rccMap_.erase(victim);
+        out.push_back({PreventiveAction::Kind::MetadataAccess, bank, 0,
+                       0, 0});
+        ++stats_.metadataAccesses;
+    }
+    rccLru_.push_front(row_key);
+    rccMap_[row_key] = rccLru_.begin();
+    return false;
+}
+
+void
+Hydra::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
+                  std::vector<PreventiveAction> &out)
+{
+    ++stats_.activationsObserved;
+    const double budget = aggressorBudget(bank, row);
+    const uint64_t gk = groupKey(bank, row);
+
+    if (!perRowGroups_.count(gk)) {
+        const uint32_t gcount = ++gct_[gk];
+        if (static_cast<double>(gcount) <
+            params_.groupFraction * budget)
+            return;
+        // Group crossed its share of the threshold: switch the whole
+        // group to exact per-row tracking, seeded with the group count
+        // (conservative: every row inherits the group's count).
+        perRowGroups_.insert(gk);
+        const uint32_t base =
+            (row / params_.rowsPerGroup) * params_.rowsPerGroup;
+        for (uint32_t r = 0; r < params_.rowsPerGroup; ++r)
+            rct_[rowKey(bank, base + r)] = gcount;
+    }
+
+    const uint64_t rk = rowKey(bank, row);
+    rccAccess(rk, bank, out);
+    const uint32_t count = ++rct_[rk];
+    if (static_cast<double>(count) >=
+        params_.refreshFraction * budget) {
+        const uint32_t rows = threshold_->rowsPerBank();
+        for (int d : {-1, +1}) {
+            const int64_t victim = static_cast<int64_t>(row) + d;
+            if (victim < 0 || victim >= static_cast<int64_t>(rows))
+                continue;
+            out.push_back({PreventiveAction::Kind::RefreshRow, bank,
+                           static_cast<uint32_t>(victim), 0, 0});
+            ++stats_.preventiveRefreshes;
+        }
+        rct_[rk] = 0;
+    }
+}
+
+void
+Hydra::onEpochEnd(dram::Tick /* now */)
+{
+    gct_.clear();
+    perRowGroups_.clear();
+    rct_.clear();
+    rccLru_.clear();
+    rccMap_.clear();
+}
+
+} // namespace svard::defense

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hydra (Qureshi et al., ISCA 2022): hybrid activation tracking. A
+ * small SRAM Group Count Table (GCT) counts activations per row
+ * *group*; only when a group's count crosses a fraction of the
+ * threshold does tracking fall back to exact per-row counters stored
+ * in a reserved DRAM region (RCT), cached by a Row Count Cache (RCC).
+ * RCC misses and dirty evictions cost real DRAM traffic — the paper
+ * notes this off-chip counter traffic, not preventive refreshes,
+ * dominates Hydra's overhead, which is why Svärd's benefit on Hydra is
+ * modest (Obsv. 14).
+ */
+#ifndef SVARD_DEFENSE_HYDRA_H
+#define SVARD_DEFENSE_HYDRA_H
+
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "defense/defense.h"
+
+namespace svard::defense {
+
+class Hydra : public Defense
+{
+  public:
+    struct Params
+    {
+        uint32_t rowsPerGroup = 128;
+        /** Fraction of threshold at which a group goes per-row. */
+        double groupFraction = 0.4;
+        /** Fraction of threshold at which a row's neighbors refresh. */
+        double refreshFraction = 0.5;
+        size_t rccEntries = 4096;
+        dram::Tick refreshWindow = 64LL * 1000 * 1000 * 1000;
+    };
+
+    explicit Hydra(std::shared_ptr<const core::ThresholdProvider> thr);
+    Hydra(std::shared_ptr<const core::ThresholdProvider> thr,
+          Params params);
+
+    const char *name() const override { return "Hydra"; }
+
+    void onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                    std::vector<PreventiveAction> &out) override;
+
+    void onEpochEnd(dram::Tick now) override;
+
+    uint64_t rccMisses() const { return rccMisses_; }
+    uint64_t rccHits() const { return rccHits_; }
+
+  private:
+    uint64_t
+    groupKey(uint32_t bank, uint32_t row) const
+    {
+        return (static_cast<uint64_t>(bank) << 32) |
+               (row / params_.rowsPerGroup);
+    }
+    uint64_t
+    rowKey(uint32_t bank, uint32_t row) const
+    {
+        return (static_cast<uint64_t>(bank) << 32) | row;
+    }
+
+    /** Access the RCC; returns true on hit, emits traffic on miss. */
+    bool rccAccess(uint64_t row_key, uint32_t bank,
+                   std::vector<PreventiveAction> &out);
+
+    Params params_;
+    std::unordered_map<uint64_t, uint32_t> gct_;
+    std::unordered_set<uint64_t> perRowGroups_;
+    std::unordered_map<uint64_t, uint32_t> rct_; ///< DRAM-resident counts
+    // RCC: LRU set of row keys currently cached on-chip.
+    std::list<uint64_t> rccLru_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> rccMap_;
+    uint64_t rccMisses_ = 0;
+    uint64_t rccHits_ = 0;
+};
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_HYDRA_H

@@ -1,0 +1,44 @@
+#include "defense/para.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svard::defense {
+
+Para::Para(std::shared_ptr<const core::ThresholdProvider> thr,
+           uint64_t seed, double failure_target)
+    : Defense(std::move(thr)), rng_(seed),
+      lnTarget_(std::log(failure_target))
+{}
+
+double
+Para::probabilityFor(double threshold) const
+{
+    // Survival of T adjacent activations without refresh: (1-p)^T.
+    // (1-p)^T <= target  =>  p = 1 - exp(ln(target)/T).
+    if (threshold < 1.0)
+        return 1.0;
+    return std::clamp(1.0 - std::exp(lnTarget_ / threshold), 0.0, 1.0);
+}
+
+void
+Para::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
+                 std::vector<PreventiveAction> &out)
+{
+    ++stats_.activationsObserved;
+    const uint32_t rows = threshold_->rowsPerBank();
+    for (int d : {-1, +1}) {
+        const int64_t victim = static_cast<int64_t>(row) + d;
+        if (victim < 0 || victim >= static_cast<int64_t>(rows))
+            continue;
+        const uint32_t v = static_cast<uint32_t>(victim);
+        const double p = probabilityFor(victimThreshold(bank, v));
+        if (rng_.chance(p)) {
+            out.push_back({PreventiveAction::Kind::RefreshRow, bank, v,
+                           0, 0});
+            ++stats_.preventiveRefreshes;
+        }
+    }
+}
+
+} // namespace svard::defense

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PARA (Kim et al., ISCA 2014): on every activation, each physically
+ * adjacent row is preventively refreshed with a probability chosen so
+ * that the chance of a victim surviving HC_first unrefreshed
+ * activations is below a failure target. Stateless — the classic
+ * low-cost probabilistic defense.
+ *
+ * Svärd integration: the per-victim refresh probability is computed
+ * from that victim's own threshold instead of the chip-wide worst
+ * case, so strong rows stop paying for the weakest row's protection.
+ */
+#ifndef SVARD_DEFENSE_PARA_H
+#define SVARD_DEFENSE_PARA_H
+
+#include "common/rng.h"
+#include "defense/defense.h"
+
+namespace svard::defense {
+
+class Para : public Defense
+{
+  public:
+    /**
+     * @param thr threshold provider (Svärd or uniform baseline)
+     * @param failure_target max tolerated probability that a victim
+     *        reaches its threshold without a preventive refresh
+     *        (per victim, per refresh window)
+     */
+    Para(std::shared_ptr<const core::ThresholdProvider> thr,
+         uint64_t seed = 1, double failure_target = 1e-15);
+
+    const char *name() const override { return "PARA"; }
+
+    void onActivate(uint32_t bank, uint32_t row, dram::Tick now,
+                    std::vector<PreventiveAction> &out) override;
+
+    /** Per-activation refresh probability for a given threshold. */
+    double probabilityFor(double threshold) const;
+
+  private:
+    Rng rng_;
+    double lnTarget_;
+};
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_PARA_H

@@ -1,0 +1,41 @@
+#include "defense/rrs.h"
+
+namespace svard::defense {
+
+Rrs::Rrs(std::shared_ptr<const core::ThresholdProvider> thr)
+    : Rrs(std::move(thr), Params{}, 1)
+{}
+
+Rrs::Rrs(std::shared_ptr<const core::ThresholdProvider> thr,
+         Params params, uint64_t seed)
+    : Defense(std::move(thr)), params_(params), rng_(seed)
+{}
+
+void
+Rrs::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
+                std::vector<PreventiveAction> &out)
+{
+    ++stats_.activationsObserved;
+    const double budget = aggressorBudget(bank, row);
+    const uint32_t count = ++counts_[key(bank, row)];
+    if (static_cast<double>(count) < params_.swapFraction * budget)
+        return;
+
+    const uint32_t rows = threshold_->rowsPerBank();
+    uint32_t partner = static_cast<uint32_t>(rng_.below(rows));
+    if (partner == row)
+        partner = (partner + 1) % rows;
+    out.push_back({PreventiveAction::Kind::SwapRows, bank, row, partner,
+                   0});
+    ++stats_.swaps;
+    counts_[key(bank, row)] = 0;
+    counts_[key(bank, partner)] = 0;
+}
+
+void
+Rrs::onEpochEnd(dram::Tick /* now */)
+{
+    counts_.clear();
+}
+
+} // namespace svard::defense

@@ -1,0 +1,336 @@
+#include "dram/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace svard::dram {
+
+DramDevice::DramDevice(const ModuleSpec &spec,
+                       std::shared_ptr<const SubarrayMap> subarrays,
+                       std::shared_ptr<const DisturbanceModel> model,
+                       uint64_t seed)
+    : spec_(spec),
+      subarrays_(std::move(subarrays)),
+      model_(std::move(model)),
+      mapping_(spec.rowMappingScheme, spec.rowsPerBank),
+      timing_(ddr4Timing(spec.dataRateMts)),
+      rng_(hashSeed({spec.seed, seed, 0xDE11CEULL})),
+      bankState_(spec.banks)
+{
+    SVARD_ASSERT(model_ != nullptr, "device needs a disturbance model");
+    SVARD_ASSERT(subarrays_ != nullptr, "device needs a subarray map");
+}
+
+DramDevice::DramDevice(const ModuleSpec &spec,
+                       std::shared_ptr<const DisturbanceModel> model,
+                       uint64_t seed)
+    : DramDevice(spec, std::make_shared<SubarrayMap>(spec),
+                 std::move(model), seed)
+{}
+
+void
+DramDevice::activate(uint32_t bank, uint32_t row, Tick now)
+{
+    SVARD_ASSERT(bank < spec_.banks, "bank out of range");
+    SVARD_ASSERT(row < spec_.rowsPerBank, "row out of range");
+    BankState &bs = bankState_[bank];
+    SVARD_ASSERT(!bs.open, "ACT to an open bank (missing PRE)");
+    const uint32_t phys = mapping_.toPhysical(row);
+    // Charge restoration: any disturbance the row accumulated so far
+    // either materialized as flips (locked in by the restore) or is
+    // wiped by the full recharge.
+    realize(bank, phys);
+    bs.open = true;
+    bs.physRow = phys;
+    bs.actTime = now;
+    ++stats_.activates;
+}
+
+void
+DramDevice::precharge(uint32_t bank, Tick now)
+{
+    SVARD_ASSERT(bank < spec_.banks, "bank out of range");
+    BankState &bs = bankState_[bank];
+    SVARD_ASSERT(bs.open, "PRE to a closed bank");
+    const Tick t_on = std::max<Tick>(now - bs.actTime, 0);
+    if (disturbanceEnabled_) {
+        for (uint32_t n : subarrays_->disturbedNeighbors(bs.physRow))
+            pending_[key(bank, n)] += model_->actWeight(bank, n, t_on);
+    }
+    bs.open = false;
+    ++stats_.precharges;
+}
+
+void
+DramDevice::prechargeAll(Tick now)
+{
+    for (uint32_t b = 0; b < spec_.banks; ++b)
+        if (bankState_[b].open)
+            precharge(b, now);
+}
+
+void
+DramDevice::refreshAllRows(Tick /* now */)
+{
+    // Realize + reset every row with pending disturbance; rows with no
+    // pending disturbance are unaffected by a refresh in this model.
+    std::vector<uint64_t> keys;
+    keys.reserve(pending_.size());
+    for (const auto &[k, v] : pending_)
+        if (v > 0.0)
+            keys.push_back(k);
+    for (uint64_t k : keys)
+        realize(static_cast<uint32_t>(k >> 32),
+                static_cast<uint32_t>(k & 0xffffffffu));
+    ++stats_.refreshes;
+}
+
+void
+DramDevice::refreshRow(uint32_t bank, uint32_t row, Tick /* now */)
+{
+    realize(bank, mapping_.toPhysical(row));
+}
+
+void
+DramDevice::hammer(uint32_t bank, uint32_t row, uint64_t count,
+                   Tick t_on, Tick /* now */)
+{
+    SVARD_ASSERT(bank < spec_.banks, "bank out of range");
+    SVARD_ASSERT(!bankState_[bank].open, "hammer needs a precharged bank");
+    if (count == 0)
+        return;
+    const uint32_t phys = mapping_.toPhysical(row);
+    // The first activation restores the hammered row itself; repeated
+    // activations of the same row keep it restored throughout.
+    realize(bank, phys);
+    if (disturbanceEnabled_) {
+        for (uint32_t n : subarrays_->disturbedNeighbors(phys))
+            pending_[key(bank, n)] +=
+                static_cast<double>(count) * model_->actWeight(bank, n,
+                                                               t_on);
+    }
+    stats_.activates += count;
+    stats_.precharges += count;
+}
+
+void
+DramDevice::writeRowFill(uint32_t bank, uint32_t row, uint8_t fill)
+{
+    const uint32_t phys = mapping_.toPhysical(row);
+    rowRef(bank, phys).setFill(fill);
+    // A full-row write recharges every cell: pending disturbance wiped.
+    pending_.erase(key(bank, phys));
+}
+
+void
+DramDevice::writeByte(uint32_t bank, uint32_t row, uint32_t byte_index,
+                      uint8_t value)
+{
+    const uint32_t phys = mapping_.toPhysical(row);
+    rowRef(bank, phys).writeByte(byte_index, value);
+}
+
+uint8_t
+DramDevice::readByte(uint32_t bank, uint32_t row, uint32_t byte_index)
+{
+    const uint32_t phys = mapping_.toPhysical(row);
+    realize(bank, phys);
+    return rowRef(bank, phys).readByte(byte_index);
+}
+
+uint64_t
+DramDevice::countMismatchedBits(uint32_t bank, uint32_t row,
+                                uint8_t expected_fill)
+{
+    const uint32_t phys = mapping_.toPhysical(row);
+    realize(bank, phys);
+    return rowRef(bank, phys).mismatchedBits(expected_fill);
+}
+
+std::vector<uint8_t>
+DramDevice::readRow(uint32_t bank, uint32_t row)
+{
+    const uint32_t phys = mapping_.toPhysical(row);
+    realize(bank, phys);
+    return rowRef(bank, phys).toBytes();
+}
+
+bool
+DramDevice::rowClone(uint32_t bank, uint32_t src_row, uint32_t dst_row,
+                     Tick /* now */)
+{
+    ++stats_.rowClones;
+    const uint32_t src = mapping_.toPhysical(src_row);
+    const uint32_t dst = mapping_.toPhysical(dst_row);
+    realize(bank, src);
+    realize(bank, dst);
+    const bool same_sa = subarrays_->sameSubarray(src, dst);
+    // Intra-subarray RowClone is unofficial: it works for most but not
+    // all row pairs (Sec. 5.4.1 Key Insight 2). The margin is a fixed
+    // property of the pair, hence the deterministic per-pair hash.
+    uint64_t h = hashSeed({spec_.seed, bank, src, dst, 0xC10EULL});
+    const bool margin_ok = (h % 1000) < 930;
+    if (same_sa && margin_ok) {
+        RowData copy = rowRef(bank, src);
+        rows_.insert_or_assign(key(bank, dst), std::move(copy));
+        pending_.erase(key(bank, dst));
+        return true;
+    }
+    // Failed attempt: the destination row's cells end up partially
+    // overwritten by the interrupted charge sharing.
+    RowData &rd = rowRef(bank, dst);
+    const uint32_t bits = rd.sizeBits();
+    const uint32_t corrupted = 16 + static_cast<uint32_t>(rng_.below(64));
+    for (uint32_t i = 0; i < corrupted; ++i)
+        rd.flipBit(static_cast<uint32_t>(rng_.below(bits)));
+    return false;
+}
+
+std::optional<uint32_t>
+DramDevice::openRow(uint32_t bank) const
+{
+    const BankState &bs = bankState_[bank];
+    if (!bs.open)
+        return std::nullopt;
+    return mapping_.toLogical(bs.physRow);
+}
+
+double
+DramDevice::pendingHammers(uint32_t bank, uint32_t row) const
+{
+    auto it = pending_.find(key(bank, mapping_.toPhysical(row)));
+    return it == pending_.end() ? 0.0 : it->second;
+}
+
+RowData &
+DramDevice::rowRef(uint32_t bank, uint32_t phys_row)
+{
+    auto [it, inserted] =
+        rows_.try_emplace(key(bank, phys_row), spec_.rowBytes, uint8_t(0));
+    return it->second;
+}
+
+double
+DramDevice::severityRaw(uint32_t bank, uint32_t phys_row,
+                        uint8_t victim_fill, uint8_t aggr_fill)
+{
+    const double tf = model_->trueCellFraction(bank, phys_row);
+    const double same = model_->sameDataCoupling(bank, phys_row);
+    double sum = 0.0;
+    for (int b = 0; b < 8; ++b) {
+        const int vbit = (victim_fill >> b) & 1;
+        const int abit = (aggr_fill >> b) & 1;
+        // A cell can discharge only if it currently holds charge
+        // (value matches its true/anti orientation), and aggressor
+        // bits matching the victim couple more weakly.
+        const double p_charged = vbit ? tf : (1.0 - tf);
+        const double coupling = (abit != vbit) ? 1.0 : same;
+        sum += p_charged * coupling;
+    }
+    return (sum / 8.0) *
+           model_->patternJitter(bank, phys_row, victim_fill, aggr_fill);
+}
+
+double
+DramDevice::worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row)
+{
+    // Canonical (aggressor, victim) fills of Table 2: RS, RSI, CS, CSI,
+    // CB, CBI.
+    static constexpr uint8_t kPatterns[6][2] = {
+        {0xFF, 0x00}, {0x00, 0xFF}, {0xAA, 0xAA},
+        {0x55, 0x55}, {0xAA, 0x55}, {0x55, 0xAA},
+    };
+    double worst = 0.0;
+    for (const auto &p : kPatterns)
+        worst = std::max(worst, severityRaw(bank, phys_row, p[1], p[0]));
+    return worst;
+}
+
+double
+DramDevice::patternSeverity(uint32_t bank, uint32_t phys_row)
+{
+    const double worst = worstCaseSeverityRaw(bank, phys_row);
+    if (worst <= 0.0)
+        return 0.0;
+
+    auto fill_of = [&](uint32_t pr) -> uint8_t {
+        auto it = rows_.find(key(bank, pr));
+        return it == rows_.end() ? uint8_t(0) : it->second.fill();
+    };
+
+    const uint8_t victim_fill = fill_of(phys_row);
+    const auto neighbors = subarrays_->disturbedNeighbors(phys_row);
+    double raw = 0.0;
+    for (uint32_t n : neighbors)
+        raw += severityRaw(bank, phys_row, victim_fill, fill_of(n));
+    if (!neighbors.empty())
+        raw /= static_cast<double>(neighbors.size());
+    const double sev = raw / worst;
+    return std::clamp(sev, 0.0, 1.0);
+}
+
+void
+DramDevice::realize(uint32_t bank, uint32_t phys_row)
+{
+    auto it = pending_.find(key(bank, phys_row));
+    if (it == pending_.end())
+        return;
+    const double hammers = it->second;
+    pending_.erase(it);
+    if (!disturbanceEnabled_ || hammers <= 0.0)
+        return;
+
+    // Fast path: even at worst-case severity the row is below its
+    // threshold, so the recharge wipes the disturbance with no flips.
+    const double hcf = model_->hcFirst(bank, phys_row);
+    if (hammers < hcf)
+        return;
+
+    const double sev = patternSeverity(bank, phys_row);
+    if (sev <= 0.0)
+        return;
+    const double eff = hammers * sev;
+    if (eff < hcf)
+        return;
+
+    const uint32_t bits = spec_.rowBytes * 8;
+    const double ber = model_->berAt(bank, phys_row, eff);
+    // ~5.7% iteration-to-iteration variation (Sec. 4.1 footnote 5).
+    // The cap only binds far beyond the 128K-hammer calibration point
+    // (largest in-range BER is ~8%), where flip *presence* matters but
+    // the exact count does not; it keeps reverse-engineering probes
+    // that hammer far past threshold from injecting pathological flip
+    // volumes.
+    const double iter_noise = std::exp(rng_.normal(0.0, 0.04));
+    const double p = std::clamp(ber * iter_noise, 0.0, 0.12);
+    // The first flip is the weakest cell itself: crossing HC_first
+    // guarantees at least one flipped bit by definition.
+    uint64_t n_flips = 1 + rng_.binomial(bits - 1, p);
+
+    RowData &rd = rowRef(bank, phys_row);
+    const double tf = model_->trueCellFraction(bank, phys_row);
+    uint64_t applied = 0;
+    for (uint64_t i = 0; i < n_flips; ++i) {
+        // Flip a charged cell: stored value must match orientation.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const uint32_t bit = static_cast<uint32_t>(rng_.below(bits));
+            uint64_t oh = hashSeed({spec_.seed, bank, phys_row, bit,
+                                    0x0B17ULL});
+            const bool true_cell =
+                (oh >> 11) * (1.0 / 9007199254740992.0) < tf;
+            if (rd.bitAt(bit) == true_cell) {
+                rd.flipBit(bit);
+                ++applied;
+                break;
+            }
+        }
+    }
+    if (applied > 0) {
+        stats_.bitflipsInjected += applied;
+        ++stats_.rowsFlipped;
+    }
+}
+
+} // namespace svard::dram

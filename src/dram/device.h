@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Behavioral DDR4 DRAM device with read-disturbance fault injection.
+ *
+ * This is the library's stand-in for a real DDR4 module under test: it
+ * executes DRAM commands (ACT/PRE/RD/WR/REF) with explicit timestamps,
+ * tracks row contents sparsely, and injects RowHammer/RowPress bitflips
+ * according to a pluggable DisturbanceModel. The interface operates on
+ * *logical* row addresses (what a memory controller sees); the device
+ * applies the module's internal row scrambling and subarray structure,
+ * so adjacency-dependent effects behave as they do on real chips.
+ */
+#ifndef SVARD_DRAM_DEVICE_H
+#define SVARD_DRAM_DEVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/disturbance.h"
+#include "dram/module_spec.h"
+#include "dram/rowdata.h"
+#include "dram/rowmap.h"
+#include "dram/subarray.h"
+#include "dram/timing.h"
+#include "dram/types.h"
+
+namespace svard::dram {
+
+/** Aggregate device statistics. */
+struct DeviceStats
+{
+    uint64_t activates = 0;       ///< ACT commands executed
+    uint64_t precharges = 0;      ///< PRE commands executed
+    uint64_t refreshes = 0;       ///< full-device refreshes
+    uint64_t bitflipsInjected = 0;///< read-disturbance bitflips realized
+    uint64_t rowsFlipped = 0;     ///< realize events that flipped >= 1 bit
+    uint64_t rowClones = 0;       ///< RowClone attempts
+};
+
+/**
+ * Behavioral DRAM device (one rank's worth of lock-stepped chips).
+ *
+ * Commands carry explicit picosecond timestamps supplied by the caller
+ * (the DRAM-Bender-style TestSession or the cycle-level simulator); the
+ * device derives aggressor on-time (tAggOn) from the ACT->PRE gap, which
+ * is what makes RowPress emerge from command timing rather than from a
+ * special-cased API.
+ */
+class DramDevice
+{
+  public:
+    DramDevice(const ModuleSpec &spec,
+               std::shared_ptr<const SubarrayMap> subarrays,
+               std::shared_ptr<const DisturbanceModel> model,
+               uint64_t seed = 1);
+
+    /** Convenience: builds the subarray map internally. */
+    DramDevice(const ModuleSpec &spec,
+               std::shared_ptr<const DisturbanceModel> model,
+               uint64_t seed = 1);
+
+    // ------------------------------------------------------------
+    // Command interface (logical row addresses, picosecond times)
+    // ------------------------------------------------------------
+
+    /** Open a row; realizes pending disturbance on it (charge restore). */
+    void activate(uint32_t bank, uint32_t row, Tick now);
+
+    /** Close the open row; credits disturbance to its neighbors. */
+    void precharge(uint32_t bank, Tick now);
+
+    /** Precharge every open bank. */
+    void prechargeAll(Tick now);
+
+    /**
+     * Refresh every row of every bank: pending disturbance is realized
+     * (flips that already crossed threshold are locked in) and the
+     * accumulated disturbance of all rows resets.
+     */
+    void refreshAllRows(Tick now);
+
+    /** Refresh one row (victim-row preventive refresh). */
+    void refreshRow(uint32_t bank, uint32_t row, Tick now);
+
+    /**
+     * Bulk hammer: `count` back-to-back ACT/PRE pairs of one row, each
+     * held open for `t_on`. Semantically identical to the per-command
+     * loop (the hammered row's neighbors are never activated in
+     * between, so their accumulation is linear in count), but O(1)
+     * instead of O(count) — this is what makes full Alg. 1 sweeps
+     * tractable. The bank must be precharged.
+     */
+    void hammer(uint32_t bank, uint32_t row, uint64_t count, Tick t_on,
+                Tick now);
+
+    // ------------------------------------------------------------
+    // Data access (used while the row is open)
+    // ------------------------------------------------------------
+
+    /** Fill the open row with a repeating data-pattern byte. */
+    void writeRowFill(uint32_t bank, uint32_t row, uint8_t fill);
+
+    /** Write one byte of a row. */
+    void writeByte(uint32_t bank, uint32_t row, uint32_t byte_index,
+                   uint8_t value);
+
+    /** Read one byte of a row (after realizing pending disturbance). */
+    uint8_t readByte(uint32_t bank, uint32_t row, uint32_t byte_index);
+
+    /**
+     * Count bits in the row that differ from the expected repeating
+     * fill byte; realizes pending disturbance first. This is the BER
+     * numerator of Alg. 1's measure_BER.
+     */
+    uint64_t countMismatchedBits(uint32_t bank, uint32_t row,
+                                 uint8_t expected_fill);
+
+    /** Full row content snapshot (realizes pending disturbance). */
+    std::vector<uint8_t> readRow(uint32_t bank, uint32_t row);
+
+    // ------------------------------------------------------------
+    // RowClone (Sec. 5.4.1 Key Insight 2)
+    // ------------------------------------------------------------
+
+    /**
+     * Attempt an intra-subarray RowClone (ACT src -> PRE -> ACT dst in
+     * quick succession, violating tRAS). Succeeds only when both rows
+     * share a subarray AND the (deterministic, per-pair) circuit margin
+     * allows it; cross-subarray attempts always fail and corrupt the
+     * destination. Returns true on a clean copy.
+     */
+    bool rowClone(uint32_t bank, uint32_t src_row, uint32_t dst_row,
+                  Tick now);
+
+    // ------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------
+
+    const ModuleSpec &spec() const { return spec_; }
+    const SubarrayMap &subarrays() const { return *subarrays_; }
+    const RowMapping &mapping() const { return mapping_; }
+    const DisturbanceModel &model() const { return *model_; }
+    const DeviceStats &stats() const { return stats_; }
+    const TimingParams &timing() const { return timing_; }
+
+    /** Open row of a bank, if any (logical address). */
+    std::optional<uint32_t> openRow(uint32_t bank) const;
+
+    /** Accumulated effective hammers pending on a *logical* row. */
+    double pendingHammers(uint32_t bank, uint32_t row) const;
+
+    /** Disable/enable disturbance injection (interference control). */
+    void setDisturbanceEnabled(bool on) { disturbanceEnabled_ = on; }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        uint32_t physRow = 0;
+        Tick actTime = 0;
+    };
+
+    static uint64_t
+    key(uint32_t bank, uint32_t phys_row)
+    {
+        return (static_cast<uint64_t>(bank) << 32) | phys_row;
+    }
+
+    RowData &rowRef(uint32_t bank, uint32_t phys_row);
+
+    /**
+     * Apply any pending disturbance to a physical row's stored data
+     * (called when the row's charge is restored: ACT or REF of that
+     * row) and reset its accumulator.
+     */
+    void realize(uint32_t bank, uint32_t phys_row);
+
+    /** Severity in (0,1] of the current data pattern around a victim. */
+    double patternSeverity(uint32_t bank, uint32_t phys_row);
+
+    /** Worst-case severity over the canonical pattern set (Table 2). */
+    double worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row);
+
+    double severityRaw(uint32_t bank, uint32_t phys_row,
+                       uint8_t victim_fill, uint8_t aggr_fill);
+
+    const ModuleSpec &spec_;
+    std::shared_ptr<const SubarrayMap> subarrays_;
+    std::shared_ptr<const DisturbanceModel> model_;
+    RowMapping mapping_;
+    TimingParams timing_;
+    Rng rng_;
+    bool disturbanceEnabled_ = true;
+
+    std::vector<BankState> bankState_;
+    std::unordered_map<uint64_t, RowData> rows_;
+    std::unordered_map<uint64_t, double> pending_;
+    DeviceStats stats_;
+};
+
+} // namespace svard::dram
+
+#endif // SVARD_DRAM_DEVICE_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interface between the behavioral DRAM device and the read-disturbance
+ * fault model. The device mechanically accumulates per-victim
+ * disturbance as commands execute; this interface supplies the per-row
+ * physics: thresholds (HC_first), error-rate curves (BER), RowPress
+ * on-time scaling, and the cell-orientation parameters that make the
+ * worst-case data pattern (WCDP) a meaningful, discoverable property.
+ *
+ * The concrete implementation lives in src/fault (VulnerabilityModel),
+ * keeping the dependency direction dram <- fault.
+ */
+#ifndef SVARD_DRAM_DISTURBANCE_H
+#define SVARD_DRAM_DISTURBANCE_H
+
+#include <cstdint>
+
+#include "dram/types.h"
+
+namespace svard::dram {
+
+/**
+ * Per-row read-disturbance physics consumed by DramDevice.
+ *
+ * All rows are identified in *physical* space. "Effective hammers" is
+ * the paper's unit: one hammer = one activation of each of the two
+ * physically adjacent rows (Sec. 4.3), so a single adjacent activation
+ * at minimum on-time contributes ~0.5 effective hammers.
+ */
+class DisturbanceModel
+{
+  public:
+    virtual ~DisturbanceModel() = default;
+
+    /**
+     * Minimum effective hammer count that induces the first bitflip in
+     * this row under its worst-case data pattern (continuous; the
+     * characterization quantizes it to the tested hammer counts).
+     */
+    virtual double hcFirst(uint32_t bank, uint32_t phys_row) const = 0;
+
+    /**
+     * Fraction of the row's bits that flip after `eff_hammers`
+     * worst-case-pattern hammers. Zero below hcFirst; equals the row's
+     * calibrated BER at 128K hammers.
+     */
+    virtual double berAt(uint32_t bank, uint32_t phys_row,
+                         double eff_hammers) const = 0;
+
+    /**
+     * Disturbance contributed to one neighboring victim by a single
+     * activation of an aggressor that stayed open for `t_agg_on`
+     * (RowPress: longer on-time disturbs more; Fig. 7).
+     */
+    virtual double actWeight(uint32_t bank, uint32_t phys_row,
+                             Tick t_agg_on) const = 0;
+
+    /**
+     * Fraction of true-cells (charged when storing '1') in the row;
+     * determines which victim data patterns expose the most cells.
+     */
+    virtual double trueCellFraction(uint32_t bank,
+                                    uint32_t phys_row) const = 0;
+
+    /**
+     * Coupling attenuation when an aggressor bit stores the same value
+     * as the victim bit (<= 1; 1 means data-independent coupling).
+     */
+    virtual double sameDataCoupling(uint32_t bank,
+                                    uint32_t phys_row) const = 0;
+
+    /**
+     * Multiplicative severity jitter for a concrete (victim fill,
+     * aggressor fill) combination, ~1.0. Lets checkerboard/column
+     * stripes occasionally win WCDP as observed on real chips.
+     */
+    virtual double patternJitter(uint32_t bank, uint32_t phys_row,
+                                 uint8_t victim_fill,
+                                 uint8_t aggr_fill) const = 0;
+};
+
+} // namespace svard::dram
+
+#endif // SVARD_DRAM_DISTURBANCE_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Sparse content store for a DRAM row. Characterization initializes
+ * whole rows to repeating data-pattern bytes (Table 2) and then counts
+ * bit errors, so a row is represented as a fill byte plus an exception
+ * map for the few bytes that differ (bitflips, partial writes). This
+ * keeps a 128K-row x 8KB bank affordable while staying bit-exact.
+ */
+#ifndef SVARD_DRAM_ROWDATA_H
+#define SVARD_DRAM_ROWDATA_H
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace svard::dram {
+
+/** Content of one DRAM row: fill byte + sparse byte exceptions. */
+class RowData
+{
+  public:
+    explicit RowData(uint32_t bytes, uint8_t fill = 0x00)
+        : bytes_(bytes), fill_(fill)
+    {}
+
+    uint32_t sizeBytes() const { return bytes_; }
+    uint32_t sizeBits() const { return bytes_ * 8; }
+    uint8_t fill() const { return fill_; }
+
+    /** Overwrite the whole row with a repeating fill byte. */
+    void
+    setFill(uint8_t fill)
+    {
+        fill_ = fill;
+        exceptions_.clear();
+    }
+
+    uint8_t
+    readByte(uint32_t index) const
+    {
+        auto it = exceptions_.find(index);
+        return it == exceptions_.end() ? fill_ : it->second;
+    }
+
+    void
+    writeByte(uint32_t index, uint8_t value)
+    {
+        if (value == fill_)
+            exceptions_.erase(index);
+        else
+            exceptions_[index] = value;
+    }
+
+    bool
+    bitAt(uint32_t bit_index) const
+    {
+        return (readByte(bit_index >> 3) >> (bit_index & 7)) & 1;
+    }
+
+    void
+    flipBit(uint32_t bit_index)
+    {
+        const uint32_t byte = bit_index >> 3;
+        writeByte(byte, readByte(byte) ^ (1u << (bit_index & 7)));
+    }
+
+    /** Number of bits that differ from a repeating expected fill byte. */
+    uint64_t
+    mismatchedBits(uint8_t expected_fill) const
+    {
+        uint64_t count = 0;
+        if (fill_ != expected_fill) {
+            // All non-exception bytes mismatch in popcount(fill ^ exp).
+            count += static_cast<uint64_t>(
+                         std::popcount(uint8_t(fill_ ^ expected_fill))) *
+                     (bytes_ - exceptions_.size());
+        }
+        for (const auto &[idx, val] : exceptions_)
+            count += std::popcount(uint8_t(val ^ expected_fill));
+        return count;
+    }
+
+    /** Number of bytes currently differing from the fill byte. */
+    size_t exceptionCount() const { return exceptions_.size(); }
+
+    /** Copy full content into a byte vector (tests, RowClone). */
+    std::vector<uint8_t>
+    toBytes() const
+    {
+        std::vector<uint8_t> out(bytes_, fill_);
+        for (const auto &[idx, val] : exceptions_)
+            out[idx] = val;
+        return out;
+    }
+
+    bool
+    operator==(const RowData &o) const
+    {
+        if (bytes_ != o.bytes_)
+            return false;
+        for (uint32_t i = 0; i < bytes_; ++i)
+            if (readByte(i) != o.readByte(i))
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t bytes_;
+    uint8_t fill_;
+    std::unordered_map<uint32_t, uint8_t> exceptions_;
+};
+
+} // namespace svard::dram
+
+#endif // SVARD_DRAM_ROWDATA_H

@@ -1,0 +1,72 @@
+#include "dram/rowmap.h"
+
+#include "common/log.h"
+
+namespace svard::dram {
+
+namespace {
+
+/** Swap rows 2 and 3 within every aligned group of four rows. */
+uint32_t
+mirrorPairs(uint32_t row)
+{
+    // XOR the LSB when bit 1 is set: 0,1,3,2 ordering per group of 4.
+    return row ^ ((row >> 1) & 1u);
+}
+
+/** Swap bits 1 and 3 of the row address. */
+uint32_t
+bitSwap13(uint32_t row)
+{
+    const uint32_t b1 = (row >> 1) & 1u;
+    const uint32_t b3 = (row >> 3) & 1u;
+    uint32_t out = row & ~((1u << 1) | (1u << 3));
+    out |= b3 << 1;
+    out |= b1 << 3;
+    return out;
+}
+
+} // anonymous namespace
+
+RowMapping::RowMapping(Scheme scheme, uint32_t rows)
+    : scheme_(scheme), rows_(rows)
+{
+    // Both non-trivial schemes permute within aligned groups of 16 rows,
+    // so any power-of-two row count is closed under them.
+    SVARD_ASSERT((rows & (rows - 1)) == 0 && rows >= 16,
+                 "row mapping needs a power-of-two row count >= 16");
+}
+
+RowMapping::RowMapping(int scheme_id, uint32_t rows)
+    : RowMapping(static_cast<Scheme>(scheme_id), rows)
+{
+    SVARD_ASSERT(scheme_id >= 0 && scheme_id <= 2,
+                 "unknown row mapping scheme id");
+}
+
+uint32_t
+RowMapping::toPhysical(uint32_t logical_row) const
+{
+    SVARD_ASSERT(logical_row < rows_, "logical row out of range");
+    switch (scheme_) {
+      case Scheme::Identity: return logical_row;
+      case Scheme::MirrorPairs: return mirrorPairs(logical_row);
+      case Scheme::BitSwap: return bitSwap13(logical_row);
+    }
+    return logical_row;
+}
+
+uint32_t
+RowMapping::toLogical(uint32_t physical_row) const
+{
+    SVARD_ASSERT(physical_row < rows_, "physical row out of range");
+    // All implemented schemes are involutions.
+    switch (scheme_) {
+      case Scheme::Identity: return physical_row;
+      case Scheme::MirrorPairs: return mirrorPairs(physical_row);
+      case Scheme::BitSwap: return bitSwap13(physical_row);
+    }
+    return physical_row;
+}
+
+} // namespace svard::dram

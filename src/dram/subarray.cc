@@ -1,0 +1,67 @@
+#include "dram/subarray.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace svard::dram {
+
+SubarrayMap::SubarrayMap(const ModuleSpec &spec)
+    : rows_(spec.rowsPerBank)
+{
+    Rng rng(hashSeed({spec.seed, 0x5AB0A77A11ULL}));
+    uint32_t base = 0;
+    while (base < rows_) {
+        const int jitter = static_cast<int>(
+            rng.range(-spec.subarrayRowsJitter, spec.subarrayRowsJitter));
+        int size = spec.subarrayRowsMean + jitter;
+        if (size < 330)
+            size = 330;
+        if (size > 1027)
+            size = 1027;
+        if (base + static_cast<uint32_t>(size) > rows_)
+            size = static_cast<int>(rows_ - base);
+        bases_.push_back(base);
+        sizes_.push_back(static_cast<uint32_t>(size));
+        base += static_cast<uint32_t>(size);
+    }
+    // A short remainder would create an implausibly small subarray;
+    // fold it into its predecessor instead.
+    if (sizes_.size() >= 2 && sizes_.back() < 330) {
+        sizes_[sizes_.size() - 2] += sizes_.back();
+        sizes_.pop_back();
+        bases_.pop_back();
+    }
+    SVARD_ASSERT(base == rows_, "subarray map does not cover the bank");
+}
+
+SubarrayLocation
+SubarrayMap::locate(uint32_t phys_row) const
+{
+    SVARD_ASSERT(phys_row < rows_, "row out of range in subarray map");
+    // bases_ is sorted; find the last base <= phys_row.
+    auto it = std::upper_bound(bases_.begin(), bases_.end(), phys_row);
+    const uint32_t sa = static_cast<uint32_t>(it - bases_.begin()) - 1;
+    return {sa, phys_row - bases_[sa], sizes_[sa]};
+}
+
+bool
+SubarrayMap::sameSubarray(uint32_t row_a, uint32_t row_b) const
+{
+    return locate(row_a).subarray == locate(row_b).subarray;
+}
+
+std::vector<uint32_t>
+SubarrayMap::disturbedNeighbors(uint32_t phys_row) const
+{
+    const SubarrayLocation loc = locate(phys_row);
+    std::vector<uint32_t> out;
+    if (!loc.isLowEdge())
+        out.push_back(phys_row - 1);
+    if (!loc.isHighEdge())
+        out.push_back(phys_row + 1);
+    return out;
+}
+
+} // namespace svard::dram

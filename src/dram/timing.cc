@@ -1,0 +1,70 @@
+#include "dram/timing.h"
+
+namespace svard::dram {
+
+const char *
+commandName(Command cmd)
+{
+    switch (cmd) {
+      case Command::ACT: return "ACT";
+      case Command::PRE: return "PRE";
+      case Command::PREA: return "PREA";
+      case Command::RD: return "RD";
+      case Command::WR: return "WR";
+      case Command::REF: return "REF";
+    }
+    return "?";
+}
+
+TimingParams
+ddr4Timing(int data_rate_mts)
+{
+    TimingParams t;
+    // tCK = 2000 / data_rate ns (double data rate). JEDEC cycle counts
+    // below follow the common CL-equal-speed-bin configuration of the
+    // tested modules.
+    switch (data_rate_mts) {
+      case 2400:
+        t.tCK = 833;
+        t.tCL = 14167;   // CL17
+        t.tRCD = 14167;
+        t.tRP = 14167;
+        t.tRAS = 32000;
+        break;
+      case 2666:
+        t.tCK = 750;
+        t.tCL = 14250;   // CL19
+        t.tRCD = 14250;
+        t.tRP = 14250;
+        t.tRAS = 32000;
+        break;
+      case 2933:
+        t.tCK = 682;
+        t.tCL = 14320;   // CL21
+        t.tRCD = 14320;
+        t.tRP = 14320;
+        t.tRAS = 32000;
+        break;
+      case 3200:
+      default:
+        t.tCK = 625;
+        t.tCL = 13750;   // CL22
+        t.tRCD = 13750;
+        t.tRP = 13750;
+        t.tRAS = 32000;
+        break;
+    }
+    t.tRC = t.tRAS + t.tRP;
+    t.tBL = 4 * t.tCK;
+    t.tCCD_S = 4 * t.tCK;
+    t.tCCD_L = 6 * t.tCK;
+    t.tRRD_S = 4 * t.tCK > 3300 ? 4 * t.tCK : 3300;
+    t.tRRD_L = 6 * t.tCK > 4900 ? 6 * t.tCK : 4900;
+    t.tFAW = 16 * t.tCK > 21000 ? 16 * t.tCK : 21000;
+    t.tWTR_S = 4 * t.tCK > 2500 ? 4 * t.tCK : 2500;
+    t.tWTR_L = 12 * t.tCK > 7500 ? 12 * t.tCK : 7500;
+    t.tRTP = 12 * t.tCK > 7500 ? 12 * t.tCK : 7500;
+    return t;
+}
+
+} // namespace svard::dram

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DDR4 timing parameter set (JESD79-4C) with presets for the speed bins
+ * of the modules in the paper's Table 5 (DDR4-2400/2666/2933/3200).
+ */
+#ifndef SVARD_DRAM_TIMING_H
+#define SVARD_DRAM_TIMING_H
+
+#include "dram/types.h"
+
+namespace svard::dram {
+
+/**
+ * DDR4 timing constraints, all in picoseconds. Cycle-denominated JEDEC
+ * values are pre-multiplied by tCK so consumers never deal in cycles.
+ */
+struct TimingParams
+{
+    Tick tCK = 625;            ///< clock period (DDR4-3200 default)
+    Tick tRCD = 13750;         ///< ACT -> RD/WR
+    Tick tRP = 13750;          ///< PRE -> ACT
+    Tick tRAS = 32000;         ///< ACT -> PRE (min; charge restoration)
+    Tick tRC = 45750;          ///< ACT -> ACT same bank
+    Tick tCL = 13750;          ///< RD -> data
+    Tick tCWL = 10000;         ///< WR -> data
+    Tick tBL = 2500;           ///< burst length 8 = 4 tCK
+    Tick tCCD_S = 2500;        ///< RD->RD / WR->WR, different bank group
+    Tick tCCD_L = 3750;        ///< RD->RD / WR->WR, same bank group
+    Tick tRRD_S = 3300;        ///< ACT->ACT, different bank group
+    Tick tRRD_L = 4900;        ///< ACT->ACT, same bank group
+    Tick tFAW = 21000;         ///< four-activate window
+    Tick tWR = 15000;          ///< write recovery
+    Tick tRTP = 7500;          ///< RD -> PRE
+    Tick tWTR_S = 2500;        ///< WR -> RD, different bank group
+    Tick tWTR_L = 7500;        ///< WR -> RD, same bank group
+    Tick tRFC = 350000;        ///< REF -> next command (16Gb: 550ns)
+    Tick tREFI = 7800000;      ///< average refresh interval (7.8us)
+    Tick tREFW = 64 * kPsPerMs;///< refresh window (64ms at <= 85C)
+
+    /** Minimum legal on-time of an activated row: tRAS. */
+    Tick minOnTime() const { return tRAS; }
+
+    /** Back-to-back double-sided hammer period: 2 x (tRAS + tRP). */
+    Tick
+    doubleSidedHammerPeriod() const
+    {
+        return 2 * (tRAS + tRP);
+    }
+};
+
+/**
+ * Timing preset for a DDR4 speed bin, selected by data rate in MT/s
+ * (2400, 2666, 2933, or 3200). Unknown rates fall back to 3200 with a
+ * warning-free default, since only Table 5 rates are used in-tree.
+ */
+TimingParams ddr4Timing(int data_rate_mts);
+
+} // namespace svard::dram
+
+#endif // SVARD_DRAM_TIMING_H

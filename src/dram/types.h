@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Basic DRAM types shared across the library: time units, command kinds,
+ * and the fully-decoded DRAM address tuple.
+ */
+#ifndef SVARD_DRAM_TYPES_H
+#define SVARD_DRAM_TYPES_H
+
+#include <cstdint>
+
+namespace svard::dram {
+
+/** All times in the library are picoseconds. */
+using Tick = int64_t;
+
+constexpr Tick kPsPerNs = 1000;
+constexpr Tick kPsPerUs = 1000 * 1000;
+constexpr Tick kPsPerMs = 1000LL * 1000 * 1000;
+
+/** DDR4 command set used by the device model and the timing simulator. */
+enum class Command : uint8_t
+{
+    ACT,    ///< row activation
+    PRE,    ///< bank precharge
+    PREA,   ///< precharge all banks
+    RD,     ///< column read burst
+    WR,     ///< column write burst
+    REF,    ///< rank-level refresh
+};
+
+/** Name of a command, for traces and error messages. */
+const char *commandName(Command cmd);
+
+/**
+ * Fully decoded DRAM address. Field widths follow the simulated system
+ * in the paper's Table 4 (1 channel, 2 ranks, 4 bank groups x 4 banks).
+ */
+struct Address
+{
+    uint32_t channel = 0;
+    uint32_t rank = 0;
+    uint32_t bankGroup = 0;
+    uint32_t bank = 0;     ///< bank within its bank group
+    uint32_t row = 0;
+    uint32_t column = 0;
+
+    /** Flat bank index across the rank: bankGroup * banksPerGroup + bank. */
+    uint32_t
+    flatBank(uint32_t banks_per_group) const
+    {
+        return bankGroup * banks_per_group + bank;
+    }
+
+    bool
+    operator==(const Address &o) const
+    {
+        return channel == o.channel && rank == o.rank &&
+               bankGroup == o.bankGroup && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+};
+
+} // namespace svard::dram
+
+#endif // SVARD_DRAM_TYPES_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The six data patterns used by the characterization (paper Table 2).
+ * Each pattern fixes the repeating fill byte of the victim row and of
+ * the two aggressor rows; the worst-case data pattern (WCDP) of a row
+ * is the pattern producing the largest BER at a 128K hammer count.
+ */
+#ifndef SVARD_FAULT_PATTERNS_H
+#define SVARD_FAULT_PATTERNS_H
+
+#include <array>
+#include <cstdint>
+
+namespace svard::fault {
+
+/** Data patterns of Table 2. */
+enum class DataPattern : uint8_t
+{
+    RowStripe = 0,         ///< aggressors 0xFF, victim 0x00
+    RowStripeInv,          ///< aggressors 0x00, victim 0xFF
+    ColumnStripe,          ///< aggressors 0xAA, victim 0xAA
+    ColumnStripeInv,       ///< aggressors 0x55, victim 0x55
+    Checkerboard,          ///< aggressors 0xAA, victim 0x55
+    CheckerboardInv,       ///< aggressors 0x55, victim 0xAA
+};
+
+constexpr int kNumDataPatterns = 6;
+
+/** All six patterns, in Table 2 order. */
+constexpr std::array<DataPattern, kNumDataPatterns> allDataPatterns = {
+    DataPattern::RowStripe,      DataPattern::RowStripeInv,
+    DataPattern::ColumnStripe,   DataPattern::ColumnStripeInv,
+    DataPattern::Checkerboard,   DataPattern::CheckerboardInv,
+};
+
+/** Fill byte written to the aggressor rows for a pattern. */
+constexpr uint8_t
+aggressorFill(DataPattern dp)
+{
+    switch (dp) {
+      case DataPattern::RowStripe: return 0xFF;
+      case DataPattern::RowStripeInv: return 0x00;
+      case DataPattern::ColumnStripe: return 0xAA;
+      case DataPattern::ColumnStripeInv: return 0x55;
+      case DataPattern::Checkerboard: return 0xAA;
+      case DataPattern::CheckerboardInv: return 0x55;
+    }
+    return 0;
+}
+
+/** Fill byte written to the victim row for a pattern. */
+constexpr uint8_t
+victimFill(DataPattern dp)
+{
+    switch (dp) {
+      case DataPattern::RowStripe: return 0x00;
+      case DataPattern::RowStripeInv: return 0xFF;
+      case DataPattern::ColumnStripe: return 0xAA;
+      case DataPattern::ColumnStripeInv: return 0x55;
+      case DataPattern::Checkerboard: return 0x55;
+      case DataPattern::CheckerboardInv: return 0xAA;
+    }
+    return 0;
+}
+
+/** Short name as used in the paper ("RS", "RSI", ...). */
+constexpr const char *
+patternName(DataPattern dp)
+{
+    switch (dp) {
+      case DataPattern::RowStripe: return "RS";
+      case DataPattern::RowStripeInv: return "RSI";
+      case DataPattern::ColumnStripe: return "CS";
+      case DataPattern::ColumnStripeInv: return "CSI";
+      case DataPattern::Checkerboard: return "CB";
+      case DataPattern::CheckerboardInv: return "CBI";
+    }
+    return "?";
+}
+
+} // namespace svard::fault
+
+#endif // SVARD_FAULT_PATTERNS_H

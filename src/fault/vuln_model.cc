@@ -1,0 +1,300 @@
+#include "fault/vuln_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "dram/timing.h"
+
+namespace svard::fault {
+
+namespace {
+
+// Stream tags keep the per-row hash streams independent.
+constexpr uint64_t kHcTag = 0x4843;        // "HC"
+constexpr uint64_t kBerTag = 0x424552;     // "BER"
+constexpr uint64_t kWeakTag = 0x5745414b;  // "WEAK"
+constexpr uint64_t kCellTag = 0x43454c4c;  // "CELL"
+constexpr uint64_t kCoupTag = 0x434f5550;  // "COUP"
+constexpr uint64_t kPressTag = 0x50524553; // "PRES"
+constexpr uint64_t kPatTag = 0x504154;     // "PAT"
+constexpr uint64_t kAgeTag = 0x414745;     // "AGE"
+
+/** RowPress reference on-time: the paper's minimum tRAS of 36 ns. */
+constexpr dram::Tick kPressBase = 36 * dram::kPsPerNs;
+
+/** Hammer count of the BER calibration point (128K, K = 2^10). */
+constexpr double kHc128k = 128.0 * 1024.0;
+
+double
+hashUniform(std::initializer_list<uint64_t> parts)
+{
+    return (hashSeed(parts) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+hashNormal(std::initializer_list<uint64_t> parts)
+{
+    Rng rng(hashSeed(parts));
+    return rng.normal();
+}
+
+/**
+ * Probability that 68 days of continuous hammering lowers a row's
+ * HC_first by one tested step, keyed by the row's pre-aging quantized
+ * HC_first. Values follow the populations annotated in Fig. 10.
+ */
+double
+agingDropProbability(int64_t quantized_hc)
+{
+    switch (quantized_hc) {
+      case 12 * 1024: return 0.004;
+      case 16 * 1024: return 0.001;
+      case 24 * 1024: return 0.040;
+      case 32 * 1024: return 0.077;
+      case 40 * 1024: return 0.091;
+      case 48 * 1024: return 0.005;
+      case 56 * 1024: return 0.013;
+      case 64 * 1024: return 0.020;
+      case 96 * 1024: return 0.005;
+      case 128 * 1024: return 0.0;   // strongest rows do not degrade
+      default: return quantized_hc < 12 * 1024 ? 0.010 : 0.0;
+    }
+}
+
+} // anonymous namespace
+
+VulnerabilityModel::VulnerabilityModel(
+    const dram::ModuleSpec &spec,
+    std::shared_ptr<const dram::SubarrayMap> subarrays,
+    bool aged)
+    : spec_(spec), subarrays_(std::move(subarrays)), aged_(aged)
+{
+    SVARD_ASSERT(subarrays_ != nullptr, "model needs a subarray map");
+
+    hcSigma_ = spec_.hcSigma();
+    if (spec_.hcBimodalHighCenter > 0.0) {
+        // Bimodal mode with a pinned strong-population center: the
+        // primary effect's +s/2 shift must land exactly on the pinned
+        // center; the weak population (mu - s/2) clips at the module
+        // minimum. Secondary effects keep their mean-preserving cosh
+        // correction.
+        SVARD_ASSERT(!spec_.featureEffects.empty(),
+                     "bimodal center needs a primary feature effect");
+        hcMu_ = std::log(spec_.hcBimodalHighCenter) -
+                0.5 * spec_.featureEffects.front().strength -
+                0.5 * hcSigma_ * hcSigma_;
+        for (size_t i = 1; i < spec_.featureEffects.size(); ++i)
+            hcMu_ -= std::log(
+                std::cosh(0.5 * spec_.featureEffects[i].strength));
+    } else {
+        hcMu_ = std::log(static_cast<double>(spec_.hcFirstAvg)) -
+                0.5 * hcSigma_ * hcSigma_;
+        // Each +-s/2 feature shift multiplies the mean by cosh(s/2);
+        // compensate so the module average stays at Table 5's value.
+        for (const auto &fe : spec_.featureEffects)
+            hcMu_ -= std::log(std::cosh(0.5 * fe.strength));
+    }
+
+    // Split the module's published BER coefficient of variation between
+    // the structured spatial components (periodic + chunk, Fig. 4) and
+    // unstructured row noise, scaling the structure down when the spec
+    // parameters would exceed the CV budget.
+    const double cv = spec_.berCvPct / 100.0;
+    const double chunk_f = spec_.chunkHi - spec_.chunkLo;
+    berAmp_ = spec_.berSpatialAmp;
+    berChunkAmp_ = spec_.chunkAmp;
+    auto structured_var = [&]() {
+        return 0.5 * berAmp_ * berAmp_ +
+               chunk_f * (1.0 - chunk_f) * berChunkAmp_ * berChunkAmp_;
+    };
+    const double budget = 0.7 * cv * cv;
+    if (structured_var() > budget && structured_var() > 0.0) {
+        const double scale = std::sqrt(budget / structured_var());
+        berAmp_ *= scale;
+        berChunkAmp_ *= scale;
+    }
+    berNoiseSigma_ = std::sqrt(std::max(cv * cv - structured_var(), 1e-8));
+    berNormalizer_ = (1.0 + berAmp_) * (1.0 + chunk_f * berChunkAmp_) *
+                     std::exp(0.5 * berNoiseSigma_ * berNoiseSigma_);
+}
+
+uint32_t
+VulnerabilityModel::weakestRow(uint32_t bank) const
+{
+    return static_cast<uint32_t>(
+        hashSeed({spec_.seed, kWeakTag, bank}) % spec_.rowsPerBank);
+}
+
+double
+VulnerabilityModel::relativeLocation(uint32_t phys_row) const
+{
+    return static_cast<double>(phys_row) /
+           static_cast<double>(spec_.rowsPerBank);
+}
+
+double
+VulnerabilityModel::featureShift(uint32_t bank, uint32_t phys_row) const
+{
+    if (spec_.featureEffects.empty())
+        return 0.0;
+    const dram::SubarrayLocation loc = subarrays_->locate(phys_row);
+    double shift = 0.0;
+    for (const auto &fe : spec_.featureEffects) {
+        uint32_t value = 0;
+        switch (fe.kind) {
+          case dram::FeatureEffect::Kind::BankAddr:
+            value = bank;
+            break;
+          case dram::FeatureEffect::Kind::RowAddr:
+            value = phys_row;
+            break;
+          case dram::FeatureEffect::Kind::SubarrayAddr:
+            value = loc.subarray;
+            break;
+          case dram::FeatureEffect::Kind::Distance:
+            value = loc.distanceToSenseAmps();
+            break;
+        }
+        const bool set = (value >> fe.bit) & 1;
+        shift += (set ? 0.5 : -0.5) * fe.strength;
+    }
+    return shift;
+}
+
+double
+VulnerabilityModel::hcFirstUnaged(uint32_t bank, uint32_t phys_row) const
+{
+    // Clip just under the Table 5 bounds: 0.98x a tested count
+    // quantizes to that count (adjacent tested counts are >= 12.5%
+    // apart), and keeps rows whose threshold sits at a bound from
+    // flapping across a quantization edge under small measurement
+    // error (e.g. a near-tie worst-case-pattern pick).
+    const double lo = 0.98 * static_cast<double>(spec_.hcFirstMin);
+    const double hi = 0.98 * static_cast<double>(spec_.hcFirstMax);
+    if (phys_row == weakestRow(bank))
+        return lo;
+    const double z = hashNormal({spec_.seed, kHcTag, bank, phys_row});
+    const double mu = hcMu_ + featureShift(bank, phys_row);
+    return std::clamp(std::exp(mu + hcSigma_ * z), lo, hi);
+}
+
+double
+VulnerabilityModel::agingFactor(uint32_t bank, uint32_t phys_row,
+                                double hc_unaged) const
+{
+    const int64_t q = quantizeHc(hc_unaged);
+    const double p = agingDropProbability(q);
+    if (p <= 0.0)
+        return 1.0;
+    const double u = hashUniform({spec_.seed, kAgeTag, bank, phys_row});
+    if (u >= p)
+        return 1.0;
+    // Drop the row to just under the previous tested hammer count so
+    // its quantized HC_first moves down exactly one step.
+    const auto &labels = dram::testedHammerCounts();
+    int64_t prev = labels.front();
+    for (int64_t l : labels) {
+        if (l >= q)
+            break;
+        prev = l;
+    }
+    return 0.99 * static_cast<double>(prev) / hc_unaged;
+}
+
+double
+VulnerabilityModel::hcFirst(uint32_t bank, uint32_t phys_row) const
+{
+    const double hc = hcFirstUnaged(bank, phys_row);
+    if (!aged_)
+        return hc;
+    return hc * agingFactor(bank, phys_row, hc);
+}
+
+double
+VulnerabilityModel::spatialBerFactor(uint32_t phys_row) const
+{
+    const double x = relativeLocation(phys_row);
+    // Periodic design-induced component with minima at multiples of
+    // 1/periods (Obsv. 4).
+    double f = 1.0 + berAmp_ *
+               (1.0 - std::cos(2.0 * M_PI * spec_.berSpatialPeriods * x));
+    if (berChunkAmp_ > 0.0 && x >= spec_.chunkLo && x < spec_.chunkHi)
+        f *= 1.0 + berChunkAmp_;
+    return f;
+}
+
+double
+VulnerabilityModel::ber128k(uint32_t bank, uint32_t phys_row) const
+{
+    const double z = hashNormal({spec_.seed, kBerTag, bank, phys_row});
+    return spec_.berMean * spatialBerFactor(phys_row) / berNormalizer_ *
+           std::exp(berNoiseSigma_ * z);
+}
+
+double
+VulnerabilityModel::berAt(uint32_t bank, uint32_t phys_row,
+                          double eff_hammers) const
+{
+    const double hcf = hcFirst(bank, phys_row);
+    if (eff_hammers < hcf)
+        return 0.0;
+    const double denom = std::max(kHc128k - hcf, 1.0);
+    const double t = (eff_hammers - hcf) / denom;
+    const double ber = ber128k(bank, phys_row) * std::pow(t, 1.7);
+    return std::min(ber, 0.5);
+}
+
+double
+VulnerabilityModel::actWeight(uint32_t bank, uint32_t phys_row,
+                              dram::Tick t_agg_on) const
+{
+    const double z = hashNormal({spec_.seed, kPressTag, bank, phys_row});
+    const double exponent =
+        std::clamp(spec_.pressExponent * (1.0 + 0.08 * z), 0.30, 0.80);
+    const double ratio =
+        static_cast<double>(std::max(t_agg_on, kPressBase)) /
+        static_cast<double>(kPressBase);
+    return 0.5 * std::pow(ratio, exponent);
+}
+
+double
+VulnerabilityModel::trueCellFraction(uint32_t bank,
+                                     uint32_t phys_row) const
+{
+    return 0.35 +
+           0.30 * hashUniform({spec_.seed, kCellTag, bank, phys_row});
+}
+
+double
+VulnerabilityModel::sameDataCoupling(uint32_t bank,
+                                     uint32_t phys_row) const
+{
+    return 0.25 +
+           0.35 * hashUniform({spec_.seed, kCoupTag, bank, phys_row});
+}
+
+double
+VulnerabilityModel::patternJitter(uint32_t bank, uint32_t phys_row,
+                                  uint8_t victim_fill,
+                                  uint8_t aggr_fill) const
+{
+    const double z = hashNormal({spec_.seed, kPatTag, bank, phys_row,
+                                 victim_fill, aggr_fill});
+    return std::exp(0.05 * z);
+}
+
+int64_t
+VulnerabilityModel::quantizeHc(double hc_first)
+{
+    const auto &labels = dram::testedHammerCounts();
+    for (int64_t l : labels)
+        if (static_cast<double>(l) >= hc_first)
+            return l;
+    // Rows that never flip in the tested range are reported at the
+    // largest tested hammer count (Fig. 5 / Table 5 convention).
+    return labels.back();
+}
+
+} // namespace svard::fault

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * VulnerabilityModel: the concrete per-row read-disturbance fault model.
+ *
+ * This is the library's substitute for real DRAM chips: it synthesizes,
+ * deterministically from a module's seed, the per-row quantities the
+ * paper measures on hardware — HC_first, BER at 128K hammers, RowPress
+ * on-time sensitivity, cell orientations — with the spatial structure
+ * the paper reports:
+ *
+ *  - HC_first follows a clipped lognormal spanning Table 5's
+ *    [min, max] with mean ~avg; one designated weakest row per bank
+ *    carries exactly the module's minimum.
+ *  - BER has a periodic component across the bank plus an optional
+ *    elevated chunk (Fig. 4) and row noise scaled to hit the module's
+ *    published coefficient of variation (Fig. 3).
+ *  - For the four Samsung modules of Table 3, selected spatial-feature
+ *    bits (row/subarray address, distance to sense amplifiers) shift
+ *    HC_first, so the characterization-side F1 analysis can rediscover
+ *    them; all other modules get no such correlation.
+ *  - Aging (Fig. 10) lowers HC_first of a small, threshold-dependent
+ *    fraction of weak rows by one quantization step; strong rows are
+ *    unaffected.
+ */
+#ifndef SVARD_FAULT_VULN_MODEL_H
+#define SVARD_FAULT_VULN_MODEL_H
+
+#include <memory>
+
+#include "dram/disturbance.h"
+#include "dram/module_spec.h"
+#include "dram/subarray.h"
+
+namespace svard::fault {
+
+/** Concrete DisturbanceModel calibrated per module (see file header). */
+class VulnerabilityModel : public dram::DisturbanceModel
+{
+  public:
+    /**
+     * @param spec module to model
+     * @param subarrays the module's subarray map (shared with the device)
+     * @param aged apply the Fig. 10 aging transform to HC_first
+     */
+    VulnerabilityModel(const dram::ModuleSpec &spec,
+                       std::shared_ptr<const dram::SubarrayMap> subarrays,
+                       bool aged = false);
+
+    // ---- DisturbanceModel interface ----
+    double hcFirst(uint32_t bank, uint32_t phys_row) const override;
+    double berAt(uint32_t bank, uint32_t phys_row,
+                 double eff_hammers) const override;
+    double actWeight(uint32_t bank, uint32_t phys_row,
+                     dram::Tick t_agg_on) const override;
+    double trueCellFraction(uint32_t bank,
+                            uint32_t phys_row) const override;
+    double sameDataCoupling(uint32_t bank,
+                            uint32_t phys_row) const override;
+    double patternJitter(uint32_t bank, uint32_t phys_row,
+                         uint8_t victim_fill,
+                         uint8_t aggr_fill) const override;
+
+    // ---- extra introspection for analyses and tests ----
+
+    /** Row BER at exactly 128K hammers under the WCDP (Fig. 3/4). */
+    double ber128k(uint32_t bank, uint32_t phys_row) const;
+
+    /** Pre-aging HC_first (used by the Fig. 10 experiment). */
+    double hcFirstUnaged(uint32_t bank, uint32_t phys_row) const;
+
+    /** The designated weakest physical row of a bank (carries hcMin). */
+    uint32_t weakestRow(uint32_t bank) const;
+
+    /** Relative location of a physical row within the bank, in [0,1). */
+    double relativeLocation(uint32_t phys_row) const;
+
+    const dram::ModuleSpec &spec() const { return spec_; }
+    const dram::SubarrayMap &subarrays() const { return *subarrays_; }
+    bool aged() const { return aged_; }
+
+    /**
+     * Quantize a continuous HC_first to the tested hammer counts of
+     * Alg. 1: the smallest tested count at which the row flips, or the
+     * largest tested count if the row never flips in the tested range
+     * (matching how Fig. 5 / Table 5 report such rows).
+     */
+    static int64_t quantizeHc(double hc_first);
+
+  private:
+    double spatialBerFactor(uint32_t phys_row) const;
+    double featureShift(uint32_t bank, uint32_t phys_row) const;
+    double agingFactor(uint32_t bank, uint32_t phys_row,
+                       double hc_unaged) const;
+
+    const dram::ModuleSpec &spec_;
+    std::shared_ptr<const dram::SubarrayMap> subarrays_;
+    bool aged_;
+
+    // derived calibration (computed once in the constructor)
+    double hcSigma_;
+    double hcMu_;
+    double berNoiseSigma_;
+    double berAmp_;       ///< possibly scaled down to fit the CV budget
+    double berChunkAmp_;  ///< likewise
+    double berNormalizer_;///< keeps mean BER at spec.berMean
+};
+
+} // namespace svard::fault
+
+#endif // SVARD_FAULT_VULN_MODEL_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MOP (Minimalist Open Page, Kaseridis et al., MICRO 2011) physical
+ * address mapping: a small run of consecutive cache blocks stays in
+ * one row (preserving limited spatial locality), then the stream hops
+ * to the next bank, spreading accesses for bank-level parallelism.
+ */
+#ifndef SVARD_SIM_ADDRMAP_H
+#define SVARD_SIM_ADDRMAP_H
+
+#include "dram/types.h"
+#include "sim/config.h"
+
+namespace svard::sim {
+
+/** Decompose a physical byte address per the MOP scheme. */
+class MopMapper
+{
+  public:
+    explicit MopMapper(const SimConfig &cfg) : cfg_(cfg) {}
+
+    dram::Address
+    map(uint64_t phys_addr) const
+    {
+        uint64_t block = phys_addr >> 6; // 64 B cache blocks
+        const uint64_t mop = block % cfg_.mopWidth;
+        block /= cfg_.mopWidth;
+        dram::Address a;
+        a.channel = 0;
+        a.bankGroup = static_cast<uint32_t>(block % cfg_.bankGroups);
+        block /= cfg_.bankGroups;
+        a.bank = static_cast<uint32_t>(block % cfg_.banksPerGroup);
+        block /= cfg_.banksPerGroup;
+        a.rank = static_cast<uint32_t>(block % cfg_.ranks);
+        block /= cfg_.ranks;
+        const uint64_t col_runs = cfg_.blocksPerRow() / cfg_.mopWidth;
+        const uint64_t col_run = block % col_runs;
+        block /= col_runs;
+        a.column = static_cast<uint32_t>(col_run * cfg_.mopWidth + mop);
+        a.row = static_cast<uint32_t>(block % cfg_.rowsPerBank);
+        return a;
+    }
+
+    /** Flat bank index across ranks (controller-internal id). */
+    uint32_t
+    flatBank(const dram::Address &a) const
+    {
+        return (a.rank * cfg_.bankGroups + a.bankGroup) *
+                   cfg_.banksPerGroup +
+               a.bank;
+    }
+
+  private:
+    const SimConfig &cfg_;
+};
+
+} // namespace svard::sim
+
+#endif // SVARD_SIM_ADDRMAP_H

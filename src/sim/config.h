@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulated system configuration (paper Table 4): 8 cores at 3.2 GHz,
+ * 4-wide issue, 128-entry instruction window; DDR4 with 1 channel,
+ * 2 ranks, 4 bank groups x 4 banks, 128K rows/bank; FR-FCFS with a
+ * column cap of 16, open-row policy, MOP address mapping; 64-entry
+ * read/write queues.
+ */
+#ifndef SVARD_SIM_CONFIG_H
+#define SVARD_SIM_CONFIG_H
+
+#include <cstdint>
+
+#include "dram/timing.h"
+#include "dram/types.h"
+
+namespace svard::sim {
+
+struct SimConfig
+{
+    // --- processor ---
+    uint32_t cores = 8;
+    double cpuGhz = 3.2;
+    uint32_t issueWidth = 4;
+    uint32_t instrWindow = 128;
+
+    // --- DRAM organization ---
+    uint32_t channels = 1;
+    uint32_t ranks = 2;
+    uint32_t bankGroups = 4;
+    uint32_t banksPerGroup = 4;
+    uint32_t rowsPerBank = 128 * 1024;
+    uint32_t rowBytes = 8192;
+
+    // --- memory controller ---
+    uint32_t readQueue = 64;
+    uint32_t writeQueue = 64;
+    uint32_t columnCap = 16;   ///< FR-FCFS row-hit cap
+    uint32_t mopWidth = 4;     ///< MOP: consecutive blocks per row run
+
+    dram::TimingParams timing = dram::ddr4Timing(3200);
+
+    uint32_t
+    totalBanks() const
+    {
+        return ranks * bankGroups * banksPerGroup;
+    }
+
+    /** CPU cycle time in picoseconds. */
+    dram::Tick
+    cpuTick() const
+    {
+        return static_cast<dram::Tick>(1000.0 / cpuGhz);
+    }
+
+    /** Cache blocks per DRAM row (burst granularity is 64 B). */
+    uint32_t
+    blocksPerRow() const
+    {
+        return rowBytes / 64;
+    }
+};
+
+} // namespace svard::sim
+
+#endif // SVARD_SIM_CONFIG_H

@@ -1,0 +1,325 @@
+#include "sim/controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace svard::sim {
+
+namespace {
+constexpr dram::Tick kInf = std::numeric_limits<dram::Tick>::max() / 4;
+} // anonymous namespace
+
+MemController::MemController(const SimConfig &cfg,
+                             defense::Defense *defense,
+                             Completion on_complete)
+    : cfg_(cfg), mapper_(cfg), defense_(defense),
+      onComplete_(std::move(on_complete)), banks_(cfg.totalBanks()),
+      ranks_(cfg.ranks)
+{
+    for (uint32_t r = 0; r < cfg_.ranks; ++r)
+        ranks_[r].refreshDue = cfg_.timing.tREFI;
+}
+
+bool
+MemController::enqueue(const MemRequest &req)
+{
+    MemRequest r = req;
+    r.flatBank = mapper_.flatBank(r.addr);
+    if (r.write) {
+        if (writeQ_.size() >= cfg_.writeQueue)
+            return false;
+        writeQ_.push_back(r);
+    } else {
+        if (readQ_.size() >= cfg_.readQueue)
+            return false;
+        readQ_.push_back(r);
+    }
+    return true;
+}
+
+void
+MemController::doActivate(uint32_t flat_bank, uint32_t row,
+                          bool maintenance)
+{
+    Bank &bank = banks_[flat_bank];
+    Rank &rank = ranks_[rankOf(flat_bank)];
+    bank.open = true;
+    bank.row = row;
+    bank.hitStreak = 0;
+    bank.actTime = now_;
+    bank.readyColumn = now_ + cfg_.timing.tRCD;
+    bank.readyPre = now_ + cfg_.timing.tRAS;
+    rank.lastAct = now_;
+    rank.actHistory.push_back(now_);
+    if (rank.actHistory.size() > 4)
+        rank.actHistory.erase(rank.actHistory.begin());
+    ++stats_.activations;
+    (void)maintenance;
+}
+
+void
+MemController::doPrecharge(uint32_t flat_bank)
+{
+    Bank &bank = banks_[flat_bank];
+    bank.open = false;
+    bank.hitStreak = 0;
+    bank.readyAct = std::max(bank.readyAct, now_ + cfg_.timing.tRP);
+}
+
+void
+MemController::applyActions(
+    const std::vector<defense::PreventiveAction> &acts,
+    uint32_t /* flat_bank */, uint32_t /* row */,
+    dram::Tick *throttle_out)
+{
+    using Kind = defense::PreventiveAction::Kind;
+    const auto &t = cfg_.timing;
+    const dram::Tick row_transfer =
+        t.tRCD + static_cast<dram::Tick>(cfg_.blocksPerRow()) * t.tBL +
+        t.tRP;
+    const dram::Tick row_burst =
+        static_cast<dram::Tick>(cfg_.blocksPerRow()) * t.tBL;
+    for (const auto &a : acts) {
+        Bank &bank = banks_[a.bank % banks_.size()];
+        // Row-content moves go through the memory controller, so they
+        // occupy the shared channel data bus as well as the bank.
+        auto occupy = [&](dram::Tick bank_dur, dram::Tick bus_dur) {
+            dram::Tick base = std::max(now_, bank.readyAct);
+            if (bank.open) {
+                base = std::max(now_, bank.readyPre) + t.tRP;
+                bank.open = false;
+                bank.hitStreak = 0;
+            }
+            bank.readyAct = std::max(bank.readyAct, base + bank_dur);
+            if (bus_dur > 0)
+                busReady_ = std::max(busReady_, now_) + bus_dur;
+        };
+        switch (a.kind) {
+          case Kind::RefreshRow:
+            occupy(t.tRAS + t.tRP, 0);
+            ++stats_.preventiveRefreshes;
+            break;
+          case Kind::Throttle:
+            if (throttle_out)
+                *throttle_out = std::max(*throttle_out, a.delay);
+            stats_.throttleStall += a.delay;
+            break;
+          case Kind::MigrateRow:
+            // One row out + one row in: two full-row bursts.
+            occupy(2 * row_transfer, 2 * row_burst);
+            ++stats_.migrations;
+            break;
+          case Kind::SwapRows:
+            // A swap streams both rows through the swap buffer (two
+            // reads + two writes); at swap-threshold rates each
+            // swapped row is also unswapped/relocated again before
+            // the epoch ends, which RRS pays as additional row
+            // transfers (amortized here), making RRS roughly twice
+            // AQUA's one-row migration — the paper's Fig. 12 gap.
+            occupy(8 * row_transfer, 8 * row_burst);
+            ++stats_.swaps;
+            break;
+          case Kind::MetadataAccess:
+            occupy(t.tRCD + t.tCL + t.tBL + t.tRP, t.tBL);
+            ++stats_.metadataAccesses;
+            break;
+        }
+    }
+}
+
+void
+MemController::refreshIfDue()
+{
+    for (uint32_t r = 0; r < cfg_.ranks; ++r) {
+        Rank &rank = ranks_[r];
+        if (now_ < rank.refreshDue)
+            continue;
+        const uint32_t banks_per_rank =
+            cfg_.bankGroups * cfg_.banksPerGroup;
+        for (uint32_t b = 0; b < banks_per_rank; ++b) {
+            Bank &bank = banks_[r * banks_per_rank + b];
+            dram::Tick base = std::max(now_, bank.readyAct);
+            if (bank.open) {
+                base = std::max(now_, bank.readyPre) + cfg_.timing.tRP;
+                bank.open = false;
+                bank.hitStreak = 0;
+            }
+            bank.readyAct = std::max(bank.readyAct,
+                                     base + cfg_.timing.tRFC);
+        }
+        rank.refreshDue += cfg_.timing.tREFI;
+        ++stats_.refreshes;
+    }
+    // Refresh-window epoch for the defense's counter structures.
+    if (defense_ && now_ - epochStart_ >= cfg_.timing.tREFW) {
+        defense_->onEpochEnd(now_);
+        epochStart_ = now_;
+    }
+}
+
+bool
+MemController::tryIssue()
+{
+    // Write drain hysteresis.
+    if (draining_) {
+        if (writeQ_.size() <= cfg_.writeQueue / 4)
+            draining_ = false;
+    } else {
+        if (writeQ_.size() >= 3 * cfg_.writeQueue / 4 ||
+            (readQ_.empty() && !writeQ_.empty()))
+            draining_ = true;
+    }
+    std::deque<MemRequest> &q =
+        (draining_ && !writeQ_.empty()) ? writeQ_ : readQ_;
+    if (q.empty())
+        return false;
+
+    const auto &t = cfg_.timing;
+
+    auto rank_can_act = [&](uint32_t flat_bank) {
+        const Rank &rank = ranks_[rankOf(flat_bank)];
+        if (now_ < rank.lastAct + t.tRRD_S)
+            return false;
+        if (rank.actHistory.size() == 4 &&
+            now_ < rank.actHistory.front() + t.tFAW)
+            return false;
+        return true;
+    };
+
+    auto issue_column = [&](std::deque<MemRequest>::iterator it) {
+        MemRequest r = *it;
+        Bank &bank = banks_[r.flatBank];
+        const dram::Tick cas = r.write ? t.tCWL : t.tCL;
+        const dram::Tick data = std::max(now_ + cas, busReady_);
+        busReady_ = data + t.tBL;
+        bank.readyColumn = std::max(bank.readyColumn, now_ + t.tCCD_L);
+        ++bank.hitStreak;
+        if (r.write) {
+            bank.readyPre = std::max(bank.readyPre,
+                                     data + t.tBL + t.tWR);
+            ++stats_.writes;
+        } else {
+            ++stats_.reads;
+            if (onComplete_)
+                onComplete_(r, data + t.tBL);
+        }
+        q.erase(it);
+    };
+
+    // Pass 1 (FR): oldest row hit under the column cap.
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->notBefore > now_)
+            continue;
+        Bank &bank = banks_[it->flatBank];
+        if (bank.open && bank.row == it->addr.row &&
+            bank.hitStreak < cfg_.columnCap &&
+            bank.readyColumn <= now_ && busReady_ <= now_ + t.tCL) {
+            stats_.rowHits += bank.hitStreak > 0 ? 1 : 0;
+            issue_column(it);
+            return true;
+        }
+    }
+
+    // Pass 2 (FCFS): progress the oldest serviceable request.
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->notBefore > now_)
+            continue;
+        Bank &bank = banks_[it->flatBank];
+        if (bank.open && bank.row == it->addr.row) {
+            if (bank.readyColumn <= now_ && busReady_ <= now_ + t.tCL) {
+                issue_column(it);
+                return true;
+            }
+            continue;
+        }
+        if (bank.open) {
+            // Row conflict: close the row once tRAS allows.
+            if (bank.readyPre <= now_) {
+                ++stats_.rowConflicts;
+                doPrecharge(it->flatBank);
+                return true;
+            }
+            continue;
+        }
+        // Bank closed: activate (defense may throttle instead).
+        if (bank.readyAct <= now_ && rank_can_act(it->flatBank)) {
+            dram::Tick throttle = 0;
+            if (defense_ && !it->defenseCleared) {
+                std::vector<defense::PreventiveAction> acts;
+                defense_->onActivate(it->flatBank, it->addr.row, now_,
+                                     acts);
+                applyActions(acts, it->flatBank, it->addr.row,
+                             &throttle);
+                if (throttle > 0) {
+                    it->notBefore = now_ + throttle;
+                    return true; // state changed; rescan
+                }
+                it->defenseCleared = true;
+                if (bank.readyAct > now_) {
+                    // Preventive actions (victim refresh, migration,
+                    // counter transfer) occupy this bank first; the
+                    // admitted activation waits behind them and is
+                    // not re-submitted to the defense.
+                    return true;
+                }
+            }
+            doActivate(it->flatBank, it->addr.row, false);
+            return true;
+        }
+    }
+    return false;
+}
+
+dram::Tick
+MemController::nextWakeup() const
+{
+    dram::Tick next = kInf;
+    auto consider = [&](dram::Tick t) {
+        if (t > now_ && t < next)
+            next = t;
+    };
+    auto scan = [&](const std::deque<MemRequest> &q) {
+        for (const auto &r : q) {
+            const Bank &bank = banks_[r.flatBank];
+            consider(r.notBefore);
+            consider(bank.readyAct);
+            consider(bank.readyColumn);
+            consider(bank.readyPre);
+            const Rank &rank = ranks_[rankOf(r.flatBank)];
+            consider(rank.lastAct + cfg_.timing.tRRD_S);
+            if (rank.actHistory.size() == 4)
+                consider(rank.actHistory.front() + cfg_.timing.tFAW);
+        }
+    };
+    scan(readQ_);
+    scan(writeQ_);
+    consider(busReady_);
+    for (const auto &rank : ranks_)
+        consider(rank.refreshDue);
+    return next;
+}
+
+dram::Tick
+MemController::run(dram::Tick until)
+{
+    while (now_ < until) {
+        refreshIfDue();
+        if (tryIssue())
+            continue;
+        const dram::Tick next = nextWakeup();
+        if (next >= until) {
+            if (idle())
+                now_ = until;
+            else
+                now_ = std::min(next, until);
+            break;
+        }
+        now_ = next;
+    }
+    if (now_ < until && idle())
+        now_ = until;
+    return now_;
+}
+
+} // namespace svard::sim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cycle-accurate-enough DDR4 memory controller: FR-FCFS scheduling
+ * with a column-access cap, open-row policy, bank/rank timing (tRCD,
+ * tRP, tRAS, tCCD, tRRD, tFAW, refresh), a shared data bus, write
+ * draining, and the defense hook that turns preventive actions into
+ * DRAM traffic (victim refreshes, throttling stalls, migration/swap
+ * bandwidth, metadata transfers).
+ */
+#ifndef SVARD_SIM_CONTROLLER_H
+#define SVARD_SIM_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "defense/defense.h"
+#include "sim/addrmap.h"
+#include "sim/config.h"
+
+namespace svard::sim {
+
+/** A memory request inside the controller. */
+struct MemRequest
+{
+    uint32_t core = 0;
+    bool write = false;
+    dram::Address addr;
+    uint32_t flatBank = 0;
+    dram::Tick arrive = 0;      ///< time it entered the queue
+    dram::Tick notBefore = 0;   ///< throttle release time
+    uint64_t token = 0;         ///< caller-assigned id
+    /** The defense already observed (and admitted) this activation;
+     *  it must not be consulted again when the ACT finally issues
+     *  behind the preventive actions it triggered. */
+    bool defenseCleared = false;
+};
+
+/** Controller statistics. */
+struct ControllerStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t activations = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowConflicts = 0;
+    uint64_t refreshes = 0;
+    uint64_t preventiveRefreshes = 0;
+    uint64_t migrations = 0;
+    uint64_t swaps = 0;
+    uint64_t metadataAccesses = 0;
+    dram::Tick throttleStall = 0;
+};
+
+/**
+ * Single-channel DDR4 controller. Drive it by enqueueing requests and
+ * calling run(until); completed reads are reported through the
+ * completion callback (writes complete at enqueue for the cores, but
+ * still consume DRAM bandwidth).
+ */
+class MemController
+{
+  public:
+    using Completion =
+        std::function<void(const MemRequest &, dram::Tick)>;
+
+    MemController(const SimConfig &cfg, defense::Defense *defense,
+                  Completion on_complete);
+
+    /** Enqueue a request; returns false if the queue is full. */
+    bool enqueue(const MemRequest &req);
+
+    bool
+    readQueueFull() const
+    {
+        return readQ_.size() >= cfg_.readQueue;
+    }
+
+    bool
+    writeQueueFull() const
+    {
+        return writeQ_.size() >= cfg_.writeQueue;
+    }
+
+    /**
+     * Advance the controller until `until` or until all queued work
+     * is drained, whichever is earlier. Returns the controller clock.
+     */
+    dram::Tick run(dram::Tick until);
+
+    bool
+    idle() const
+    {
+        return readQ_.empty() && writeQ_.empty();
+    }
+
+    dram::Tick now() const { return now_; }
+    const ControllerStats &stats() const { return stats_; }
+    const MopMapper &mapper() const { return mapper_; }
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        uint32_t row = 0;
+        uint32_t hitStreak = 0;
+        dram::Tick actTime = 0;     ///< last ACT (for tRAS)
+        dram::Tick readyAct = 0;    ///< earliest next ACT
+        dram::Tick readyColumn = 0; ///< earliest next RD/WR
+        dram::Tick readyPre = 0;    ///< earliest next PRE
+    };
+
+    struct Rank
+    {
+        std::vector<dram::Tick> actHistory; ///< last 4 ACTs (tFAW)
+        dram::Tick lastAct = -1'000'000;    ///< tRRD reference
+        dram::Tick refreshDue = 0;
+    };
+
+    /** Try to issue the best request at `now_`; returns true if one
+     *  was serviced (or partially progressed). */
+    bool tryIssue();
+
+    /** Earliest future time at which anything could change. */
+    dram::Tick nextWakeup() const;
+
+    /** Issue an ACT to a bank (timing + defense hook). */
+    void doActivate(uint32_t flat_bank, uint32_t row, bool maintenance);
+
+    void doPrecharge(uint32_t flat_bank);
+
+    /** Execute defense actions produced by an ACT. */
+    void applyActions(const std::vector<defense::PreventiveAction> &acts,
+                      uint32_t flat_bank, uint32_t row,
+                      dram::Tick *throttle_out);
+
+    void refreshIfDue();
+
+    uint32_t rankOf(uint32_t flat_bank) const
+    {
+        return flat_bank / (cfg_.bankGroups * cfg_.banksPerGroup);
+    }
+
+    const SimConfig &cfg_;
+    MopMapper mapper_;
+    defense::Defense *defense_; ///< may be null (baseline)
+    Completion onComplete_;
+
+    dram::Tick now_ = 0;
+    dram::Tick busReady_ = 0;
+    dram::Tick epochStart_ = 0;
+    std::vector<Bank> banks_;
+    std::vector<Rank> ranks_;
+    std::deque<MemRequest> readQ_;
+    std::deque<MemRequest> writeQ_;
+    bool draining_ = false;
+    ControllerStats stats_;
+};
+
+} // namespace svard::sim
+
+#endif // SVARD_SIM_CONTROLLER_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * O3-lite core model (paper Table 4: 4-wide issue, 128-entry window).
+ * The core dispatches its trace's instructions at the issue width;
+ * memory reads occupy the instruction window until data returns, so a
+ * read whose age exceeds the window blocks further dispatch — the
+ * standard trace-driven out-of-order approximation used by DRAM
+ * studies. Writes retire through the write buffer immediately.
+ */
+#ifndef SVARD_SIM_CORE_MODEL_H
+#define SVARD_SIM_CORE_MODEL_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/workload.h"
+
+namespace svard::sim {
+
+class CoreModel
+{
+  public:
+    /**
+     * @param primary number of trace requests whose completion ends
+     *        the measured run; the trace repeats afterwards so the
+     *        core keeps exerting pressure until every core finishes.
+     */
+    CoreModel(const SimConfig &cfg, uint32_t id,
+              std::vector<TraceEntry> trace, size_t primary);
+
+    /** True when a request is ready to send at `now`. */
+    bool canRelease(dram::Tick now) const;
+
+    /**
+     * Earliest time the next request could be released, or a huge
+     * value when blocked on an outstanding read's completion.
+     */
+    dram::Tick nextReleaseTime() const;
+
+    /** Pop the next request (caller checked canRelease). */
+    TraceEntry release(dram::Tick now, uint64_t *token_out);
+
+    /** A read issued by this core completed. */
+    void onReadComplete(uint64_t token, dram::Tick when);
+
+    /** The enqueue failed (queue full): retry no earlier than t. */
+    void stallUntil(dram::Tick t);
+
+    /** All primary-phase requests issued and completed. */
+    bool primaryDone() const;
+
+    /** Committed instructions of the primary phase. */
+    uint64_t primaryInstructions() const { return primaryInsts_; }
+
+    /** Time the primary phase finished (valid once primaryDone()). */
+    dram::Tick finishTime() const { return finishTime_; }
+
+    /** IPC of the primary phase. */
+    double ipc() const;
+
+    uint32_t id() const { return id_; }
+
+  private:
+    const TraceEntry &entryAt(size_t i) const
+    {
+        return trace_[i % trace_.size()];
+    }
+
+    const SimConfig &cfg_;
+    uint32_t id_;
+    std::vector<TraceEntry> trace_;
+    size_t primary_;
+
+    size_t nextIdx_ = 0;         ///< next trace entry to release
+    uint64_t instsDispatched_ = 0;
+    dram::Tick frontendReady_ = 0;
+    dram::Tick stallUntil_ = 0;
+
+    // Outstanding reads: token -> cumulative instruction index.
+    std::map<uint64_t, uint64_t> outstanding_;
+    uint64_t nextToken_ = 1;
+
+    size_t primaryCompleted_ = 0; ///< primary reads completed
+    size_t primaryReads_ = 0;     ///< total reads in primary phase
+    bool countedReads_ = false;
+    uint64_t primaryInsts_ = 0;
+    dram::Tick finishTime_ = 0;
+    dram::Tick lastEventTime_ = 0;
+};
+
+} // namespace svard::sim
+
+#endif // SVARD_SIM_CORE_MODEL_H

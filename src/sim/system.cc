@@ -1,0 +1,258 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "defense/aqua.h"
+#include "defense/blockhammer.h"
+#include "defense/graphene.h"
+#include "defense/hydra.h"
+#include "defense/para.h"
+#include "defense/rrs.h"
+
+namespace svard::sim {
+
+namespace {
+constexpr dram::Tick kFar = std::numeric_limits<dram::Tick>::max() / 4;
+/** Co-simulation quantum: bounded drift between cores and controller. */
+constexpr dram::Tick kQuantum = 500 * dram::kPsPerNs;
+} // anonymous namespace
+
+System::System(const SimConfig &cfg,
+               std::vector<std::vector<TraceEntry>> traces,
+               size_t primary, defense::Defense *defense)
+    : cfg_(cfg), defense_(defense)
+{
+    SVARD_ASSERT(!traces.empty(), "system needs traces");
+    for (uint32_t c = 0; c < traces.size(); ++c)
+        cores_.push_back(std::make_unique<CoreModel>(
+            cfg_, c, std::move(traces[c]), primary));
+
+    controller_ = std::make_unique<MemController>(
+        cfg_, defense_, [this](const MemRequest &req, dram::Tick when) {
+            cores_[req.core]->onReadComplete(req.token, when);
+        });
+}
+
+RunResult
+System::run()
+{
+    MopMapper mapper(cfg_);
+    const dram::Tick hard_stop = 30000 * dram::kPsPerMs; // 30 s walltime
+    auto all_done = [&] {
+        for (const auto &core : cores_)
+            if (!core->primaryDone())
+                return false;
+        return true;
+    };
+
+    while (!all_done() && controller_->now() < hard_stop) {
+        const dram::Tick now = controller_->now();
+        bool released = false;
+        for (auto &core : cores_) {
+            while (core->canRelease(now)) {
+                // Backpressure: a full queue stalls the core briefly
+                // (checked before release since enqueue is
+                // irreversible for the core's state).
+                if (controller_->readQueueFull() ||
+                    controller_->writeQueueFull()) {
+                    core->stallUntil(now + 20 * dram::kPsPerNs);
+                    break;
+                }
+                uint64_t token = 0;
+                const TraceEntry e = core->release(now, &token);
+                MemRequest req;
+                req.core = core->id();
+                req.write = e.write;
+                req.addr = mapper.map(e.address);
+                req.arrive = now;
+                req.token = token;
+                const bool ok = controller_->enqueue(req);
+                SVARD_ASSERT(ok, "enqueue failed after capacity check");
+                released = true;
+            }
+        }
+        if (released)
+            continue;
+
+        dram::Tick next_core = kFar;
+        for (const auto &core : cores_)
+            next_core = std::min(next_core, core->nextReleaseTime());
+        dram::Tick until = std::min(next_core, now + kQuantum);
+        if (until <= now)
+            until = now + kQuantum;
+        controller_->run(until);
+        if (controller_->now() <= now) {
+            // Defensive: guarantee forward progress.
+            controller_->run(now + cfg_.timing.tCK);
+            if (controller_->now() <= now)
+                break;
+        }
+    }
+
+    RunResult out;
+    for (const auto &core : cores_)
+        out.ipc.push_back(core->ipc());
+    out.controller = controller_->stats();
+    if (defense_)
+        out.defense = defense_->stats();
+    out.endTime = controller_->now();
+    return out;
+}
+
+const char *
+defenseKindName(DefenseKind k)
+{
+    switch (k) {
+      case DefenseKind::None: return "None";
+      case DefenseKind::Para: return "PARA";
+      case DefenseKind::BlockHammer: return "BlockHammer";
+      case DefenseKind::Hydra: return "Hydra";
+      case DefenseKind::Aqua: return "AQUA";
+      case DefenseKind::Rrs: return "RRS";
+      case DefenseKind::Graphene: return "Graphene";
+    }
+    return "?";
+}
+
+std::unique_ptr<defense::Defense>
+makeDefense(DefenseKind kind,
+            std::shared_ptr<const core::ThresholdProvider> provider,
+            uint64_t seed)
+{
+    switch (kind) {
+      case DefenseKind::None:
+        return nullptr;
+      case DefenseKind::Para:
+        return std::make_unique<defense::Para>(std::move(provider),
+                                               seed);
+      case DefenseKind::BlockHammer:
+        return std::make_unique<defense::BlockHammer>(
+            std::move(provider));
+      case DefenseKind::Hydra:
+        return std::make_unique<defense::Hydra>(std::move(provider));
+      case DefenseKind::Aqua:
+        return std::make_unique<defense::Aqua>(std::move(provider));
+      case DefenseKind::Rrs:
+        return std::make_unique<defense::Rrs>(std::move(provider),
+                                              defense::Rrs::Params{},
+                                              seed);
+      case DefenseKind::Graphene:
+        return std::make_unique<defense::Graphene>(std::move(provider));
+    }
+    return nullptr;
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig cfg,
+                                   size_t requests_per_core,
+                                   uint64_t seed)
+    : cfg_(std::move(cfg)), requests_(requests_per_core), seed_(seed),
+      aloneCache_(benchmarkSuite().size(), 0.0)
+{}
+
+namespace {
+
+/**
+ * Per-core base address: disjoint 4 GiB regions plus a seeded row-
+ * granular scatter. Without the scatter every core's footprint starts
+ * at a multiple of 16K rows — a whole number of subarrays on every
+ * module — and spatially-structured profiles (e.g. S0's subarray
+ * parity) would alias pathologically with the placement, which no OS
+ * page allocator produces.
+ */
+uint64_t
+coreOffset(uint64_t seed, uint32_t core)
+{
+    const uint64_t row_scatter =
+        hashSeed({seed, core, 0x0FF5E7ULL}) % 16384;
+    return (core + 1) * (4ULL << 30) + row_scatter * (256 * 1024);
+}
+
+} // anonymous namespace
+
+std::vector<std::vector<TraceEntry>>
+ExperimentRunner::tracesForMix(const WorkloadMix &mix) const
+{
+    std::vector<std::vector<TraceEntry>> traces;
+    const auto &suite = benchmarkSuite();
+    for (uint32_t c = 0; c < mix.benchIdx.size(); ++c) {
+        const auto &profile = suite[mix.benchIdx[c]];
+        traces.push_back(generateTrace(profile, requests_, seed_,
+                                       coreOffset(seed_, c)));
+    }
+    return traces;
+}
+
+double
+ExperimentRunner::aloneIpc(uint32_t bench_idx)
+{
+    SVARD_ASSERT(bench_idx < aloneCache_.size(), "bench out of range");
+    if (aloneCache_[bench_idx] > 0.0)
+        return aloneCache_[bench_idx];
+    const auto &profile = benchmarkSuite()[bench_idx];
+    std::vector<std::vector<TraceEntry>> traces;
+    traces.push_back(
+        generateTrace(profile, requests_, seed_, coreOffset(seed_, 0)));
+    System sys(cfg_, std::move(traces), requests_, nullptr);
+    const RunResult res = sys.run();
+    aloneCache_[bench_idx] = std::max(res.ipc[0], 1e-9);
+    return aloneCache_[bench_idx];
+}
+
+MixMetrics
+ExperimentRunner::runMix(
+    const WorkloadMix &mix, DefenseKind kind,
+    std::shared_ptr<const core::ThresholdProvider> provider,
+    RunResult *raw)
+{
+    auto defense = makeDefense(kind, std::move(provider), seed_);
+    System sys(cfg_, tracesForMix(mix), requests_, defense.get());
+    const RunResult res = sys.run();
+    if (raw)
+        *raw = res;
+
+    MixMetrics m;
+    double harm_acc = 0.0;
+    for (uint32_t c = 0; c < mix.benchIdx.size(); ++c) {
+        const double alone = aloneIpc(mix.benchIdx[c]);
+        const double shared = std::max(res.ipc[c], 1e-9);
+        m.weightedSpeedup += shared / alone;
+        harm_acc += alone / shared;
+        m.maxSlowdown = std::max(m.maxSlowdown, alone / shared);
+    }
+    m.harmonicSpeedup =
+        static_cast<double>(mix.benchIdx.size()) / harm_acc;
+    return m;
+}
+
+double
+ExperimentRunner::runAdversarial(
+    const std::vector<TraceEntry> &attack_trace, DefenseKind kind,
+    std::shared_ptr<const core::ThresholdProvider> provider)
+{
+    // Core 0 is the attacker; the rest run a fixed benign mix.
+    WorkloadMix benign;
+    const auto &suite = benchmarkSuite();
+    for (uint32_t c = 1; c < cfg_.cores; ++c)
+        benign.benchIdx.push_back(c % suite.size());
+
+    std::vector<std::vector<TraceEntry>> traces;
+    traces.push_back(attack_trace);
+    for (uint32_t c = 1; c < cfg_.cores; ++c)
+        traces.push_back(generateTrace(suite[benign.benchIdx[c - 1]],
+                                       requests_, seed_,
+                                       coreOffset(seed_, c)));
+
+    auto defense = makeDefense(kind, std::move(provider), seed_);
+    System sys(cfg_, std::move(traces), requests_, defense.get());
+    const RunResult res = sys.run();
+
+    double ws = 0.0;
+    for (uint32_t c = 1; c < cfg_.cores; ++c) {
+        const double alone = aloneIpc(benign.benchIdx[c - 1]);
+        ws += std::max(res.ipc[c], 1e-9) / alone;
+    }
+    return ws;
+}
+
+} // namespace svard::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Multi-core system glue: cores release trace requests into the
+ * controller, completions feed back into the cores' windows, and the
+ * run ends when every core finishes its measured request count. Also
+ * hosts the experiment runner used by the Fig. 12 / Fig. 13 benches:
+ * per-benchmark alone-IPC baselines, per-mix weighted/harmonic speedup
+ * and maximum slowdown.
+ */
+#ifndef SVARD_SIM_SYSTEM_H
+#define SVARD_SIM_SYSTEM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+#include "sim/controller.h"
+#include "sim/core_model.h"
+#include "sim/workload.h"
+
+namespace svard::sim {
+
+/** Result of one multi-programmed run. */
+struct RunResult
+{
+    std::vector<double> ipc;        ///< per core
+    ControllerStats controller;
+    defense::DefenseStats defense;  ///< zeros when no defense
+    dram::Tick endTime = 0;
+};
+
+/** Cores + controller co-simulation. */
+class System
+{
+  public:
+    /**
+     * @param traces one trace per core
+     * @param primary measured requests per core (trace repeats after)
+     * @param defense optional defense under test (not owned)
+     */
+    System(const SimConfig &cfg,
+           std::vector<std::vector<TraceEntry>> traces, size_t primary,
+           defense::Defense *defense);
+
+    /** Run to completion of all cores' measured phases. */
+    RunResult run();
+
+  private:
+    const SimConfig &cfg_;
+    defense::Defense *defense_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::unique_ptr<MemController> controller_;
+};
+
+// ------------------------------------------------------------------
+// Experiment runner (Fig. 12 / Fig. 13)
+// ------------------------------------------------------------------
+
+/** Which defense to instantiate. */
+enum class DefenseKind
+{
+    None,
+    Para,
+    BlockHammer,
+    Hydra,
+    Aqua,
+    Rrs,
+    Graphene,
+};
+
+const char *defenseKindName(DefenseKind k);
+
+/** Instantiate a defense over a threshold provider (None -> null). */
+std::unique_ptr<defense::Defense>
+makeDefense(DefenseKind kind,
+            std::shared_ptr<const core::ThresholdProvider> provider,
+            uint64_t seed = 1);
+
+/** Per-mix system metrics vs. per-benchmark alone baselines. */
+struct MixMetrics
+{
+    double weightedSpeedup = 0.0;
+    double harmonicSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+};
+
+/**
+ * Runs mixes through a defense configuration and reports the three
+ * paper metrics. Alone-IPC baselines (single core, no defense) are
+ * computed once per benchmark and cached inside the runner.
+ */
+class ExperimentRunner
+{
+  public:
+    ExperimentRunner(SimConfig cfg, size_t requests_per_core,
+                     uint64_t seed = 11);
+
+    /** Metrics of one mix under a defense configuration. */
+    MixMetrics runMix(const WorkloadMix &mix, DefenseKind kind,
+                      std::shared_ptr<const core::ThresholdProvider>
+                          provider,
+                      RunResult *raw = nullptr);
+
+    /** Alone IPC of a benchmark (cached). */
+    double aloneIpc(uint32_t bench_idx);
+
+    const SimConfig &config() const { return cfg_; }
+    size_t requestsPerCore() const { return requests_; }
+
+    /**
+     * Adversarial run (Fig. 13): core 0 executes the adversarial
+     * trace, the remaining cores a benign mix. Returns the benign
+     * cores' weighted speedup vs. their alone baselines.
+     */
+    double runAdversarial(const std::vector<TraceEntry> &attack_trace,
+                          DefenseKind kind,
+                          std::shared_ptr<const core::ThresholdProvider>
+                              provider);
+
+  private:
+    std::vector<std::vector<TraceEntry>>
+    tracesForMix(const WorkloadMix &mix) const;
+
+    SimConfig cfg_;
+    size_t requests_;
+    uint64_t seed_;
+    std::vector<double> aloneCache_;
+};
+
+} // namespace svard::sim
+
+#endif // SVARD_SIM_SYSTEM_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the analysis library: k-means clustering, silhouette
+ * scores, confusion matrices / F1, and the binary-feature predictor
+ * underlying the paper's spatial-feature correlation analysis.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/classify.h"
+#include "analysis/kmeans.h"
+#include "common/rng.h"
+
+namespace svard::analysis {
+namespace {
+
+std::vector<Point>
+gaussianBlobs(const std::vector<std::pair<double, double>> &centers,
+              size_t per_blob, double spread, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Point> pts;
+    for (const auto &[cx, cy] : centers)
+        for (size_t i = 0; i < per_blob; ++i)
+            pts.push_back({cx + rng.normal(0.0, spread),
+                           cy + rng.normal(0.0, spread)});
+    return pts;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs)
+{
+    const auto pts = gaussianBlobs({{0, 0}, {10, 0}, {0, 10}}, 80, 0.5,
+                                   3);
+    const auto res = kMeans(pts, 3, 5);
+    // Every blob should be pure: points 0..79 share a label, etc.
+    for (int blob = 0; blob < 3; ++blob) {
+        const uint32_t label = res.assignment[blob * 80];
+        for (int i = 0; i < 80; ++i)
+            EXPECT_EQ(res.assignment[blob * 80 + i], label);
+    }
+}
+
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    const auto pts = gaussianBlobs({{0, 0}, {8, 0}, {0, 8}, {8, 8}}, 50,
+                                   0.8, 7);
+    double prev = 1e300;
+    for (uint32_t k = 1; k <= 6; ++k) {
+        const auto res = kMeans(pts, k, 11);
+        EXPECT_LE(res.inertia, prev + 1e-9) << "k=" << k;
+        prev = res.inertia;
+    }
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia)
+{
+    std::vector<Point> pts = {{0.0}, {1.0}, {2.0}, {5.0}};
+    const auto res = kMeans(pts, 4, 1);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean)
+{
+    std::vector<Point> pts = {{1.0, 1.0}, {3.0, 5.0}, {5.0, 3.0}};
+    const auto res = kMeans(pts, 1, 1);
+    EXPECT_NEAR(res.centroids[0][0], 3.0, 1e-12);
+    EXPECT_NEAR(res.centroids[0][1], 3.0, 1e-12);
+}
+
+TEST(Silhouette, HighForSeparatedLowForMerged)
+{
+    const auto pts = gaussianBlobs({{0, 0}, {20, 0}}, 60, 0.5, 13);
+    const auto good = kMeans(pts, 2, 5);
+    const double s_good = silhouetteScore(pts, good.assignment, 2);
+    EXPECT_GT(s_good, 0.85);
+
+    const auto split = kMeans(pts, 6, 5);
+    const double s_split = silhouetteScore(pts, split.assignment, 6);
+    EXPECT_LT(s_split, s_good);
+}
+
+TEST(Silhouette, PeaksAtTrueK)
+{
+    // Fig. 8's methodology: sweep k, global max at the true count.
+    const auto pts = gaussianBlobs(
+        {{0, 0}, {12, 0}, {0, 12}, {12, 12}, {6, 20}}, 60, 0.7, 17);
+    double best = -2.0;
+    uint32_t best_k = 0;
+    for (uint32_t k = 2; k <= 9; ++k) {
+        const auto res = kMeans(pts, k, 19);
+        const double s = silhouetteScore(pts, res.assignment, k);
+        if (s > best) {
+            best = s;
+            best_k = k;
+        }
+    }
+    EXPECT_EQ(best_k, 5u);
+}
+
+TEST(Silhouette, DegenerateReturnsZero)
+{
+    std::vector<Point> pts = {{0.0}, {1.0}, {2.0}};
+    std::vector<uint32_t> one_cluster = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(silhouetteScore(pts, one_cluster, 1), 0.0);
+}
+
+TEST(Confusion, PerfectPredictorScoresOne)
+{
+    ConfusionMatrix cm;
+    for (int i = 0; i < 50; ++i) {
+        cm.add(1, 1);
+        cm.add(2, 2);
+    }
+    EXPECT_DOUBLE_EQ(cm.precision(1), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(2), 1.0);
+    EXPECT_DOUBLE_EQ(cm.weightedF1(), 1.0);
+}
+
+TEST(Confusion, KnownMixedCase)
+{
+    // actual 1 predicted 1: 8; actual 1 predicted 2: 2;
+    // actual 2 predicted 2: 5; actual 2 predicted 1: 5.
+    ConfusionMatrix cm;
+    for (int i = 0; i < 8; ++i) cm.add(1, 1);
+    for (int i = 0; i < 2; ++i) cm.add(1, 2);
+    for (int i = 0; i < 5; ++i) cm.add(2, 2);
+    for (int i = 0; i < 5; ++i) cm.add(2, 1);
+    EXPECT_NEAR(cm.precision(1), 8.0 / 13.0, 1e-12);
+    EXPECT_NEAR(cm.recall(1), 0.8, 1e-12);
+    EXPECT_NEAR(cm.precision(2), 5.0 / 7.0, 1e-12);
+    EXPECT_NEAR(cm.recall(2), 0.5, 1e-12);
+    const double f1_1 = 2 * (8.0 / 13.0) * 0.8 / ((8.0 / 13.0) + 0.8);
+    const double f1_2 =
+        2 * (5.0 / 7.0) * 0.5 / ((5.0 / 7.0) + 0.5);
+    EXPECT_NEAR(cm.weightedF1(), 0.5 * f1_1 + 0.5 * f1_2, 1e-12);
+}
+
+TEST(Confusion, UnpredictedClassHasZeroScores)
+{
+    ConfusionMatrix cm;
+    cm.add(1, 2);
+    cm.add(2, 2);
+    EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+    EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+    EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+TEST(BinaryFeature, PerfectlySeparatingFeature)
+{
+    std::vector<uint8_t> feat;
+    std::vector<int64_t> cls;
+    for (int i = 0; i < 100; ++i) {
+        feat.push_back(i % 2);
+        cls.push_back(i % 2 ? 7 : 3);
+    }
+    EXPECT_DOUBLE_EQ(binaryFeatureF1(feat, cls), 1.0);
+}
+
+TEST(BinaryFeature, UncorrelatedFeatureScoresLikeMajorityBaseline)
+{
+    Rng rng(23);
+    std::vector<uint8_t> feat;
+    std::vector<int64_t> cls;
+    for (int i = 0; i < 4000; ++i) {
+        feat.push_back(rng.chance(0.5) ? 1 : 0);
+        // Three classes, 60/30/10 split.
+        const double u = rng.uniform();
+        cls.push_back(u < 0.6 ? 1 : (u < 0.9 ? 2 : 3));
+    }
+    const double f1 = binaryFeatureF1(feat, cls);
+    // Majority predictor: recall(1)=1, precision(1)=0.6 -> weighted F1
+    // = 0.6 * 0.75 = 0.45.
+    EXPECT_NEAR(f1, 0.45, 0.05);
+}
+
+TEST(BinaryFeature, PartiallyCorrelatedScoresBetween)
+{
+    Rng rng(29);
+    std::vector<uint8_t> feat;
+    std::vector<int64_t> cls;
+    for (int i = 0; i < 4000; ++i) {
+        const uint8_t f = rng.chance(0.5) ? 1 : 0;
+        feat.push_back(f);
+        // 80% of the time the class follows the feature.
+        const bool follow = rng.chance(0.8);
+        cls.push_back(follow ? (f ? 7 : 3) : (rng.chance(0.5) ? 7 : 3));
+    }
+    const double f1 = binaryFeatureF1(feat, cls);
+    EXPECT_GT(f1, 0.8);
+    EXPECT_LT(f1, 0.95);
+}
+
+} // namespace
+} // namespace svard::analysis

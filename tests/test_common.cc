@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism/moments,
+ * descriptive statistics, histograms, and the table emitter.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace svard {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowIsInRangeAndCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        ++hits[v];
+    }
+    for (int h : hits)
+        EXPECT_GT(h, 700); // near-uniform: expect ~1000 each
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BinomialMoments)
+{
+    Rng rng(13);
+    const uint64_t n = 10000;
+    const double p = 0.01;
+    double sum = 0.0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.binomial(n, p));
+    EXPECT_NEAR(sum / trials, n * p, 3.0);
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(17);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+}
+
+TEST(HashSeed, OrderSensitive)
+{
+    EXPECT_NE(hashSeed({1, 2}), hashSeed({2, 1}));
+    EXPECT_EQ(hashSeed({1, 2, 3}), hashSeed({1, 2, 3}));
+}
+
+TEST(Stats, MeanAndStdev)
+{
+    std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stdev(xs), 2.138, 0.001);
+}
+
+TEST(Stats, CoefficientOfVariation)
+{
+    std::vector<double> xs = {10, 10, 10};
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(xs), 0.0);
+    std::vector<double> ys = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(coefficientOfVariation(ys), 2.138 / 5.0, 0.001);
+}
+
+TEST(Stats, QuantileInterpolation)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, BoxStatsBasics)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(i);
+    const BoxStats bs = boxStats(xs);
+    EXPECT_EQ(bs.n, 100u);
+    EXPECT_DOUBLE_EQ(bs.min, 1.0);
+    EXPECT_DOUBLE_EQ(bs.max, 100.0);
+    EXPECT_NEAR(bs.median, 50.5, 1e-9);
+    EXPECT_NEAR(bs.q1, 25.75, 1e-9);
+    EXPECT_NEAR(bs.q3, 75.25, 1e-9);
+    EXPECT_LE(bs.whiskerLow, bs.q1);
+    EXPECT_GE(bs.whiskerHigh, bs.q3);
+}
+
+TEST(Stats, BoxStatsWhiskersExcludeOutliers)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+    const BoxStats bs = boxStats(xs);
+    EXPECT_LT(bs.whiskerHigh, 1000.0);
+    EXPECT_DOUBLE_EQ(bs.max, 1000.0);
+}
+
+TEST(Stats, CategoricalHistogram)
+{
+    CategoricalHistogram h({1, 2, 4});
+    h.add(1);
+    h.add(1);
+    h.add(4);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(4), 1.0 / 3.0);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Stats, PearsonKnownValues)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    std::vector<double> zs = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+    std::vector<double> cs = {3, 3, 3, 3, 3};
+    EXPECT_DOUBLE_EQ(pearson(xs, cs), 0.0);
+}
+
+TEST(Table, RowsAndFormat)
+{
+    Table t("demo", {"a", "b"});
+    t.addRow({Table::fmt(int64_t(1)), Table::fmt(2.5, 1)});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(Table::fmtHc(4096), "4K");
+    EXPECT_EQ(Table::fmtHc(1000), "1000");
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+}
+
+TEST(Table, EnvIntFallback)
+{
+    EXPECT_EQ(envInt("SVARD_SURELY_UNSET_ENV_VAR", 123), 123);
+}
+
+} // namespace
+} // namespace svard

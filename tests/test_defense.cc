@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the five read-disturbance defenses + Graphene: mechanism
+ * unit behaviour (probabilities, blacklists, counter traffic, swaps),
+ * Svärd integration (fewer preventive actions, never more aggressive),
+ * and the end-to-end security property against the behavioral device:
+ * zero bitflips with a correctly configured defense, bitflips without.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "defense/aqua.h"
+#include "defense/blockhammer.h"
+#include "defense/graphene.h"
+#include "defense/harness.h"
+#include "defense/hydra.h"
+#include "defense/para.h"
+#include "defense/rrs.h"
+#include "fault/vuln_model.h"
+
+namespace svard::defense {
+namespace {
+
+using core::Svard;
+using core::UniformThreshold;
+using core::VulnProfile;
+
+std::shared_ptr<UniformThreshold>
+uniform(double t, uint32_t rows = 64 * 1024)
+{
+    return std::make_shared<UniformThreshold>(t, rows);
+}
+
+TEST(Para, ProbabilityScalesInverselyWithThreshold)
+{
+    Para para(uniform(1024));
+    const double p1k = para.probabilityFor(1024);
+    const double p4k = para.probabilityFor(4096);
+    const double p64 = para.probabilityFor(64);
+    EXPECT_GT(p64, p1k);
+    EXPECT_GT(p1k, p4k);
+    // p = 1 - target^(1/T)
+    EXPECT_NEAR(p1k, 1.0 - std::pow(1e-15, 1.0 / 1024.0), 1e-9);
+    EXPECT_LE(p64, 1.0);
+}
+
+TEST(Para, RefreshRateMatchesProbability)
+{
+    auto thr = uniform(512);
+    Para para(thr, 3);
+    std::vector<PreventiveAction> acts;
+    uint64_t refreshes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        acts.clear();
+        para.onActivate(0, 1000, 0, acts);
+        refreshes += acts.size();
+    }
+    const double p = para.probabilityFor(512);
+    // Two neighbors, each refreshed with probability p.
+    EXPECT_NEAR(static_cast<double>(refreshes) / n, 2.0 * p,
+                0.05 * 2.0 * p + 0.005);
+}
+
+TEST(Para, SvardRefreshesLessThanUniform)
+{
+    const auto &spec = dram::moduleByLabel("S0");
+    auto sa = std::make_shared<dram::SubarrayMap>(spec);
+    auto model = std::make_shared<fault::VulnerabilityModel>(spec, sa);
+    auto prof =
+        std::make_shared<VulnProfile>(VulnProfile::fromModel(*model));
+    auto scaled = std::make_shared<VulnProfile>(prof->scaledTo(128.0));
+
+    Para with_svard(std::make_shared<Svard>(scaled), 5);
+    Para without(uniform(128.0, spec.rowsPerBank), 5);
+
+    std::vector<PreventiveAction> acts;
+    uint64_t svard_ref = 0, uni_ref = 0;
+    for (uint32_t row = 100; row < 4100; ++row) {
+        acts.clear();
+        with_svard.onActivate(1, row, 0, acts);
+        svard_ref += acts.size();
+        acts.clear();
+        without.onActivate(1, row, 0, acts);
+        uni_ref += acts.size();
+    }
+    // Svärd's refresh rate follows the profile's threshold mix; for
+    // S0 (roughly half the rows in the weakest bin) the reduction is
+    // ~30%. Draw-by-draw, Svärd can never refresh more than uniform.
+    EXPECT_LT(svard_ref, uni_ref * 0.85);
+}
+
+TEST(CountingBloom, NeverUndercounts)
+{
+    CountingBloomFilter cbf(256, 3, 42);
+    for (int i = 0; i < 50; ++i)
+        cbf.insert(7);
+    EXPECT_GE(cbf.estimate(7), 50u);
+    cbf.clear();
+    EXPECT_EQ(cbf.estimate(7), 0u);
+}
+
+TEST(BlockHammer, ThrottlesRapidActivationsToOneRow)
+{
+    BlockHammer bh(uniform(256));
+    std::vector<PreventiveAction> acts;
+    uint64_t throttles = 0;
+    dram::Tick now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        acts.clear();
+        bh.onActivate(0, 500, now, acts);
+        for (const auto &a : acts)
+            if (a.kind == PreventiveAction::Kind::Throttle) {
+                ++throttles;
+                now += a.delay;
+            }
+        now += 50 * dram::kPsPerNs;
+    }
+    EXPECT_GT(throttles, 0u);
+    EXPECT_TRUE(bh.isBlacklisted(0, 500));
+    // A cold row is not blacklisted.
+    EXPECT_FALSE(bh.isBlacklisted(0, 40000));
+}
+
+TEST(BlockHammer, BenignRowsUnthrottled)
+{
+    BlockHammer bh(uniform(4096));
+    std::vector<PreventiveAction> acts;
+    dram::Tick now = 0;
+    for (uint32_t row = 0; row < 4000; ++row) {
+        acts.clear();
+        bh.onActivate(0, row, now, acts);
+        EXPECT_TRUE(acts.empty()) << "row " << row;
+        now += 50 * dram::kPsPerNs;
+    }
+}
+
+TEST(Hydra, GroupTrackingAvoidsCounterTrafficForColdRows)
+{
+    Hydra hydra(uniform(4096));
+    std::vector<PreventiveAction> acts;
+    for (uint32_t row = 0; row < 2000; row += 7) {
+        acts.clear();
+        hydra.onActivate(0, row, 0, acts);
+        EXPECT_TRUE(acts.empty());
+    }
+    EXPECT_EQ(hydra.rccMisses(), 0u);
+}
+
+TEST(Hydra, HotGroupFallsBackToPerRowCounters)
+{
+    Hydra hydra(uniform(256));
+    std::vector<PreventiveAction> acts;
+    uint64_t refreshes = 0;
+    for (int i = 0; i < 600; ++i) {
+        acts.clear();
+        hydra.onActivate(0, 128, 0, acts);
+        for (const auto &a : acts)
+            if (a.kind == PreventiveAction::Kind::RefreshRow)
+                ++refreshes;
+    }
+    EXPECT_GT(hydra.rccMisses() + hydra.rccHits(), 0u);
+    EXPECT_GT(refreshes, 0u);
+}
+
+TEST(Hydra, RccThrashingGeneratesMetadataTraffic)
+{
+    Hydra::Params p;
+    p.rccEntries = 64;
+    Hydra hydra(uniform(64), p);
+    std::vector<PreventiveAction> acts;
+    uint64_t metadata = 0;
+    // Touch many distinct hot rows so the RCC thrashes.
+    for (int round = 0; round < 40; ++round) {
+        for (uint32_t row = 0; row < 512; row += 2) {
+            acts.clear();
+            hydra.onActivate(0, row, 0, acts);
+            for (const auto &a : acts)
+                if (a.kind == PreventiveAction::Kind::MetadataAccess)
+                    ++metadata;
+        }
+    }
+    EXPECT_GT(metadata, 1000u);
+}
+
+TEST(Aqua, MigratesAtHalfThresholdIntoQuarantine)
+{
+    Aqua aqua(uniform(1024, 64 * 1024));
+    std::vector<PreventiveAction> acts;
+    uint32_t migrations = 0;
+    uint32_t first_dest = 0;
+    for (int i = 0; i < 2100; ++i) {
+        acts.clear();
+        aqua.onActivate(2, 777, 0, acts);
+        for (const auto &a : acts)
+            if (a.kind == PreventiveAction::Kind::MigrateRow) {
+                ++migrations;
+                if (migrations == 1)
+                    first_dest = a.row2;
+                // Quarantine lives at the top 1% of the bank.
+                EXPECT_GE(a.row2, 64u * 1024u - 656u);
+            }
+    }
+    EXPECT_EQ(migrations, 4u); // 2100 / 512
+    EXPECT_GT(first_dest, 0u);
+}
+
+TEST(Rrs, SwapsWithRandomPartner)
+{
+    Rrs rrs(uniform(512, 64 * 1024));
+    std::vector<PreventiveAction> acts;
+    uint32_t swaps = 0;
+    for (int i = 0; i < 1024; ++i) {
+        acts.clear();
+        rrs.onActivate(0, 4242, 0, acts);
+        for (const auto &a : acts)
+            if (a.kind == PreventiveAction::Kind::SwapRows) {
+                ++swaps;
+                EXPECT_NE(a.row2, 4242u);
+                EXPECT_LT(a.row2, 64u * 1024u);
+            }
+    }
+    EXPECT_EQ(swaps, 4u); // every 256 activations
+}
+
+TEST(Graphene, RefreshesNeighborsAtHalfBudget)
+{
+    Graphene g(uniform(128));
+    std::vector<PreventiveAction> acts;
+    uint64_t refreshes = 0;
+    for (int i = 0; i < 128; ++i) {
+        acts.clear();
+        g.onActivate(0, 100, 0, acts);
+        refreshes += acts.size();
+    }
+    EXPECT_EQ(refreshes, 4u); // two triggers x two neighbors
+}
+
+TEST(Defense, EpochEndResetsCounters)
+{
+    Aqua aqua(uniform(1024));
+    std::vector<PreventiveAction> acts;
+    for (int i = 0; i < 500; ++i) {
+        acts.clear();
+        aqua.onActivate(0, 10, 0, acts);
+    }
+    aqua.onEpochEnd(0);
+    for (int i = 0; i < 500; ++i) {
+        acts.clear();
+        aqua.onActivate(0, 10, 0, acts);
+        EXPECT_TRUE(acts.empty());
+    }
+}
+
+// ---------------------------------------------------------------
+// End-to-end security property against the behavioral device
+// ---------------------------------------------------------------
+
+struct SecurityRig
+{
+    explicit SecurityRig(const std::string &label)
+        : spec(dram::moduleByLabel(label)),
+          subarrays(std::make_shared<dram::SubarrayMap>(spec)),
+          model(std::make_shared<fault::VulnerabilityModel>(spec,
+                                                            subarrays)),
+          device(spec, subarrays, model),
+          profile(std::make_shared<VulnProfile>(
+              VulnProfile::fromModel(*model)))
+    {}
+
+    uint32_t
+    weakestVictimLogical(uint32_t bank) const
+    {
+        return device.mapping().toLogical(model->weakestRow(bank));
+    }
+
+    const dram::ModuleSpec &spec;
+    std::shared_ptr<dram::SubarrayMap> subarrays;
+    std::shared_ptr<fault::VulnerabilityModel> model;
+    mutable dram::DramDevice device;
+    std::shared_ptr<VulnProfile> profile;
+};
+
+TEST(Security, UnprotectedDeviceFlips)
+{
+    SecurityRig rig("S2"); // min HC_first 12K
+    AttackOptions opt;
+    opt.victim = rig.weakestVictimLogical(opt.bank);
+    opt.refreshWindows = 1;
+    const auto res = runDoubleSidedAttack(rig.device, nullptr, opt);
+    EXPECT_GT(res.bitflips, 0u);
+    EXPECT_GT(res.aggressorActs, 100000u);
+}
+
+class SecurityP : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SecurityP, DefenseAtProfileThresholdPreventsAllFlips)
+{
+    SecurityRig rig("S2");
+    std::unique_ptr<Defense> defense;
+    auto svard = std::make_shared<Svard>(rig.profile);
+    switch (GetParam()) {
+      case 0: defense = std::make_unique<Para>(svard, 7); break;
+      case 1: defense = std::make_unique<BlockHammer>(svard); break;
+      case 2: defense = std::make_unique<Hydra>(svard); break;
+      case 3: defense = std::make_unique<Aqua>(svard); break;
+      case 4: defense = std::make_unique<Rrs>(svard); break;
+      case 5: defense = std::make_unique<Graphene>(svard); break;
+    }
+    AttackOptions opt;
+    opt.victim = rig.weakestVictimLogical(opt.bank);
+    opt.refreshWindows = 2;
+    opt.maxActsPerAggressor = 200 * 1024; // > any HC_first, bounded time
+    const auto res =
+        runDoubleSidedAttack(rig.device, defense.get(), opt);
+    EXPECT_EQ(res.bitflips, 0u) << defense->name();
+    // The defense actually acted (or throttled) against the attack.
+    EXPECT_GT(res.preventiveRefreshes + res.throttleEvents +
+                  res.migrations,
+              0u)
+        << defense->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDefenses, SecurityP,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Security, MisconfiguredThresholdStillFlips)
+{
+    // Configure Graphene for a threshold 8x above the true minimum:
+    // the weakest row crosses its HC_first before the defense reacts.
+    SecurityRig rig("S2");
+    auto bad = uniform(8.0 * rig.spec.hcFirstMin, rig.spec.rowsPerBank);
+    Graphene g(bad);
+    AttackOptions opt;
+    opt.victim = rig.weakestVictimLogical(opt.bank);
+    opt.refreshWindows = 1;
+    const auto res = runDoubleSidedAttack(rig.device, &g, opt);
+    EXPECT_GT(res.bitflips, 0u);
+}
+
+TEST(Security, RowPressDefeatsActivationCounting)
+{
+    // Beyond-paper check rooted in RowPress: with a 2us aggressor
+    // on-time, far fewer activations deliver the same disturbance, so
+    // a pure activation-count defense configured for 36ns hammering
+    // lets bitflips through.
+    SecurityRig rig("S2");
+    auto svard = std::make_shared<Svard>(rig.profile);
+    Graphene g(svard);
+    AttackOptions opt;
+    opt.victim = rig.weakestVictimLogical(opt.bank);
+    opt.tAggOn = 2 * dram::kPsPerUs;
+    opt.refreshWindows = 1;
+    const auto res = runDoubleSidedAttack(rig.device, &g, opt);
+    EXPECT_GT(res.bitflips, 0u);
+}
+
+TEST(Security, SvardActsLessThanUniformButStaysSafe)
+{
+    SecurityRig rig_a("S2"), rig_b("S2");
+    auto svard = std::make_shared<Svard>(rig_a.profile);
+    auto uni = uniform(rig_a.profile->minThreshold(),
+                       rig_a.spec.rowsPerBank);
+
+    // Attack a victim in a *strong* bin so Svärd's threshold is higher
+    // than the worst case; the profile is keyed by physical rows and
+    // the harness takes a logical victim address.
+    uint32_t victim = 0;
+    for (uint32_t p = 1000; p < 60000; ++p) {
+        if (rig_a.profile->thresholdOf(1, p) >
+                4.0 * rig_a.profile->minThreshold() &&
+            rig_a.subarrays->disturbedNeighbors(p).size() == 2) {
+            victim = rig_a.device.mapping().toLogical(p);
+            break;
+        }
+    }
+    ASSERT_GT(victim, 0u);
+
+    Graphene with_svard(svard);
+    Graphene without(uni);
+    AttackOptions opt;
+    opt.victim = victim;
+    opt.refreshWindows = 1;
+    const auto res_svard =
+        runDoubleSidedAttack(rig_a.device, &with_svard, opt);
+    const auto res_uni =
+        runDoubleSidedAttack(rig_b.device, &without, opt);
+    EXPECT_EQ(res_svard.bitflips, 0u);
+    EXPECT_EQ(res_uni.bitflips, 0u);
+    EXPECT_LT(res_svard.preventiveRefreshes * 2,
+              res_uni.preventiveRefreshes);
+}
+
+} // namespace
+} // namespace svard::defense

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit tests for the DRAM substrate: timing presets, the module
+ * database (Table 5), subarray maps, row scrambling, sparse row data,
+ * and the behavioral device's disturbance mechanics.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dram/device.h"
+#include "dram/module_spec.h"
+#include "dram/rowdata.h"
+#include "dram/rowmap.h"
+#include "dram/subarray.h"
+#include "dram/timing.h"
+#include "fault/vuln_model.h"
+
+namespace svard::dram {
+namespace {
+
+TEST(Timing, PresetsScaleWithDataRate)
+{
+    const auto t3200 = ddr4Timing(3200);
+    const auto t2400 = ddr4Timing(2400);
+    EXPECT_LT(t3200.tCK, t2400.tCK);
+    EXPECT_EQ(t3200.tRC, t3200.tRAS + t3200.tRP);
+    EXPECT_GE(t3200.tFAW, 4 * t3200.tRRD_S);
+    EXPECT_GT(t3200.tREFW, t3200.tREFI * 1000);
+}
+
+TEST(ModuleSpec, FifteenModulesInPaperOrder)
+{
+    const auto &mods = allModules();
+    ASSERT_EQ(mods.size(), 15u);
+    const char *expected[] = {"H0", "H1", "H2", "H3", "H4",
+                              "M0", "M1", "M2", "M3", "M4",
+                              "S0", "S1", "S2", "S3", "S4"};
+    for (size_t i = 0; i < 15; ++i)
+        EXPECT_EQ(mods[i].label, expected[i]);
+}
+
+TEST(ModuleSpec, Table5IdentityColumns)
+{
+    const auto &m0 = moduleByLabel("M0");
+    EXPECT_EQ(m0.vendor, Vendor::Micron);
+    EXPECT_EQ(m0.dataRateMts, 3200);
+    EXPECT_EQ(m0.rowsPerBank, 128u * 1024u);
+    EXPECT_EQ(m0.hcFirstMin, 8 * 1024);
+    EXPECT_EQ(m0.hcFirstMax, 40 * 1024);
+
+    const auto &s3 = moduleByLabel("S3");
+    EXPECT_EQ(s3.vendor, Vendor::Samsung);
+    EXPECT_EQ(s3.rowsPerBank, 32u * 1024u);
+    EXPECT_EQ(s3.densityGb, 4);
+}
+
+TEST(ModuleSpec, HcBoundsAreOrdered)
+{
+    for (const auto &m : allModules()) {
+        EXPECT_LT(m.hcFirstMin, m.hcFirstAvg) << m.label;
+        EXPECT_LT(m.hcFirstAvg, m.hcFirstMax) << m.label;
+        EXPECT_GT(m.berMean, 0.0) << m.label;
+    }
+}
+
+TEST(ModuleSpec, OnlyTable3ModulesHaveFeatureEffects)
+{
+    const std::set<std::string> with_features = {"S0", "S1", "S3", "S4"};
+    for (const auto &m : allModules()) {
+        if (with_features.count(m.label))
+            EXPECT_FALSE(m.featureEffects.empty()) << m.label;
+        else
+            EXPECT_TRUE(m.featureEffects.empty()) << m.label;
+    }
+}
+
+TEST(ModuleSpec, TestedHammerCountsMatchAlg1)
+{
+    const auto &hcs = testedHammerCounts();
+    ASSERT_EQ(hcs.size(), 14u);
+    EXPECT_EQ(hcs.front(), 1024);
+    EXPECT_EQ(hcs.back(), 128 * 1024);
+    for (size_t i = 1; i < hcs.size(); ++i)
+        EXPECT_LT(hcs[i - 1], hcs[i]);
+}
+
+TEST(SubarrayMap, CoversBankWithPaperSizedSubarrays)
+{
+    for (const auto &m : allModules()) {
+        SubarrayMap map(m);
+        EXPECT_EQ(map.rows(), m.rowsPerBank) << m.label;
+        uint32_t covered = 0;
+        for (uint32_t s = 0; s < map.numSubarrays(); ++s) {
+            // Paper range is 330..1027; the final subarray may absorb
+            // a short remainder and run slightly larger.
+            EXPECT_GE(map.subarraySize(s), 330u) << m.label;
+            EXPECT_LE(map.subarraySize(s), 1027u + 330u) << m.label;
+            EXPECT_EQ(map.subarrayBase(s), covered);
+            covered += map.subarraySize(s);
+        }
+        EXPECT_EQ(covered, m.rowsPerBank);
+        // Paper Sec. 5.4.1: 32..206 subarrays per bank.
+        EXPECT_GE(map.numSubarrays(), 32u) << m.label;
+        EXPECT_LE(map.numSubarrays(), 400u) << m.label;
+    }
+}
+
+TEST(SubarrayMap, LocateRoundTrips)
+{
+    SubarrayMap map(moduleByLabel("S0"));
+    for (uint32_t row : {0u, 1u, 511u, 512u, 40000u, map.rows() - 1}) {
+        const auto loc = map.locate(row);
+        EXPECT_EQ(map.subarrayBase(loc.subarray) + loc.offset, row);
+        EXPECT_LT(loc.offset, loc.size);
+    }
+}
+
+TEST(SubarrayMap, EdgeRowsHaveOneNeighbor)
+{
+    SubarrayMap map(moduleByLabel("H4"));
+    for (uint32_t s = 0; s < std::min(map.numSubarrays(), 8u); ++s) {
+        const uint32_t base = map.subarrayBase(s);
+        const uint32_t last = base + map.subarraySize(s) - 1;
+        EXPECT_EQ(map.disturbedNeighbors(base).size(), 1u);
+        EXPECT_EQ(map.disturbedNeighbors(last).size(), 1u);
+        EXPECT_EQ(map.disturbedNeighbors(base + 1).size(), 2u);
+    }
+}
+
+TEST(SubarrayMap, NeighborsStayInSubarray)
+{
+    SubarrayMap map(moduleByLabel("M2"));
+    for (uint32_t row = 0; row < 4096; row += 37) {
+        for (uint32_t n : map.disturbedNeighbors(row))
+            EXPECT_TRUE(map.sameSubarray(row, n));
+    }
+}
+
+class RowMappingP : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RowMappingP, BijectiveOnFullBank)
+{
+    const uint32_t rows = 4096;
+    RowMapping map(GetParam(), rows);
+    std::vector<bool> seen(rows, false);
+    for (uint32_t r = 0; r < rows; ++r) {
+        const uint32_t p = map.toPhysical(r);
+        ASSERT_LT(p, rows);
+        EXPECT_FALSE(seen[p]) << "collision at " << r;
+        seen[p] = true;
+        EXPECT_EQ(map.toLogical(p), r);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RowMappingP,
+                         ::testing::Values(0, 1, 2));
+
+TEST(RowMapping, MirrorPairsSwaps2And3)
+{
+    RowMapping map(RowMapping::Scheme::MirrorPairs, 64);
+    EXPECT_EQ(map.toPhysical(0), 0u);
+    EXPECT_EQ(map.toPhysical(1), 1u);
+    EXPECT_EQ(map.toPhysical(2), 3u);
+    EXPECT_EQ(map.toPhysical(3), 2u);
+    EXPECT_EQ(map.toPhysical(6), 7u);
+}
+
+TEST(RowData, FillAndExceptions)
+{
+    RowData rd(64, 0xAA);
+    EXPECT_EQ(rd.readByte(3), 0xAA);
+    rd.writeByte(3, 0x00);
+    EXPECT_EQ(rd.readByte(3), 0x00);
+    EXPECT_EQ(rd.exceptionCount(), 1u);
+    rd.writeByte(3, 0xAA); // writing the fill removes the exception
+    EXPECT_EQ(rd.exceptionCount(), 0u);
+}
+
+TEST(RowData, MismatchedBitsCountsPopcount)
+{
+    RowData rd(8, 0x00);
+    EXPECT_EQ(rd.mismatchedBits(0x00), 0u);
+    EXPECT_EQ(rd.mismatchedBits(0xFF), 64u);
+    rd.flipBit(0);
+    rd.flipBit(9);
+    EXPECT_EQ(rd.mismatchedBits(0x00), 2u);
+}
+
+TEST(RowData, BitAccess)
+{
+    RowData rd(4, 0x00);
+    EXPECT_FALSE(rd.bitAt(17));
+    rd.flipBit(17);
+    EXPECT_TRUE(rd.bitAt(17));
+    rd.flipBit(17);
+    EXPECT_FALSE(rd.bitAt(17));
+}
+
+// ---------------------------------------------------------------
+// Device-level disturbance mechanics
+// ---------------------------------------------------------------
+
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    DeviceTest()
+        : spec_(moduleByLabel("S0")),
+          subarrays_(std::make_shared<SubarrayMap>(spec_)),
+          model_(std::make_shared<fault::VulnerabilityModel>(spec_,
+                                                             subarrays_)),
+          device_(spec_, subarrays_, model_)
+    {}
+
+    /** A victim (logical) with two same-subarray neighbors. */
+    uint32_t
+    interiorVictim() const
+    {
+        for (uint32_t r = 2; r < 4096; ++r) {
+            const uint32_t phys = device_.mapping().toPhysical(r);
+            if (subarrays_->disturbedNeighbors(phys).size() == 2)
+                return r;
+        }
+        return 2;
+    }
+
+    const ModuleSpec &spec_;
+    std::shared_ptr<SubarrayMap> subarrays_;
+    std::shared_ptr<fault::VulnerabilityModel> model_;
+    DramDevice device_;
+};
+
+TEST_F(DeviceTest, ActPreTracksOpenRow)
+{
+    EXPECT_FALSE(device_.openRow(0).has_value());
+    device_.activate(0, 100, 0);
+    ASSERT_TRUE(device_.openRow(0).has_value());
+    EXPECT_EQ(*device_.openRow(0), 100u);
+    device_.precharge(0, 50000);
+    EXPECT_FALSE(device_.openRow(0).has_value());
+}
+
+TEST_F(DeviceTest, HammerAccumulatesOnNeighbors)
+{
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    const auto neigh = subarrays_->disturbedNeighbors(phys);
+    ASSERT_EQ(neigh.size(), 2u);
+    const uint32_t aggr = device_.mapping().toLogical(neigh[0]);
+
+    device_.hammer(0, aggr, 1000, 36 * kPsPerNs, 0);
+    // Each ACT at minimum on-time contributes ~0.5 effective hammers.
+    const double pending = device_.pendingHammers(0, victim);
+    EXPECT_GT(pending, 300.0);
+    EXPECT_LT(pending, 700.0);
+}
+
+TEST_F(DeviceTest, ActivationOfVictimResetsAccumulation)
+{
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    const uint32_t aggr = device_.mapping().toLogical(
+        subarrays_->disturbedNeighbors(phys)[0]);
+    device_.hammer(0, aggr, 1000, 36 * kPsPerNs, 0);
+    EXPECT_GT(device_.pendingHammers(0, victim), 0.0);
+    device_.activate(0, victim, 0);
+    device_.precharge(0, 50000);
+    EXPECT_DOUBLE_EQ(device_.pendingHammers(0, victim), 0.0);
+}
+
+TEST_F(DeviceTest, BelowThresholdNoBitflips)
+{
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    const auto neigh = subarrays_->disturbedNeighbors(phys);
+    device_.activate(0, victim, 0);
+    device_.writeRowFill(0, victim, 0x00);
+    device_.precharge(0, 50000);
+    for (uint32_t n : neigh) {
+        const uint32_t ln = device_.mapping().toLogical(n);
+        device_.activate(0, ln, 0);
+        device_.writeRowFill(0, ln, 0xFF);
+        device_.precharge(0, 50000);
+    }
+    // S0's minimum HC_first is 32K hammers; 1K hammers is safely below.
+    for (uint32_t n : neigh)
+        device_.hammer(0, device_.mapping().toLogical(n), 1024,
+                       36 * kPsPerNs, 0);
+    EXPECT_EQ(device_.countMismatchedBits(0, victim, 0x00), 0u);
+}
+
+TEST_F(DeviceTest, MassiveHammeringFlipsBits)
+{
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    const auto neigh = subarrays_->disturbedNeighbors(phys);
+    ASSERT_EQ(neigh.size(), 2u);
+    device_.activate(0, victim, 0);
+    device_.writeRowFill(0, victim, 0x00);
+    device_.precharge(0, 50000);
+    for (uint32_t n : neigh) {
+        const uint32_t ln = device_.mapping().toLogical(n);
+        device_.activate(0, ln, 0);
+        device_.writeRowFill(0, ln, 0xFF);
+        device_.precharge(0, 50000);
+    }
+    // 512K activations per aggressor = 512K hammers >> any S0 HC_first.
+    for (uint32_t n : neigh)
+        device_.hammer(0, device_.mapping().toLogical(n), 512 * 1024,
+                       36 * kPsPerNs, 0);
+    EXPECT_GT(device_.countMismatchedBits(0, victim, 0x00), 0u);
+    EXPECT_GT(device_.stats().bitflipsInjected, 0u);
+}
+
+TEST_F(DeviceTest, DisturbanceDisableSuppressesFlips)
+{
+    device_.setDisturbanceEnabled(false);
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    for (uint32_t n : subarrays_->disturbedNeighbors(phys))
+        device_.hammer(0, device_.mapping().toLogical(n), 512 * 1024,
+                       36 * kPsPerNs, 0);
+    EXPECT_EQ(device_.countMismatchedBits(0, victim, 0x00), 0u);
+}
+
+TEST_F(DeviceTest, RefreshWipesSubThresholdDisturbance)
+{
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    const uint32_t aggr = device_.mapping().toLogical(
+        subarrays_->disturbedNeighbors(phys)[0]);
+    device_.hammer(0, aggr, 1000, 36 * kPsPerNs, 0);
+    device_.refreshAllRows(0);
+    EXPECT_DOUBLE_EQ(device_.pendingHammers(0, victim), 0.0);
+    EXPECT_EQ(device_.countMismatchedBits(0, victim, 0x00), 0u);
+}
+
+TEST_F(DeviceTest, RowPressLongerOnTimeDisturbsMore)
+{
+    const uint32_t victim = interiorVictim();
+    const uint32_t phys = device_.mapping().toPhysical(victim);
+    const uint32_t aggr = device_.mapping().toLogical(
+        subarrays_->disturbedNeighbors(phys)[0]);
+    device_.hammer(0, aggr, 1000, 36 * kPsPerNs, 0);
+    const double short_on = device_.pendingHammers(0, victim);
+    device_.refreshAllRows(0);
+    device_.hammer(0, aggr, 1000, 2 * kPsPerUs, 0);
+    const double long_on = device_.pendingHammers(0, victim);
+    EXPECT_GT(long_on, 3.0 * short_on);
+}
+
+TEST_F(DeviceTest, RowCloneWithinSubarrayCopies)
+{
+    // Find an intra-subarray pair for which the margin works.
+    const auto &map = *subarrays_;
+    for (uint32_t s = 0; s < 4; ++s) {
+        const uint32_t base = map.subarrayBase(s);
+        const uint32_t src = device_.mapping().toLogical(base + 5);
+        const uint32_t dst = device_.mapping().toLogical(base + 9);
+        device_.activate(0, src, 0);
+        device_.writeRowFill(0, src, 0x5A);
+        device_.precharge(0, 50000);
+        if (device_.rowClone(0, src, dst, 0)) {
+            EXPECT_EQ(device_.countMismatchedBits(0, dst, 0x5A), 0u);
+            return;
+        }
+    }
+    GTEST_SKIP() << "no working RowClone pair in first subarrays";
+}
+
+TEST_F(DeviceTest, RowCloneAcrossSubarraysFails)
+{
+    const auto &map = *subarrays_;
+    ASSERT_GE(map.numSubarrays(), 2u);
+    const uint32_t src = device_.mapping().toLogical(map.subarrayBase(0));
+    const uint32_t dst = device_.mapping().toLogical(map.subarrayBase(1));
+    EXPECT_FALSE(device_.rowClone(0, src, dst, 0));
+}
+
+TEST_F(DeviceTest, StatsCountCommands)
+{
+    device_.activate(0, 10, 0);
+    device_.precharge(0, 50000);
+    device_.hammer(0, 10, 100, 36 * kPsPerNs, 0);
+    EXPECT_EQ(device_.stats().activates, 101u);
+    EXPECT_EQ(device_.stats().precharges, 101u);
+}
+
+} // namespace
+} // namespace svard::dram

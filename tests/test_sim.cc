@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the memory-system simulator: MOP address mapping, workload
+ * generation, core-model window semantics, the controller's timing and
+ * scheduling behaviour, and the end-to-end properties the Fig. 12/13
+ * evaluation rests on (defense overhead ordering, Svärd's gains).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/addrmap.h"
+#include "sim/system.h"
+
+namespace svard::sim {
+namespace {
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    return cfg;
+}
+
+TEST(AddrMap, FieldsWithinBounds)
+{
+    SimConfig cfg;
+    MopMapper mapper(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t addr = rng.next() & ((1ULL << 38) - 1);
+        const auto a = mapper.map(addr);
+        EXPECT_LT(a.rank, cfg.ranks);
+        EXPECT_LT(a.bankGroup, cfg.bankGroups);
+        EXPECT_LT(a.bank, cfg.banksPerGroup);
+        EXPECT_LT(a.row, cfg.rowsPerBank);
+        EXPECT_LT(a.column, cfg.blocksPerRow());
+        EXPECT_LT(mapper.flatBank(a), cfg.totalBanks());
+    }
+}
+
+TEST(AddrMap, ConsecutiveBlocksShareRowThenHopBanks)
+{
+    SimConfig cfg;
+    MopMapper mapper(cfg);
+    const uint64_t base = 1ULL << 30;
+    const auto a0 = mapper.map(base);
+    // Within the 4-block MOP run: same row, same bank.
+    for (uint64_t b = 1; b < cfg.mopWidth; ++b) {
+        const auto a = mapper.map(base + b * 64);
+        EXPECT_EQ(a.row, a0.row);
+        EXPECT_EQ(mapper.flatBank(a), mapper.flatBank(a0));
+    }
+    // Next run: different bank group.
+    const auto a4 = mapper.map(base + cfg.mopWidth * 64);
+    EXPECT_NE(a4.bankGroup, a0.bankGroup);
+}
+
+TEST(AddrMap, RowStrideIs256KiB)
+{
+    SimConfig cfg;
+    MopMapper mapper(cfg);
+    const auto a0 = mapper.map(0);
+    const auto a1 = mapper.map(256 * 1024);
+    EXPECT_EQ(a1.row, a0.row + 1);
+    EXPECT_EQ(mapper.flatBank(a1), mapper.flatBank(a0));
+}
+
+TEST(Workload, SuiteSpansTheBehaviourSpace)
+{
+    const auto &suite = benchmarkSuite();
+    EXPECT_GE(suite.size(), 12u);
+    std::set<std::string> suites;
+    double max_mpki = 0, min_mpki = 1e9;
+    for (const auto &b : suite) {
+        suites.insert(b.suite);
+        max_mpki = std::max(max_mpki, b.mpki);
+        min_mpki = std::min(min_mpki, b.mpki);
+    }
+    EXPECT_GE(suites.size(), 4u); // SPEC06/17, TPC, YCSB, MediaBench
+    EXPECT_GT(max_mpki / min_mpki, 5.0);
+}
+
+TEST(Workload, TraceIsDeterministicAndSized)
+{
+    const auto &prof = benchmarkSuite()[0];
+    const auto a = generateTrace(prof, 5000, 7, 1 << 20);
+    const auto b = generateTrace(prof, 5000, 7, 1 << 20);
+    ASSERT_EQ(a.size(), 5000u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].address, b[i].address);
+        EXPECT_EQ(a[i].gap, b[i].gap);
+    }
+}
+
+TEST(Workload, GapsMatchMpki)
+{
+    const auto &prof = benchmarkByName("ptrchase-hi"); // MPKI 26
+    const auto tr = generateTrace(prof, 20000, 9, 0);
+    double insts = 0;
+    for (const auto &e : tr)
+        insts += e.gap;
+    const double mpki = 1000.0 * tr.size() / insts;
+    EXPECT_NEAR(mpki / prof.mpki, 1.0, 0.15);
+}
+
+TEST(Workload, MixesAreSeededAndCover)
+{
+    const auto mixes = workloadMixes(120, 8, 2024);
+    ASSERT_EQ(mixes.size(), 120u);
+    std::set<uint32_t> used;
+    for (const auto &m : mixes) {
+        EXPECT_EQ(m.benchIdx.size(), 8u);
+        for (uint32_t b : m.benchIdx)
+            used.insert(b);
+    }
+    EXPECT_EQ(used.size(), benchmarkSuite().size());
+    const auto again = workloadMixes(120, 8, 2024);
+    EXPECT_EQ(again[17].benchIdx, mixes[17].benchIdx);
+}
+
+TEST(Workload, AdversarialTracesHaveTheRightShape)
+{
+    SimConfig cfg;
+    MopMapper mapper(cfg);
+    const auto hydra = adversarialHydraTrace(10000, 1);
+    std::set<uint32_t> rows;
+    for (const auto &e : hydra)
+        rows.insert(mapper.map(e.address).row);
+    EXPECT_GT(rows.size(), 4096u); // thrashes the 4K-entry RCC
+
+    const auto rrs = adversarialRrsTrace(1000, 1);
+    std::set<uint32_t> rrs_rows;
+    for (const auto &e : rrs)
+        rrs_rows.insert(mapper.map(e.address).row);
+    EXPECT_EQ(rrs_rows.size(), 2u); // double-sided aggressor pair
+    const auto r0 = mapper.map(rrs[0].address).row;
+    const auto r1 = mapper.map(rrs[1].address).row;
+    EXPECT_EQ(std::max(r0, r1) - std::min(r0, r1), 2u);
+}
+
+TEST(CoreModel, WindowBlocksOnOldReads)
+{
+    SimConfig cfg;
+    // Two reads 200 instructions apart: the second exceeds the
+    // 128-entry window while the first is outstanding -> blocked.
+    std::vector<TraceEntry> tr = {{10, false, 0},
+                                  {200, false, 1 << 20}};
+    CoreModel core(cfg, 0, tr, 2);
+    ASSERT_TRUE(core.canRelease(1000000));
+    uint64_t tok1 = 0;
+    core.release(1000000, &tok1);
+    // Second entry is 200 insts younger than the outstanding read.
+    EXPECT_FALSE(core.canRelease(100000000));
+    core.onReadComplete(tok1, 2000000);
+    EXPECT_TRUE(core.canRelease(100000000));
+}
+
+TEST(CoreModel, IpcApproachesIssueWidthWithoutMisses)
+{
+    SimConfig cfg;
+    // One read then a huge gap of compute: IPC ~ issue width.
+    std::vector<TraceEntry> tr = {{1000000, false, 0}};
+    CoreModel core(cfg, 0, tr, 1);
+    uint64_t tok = 0;
+    core.release(0, &tok);
+    core.onReadComplete(tok, 100000); // fast memory
+    ASSERT_TRUE(core.primaryDone());
+    EXPECT_NEAR(core.ipc(), cfg.issueWidth, 0.2);
+}
+
+TEST(System, SingleCoreRunsToCompletionWithSaneIpc)
+{
+    SimConfig cfg = smallConfig();
+    std::vector<std::vector<TraceEntry>> traces;
+    traces.push_back(
+        generateTrace(benchmarkByName("mixed-md"), 4000, 5, 4ULL << 30));
+    System sys(cfg, std::move(traces), 4000, nullptr);
+    const auto res = sys.run();
+    ASSERT_EQ(res.ipc.size(), 1u);
+    EXPECT_GT(res.ipc[0], 0.05);
+    EXPECT_LT(res.ipc[0], 4.0);
+    EXPECT_GT(res.controller.reads, 2000u);
+    EXPECT_GT(res.controller.activations, 0u);
+}
+
+TEST(System, EightCoresContendAndSlowDown)
+{
+    SimConfig cfg = smallConfig();
+    ExperimentRunner runner(cfg, 3000);
+    const double alone = runner.aloneIpc(2); // ptrchase-hi
+
+    WorkloadMix mix;
+    mix.name = "all-ptrchase";
+    mix.benchIdx.assign(8, 2);
+    const auto m = runner.runMix(mix, DefenseKind::None, nullptr);
+    // Contention: the mix cannot beat eight isolated copies, and at
+    // least one core visibly slows down (pointer chasing is latency-
+    // bound, so queueing shows up before bandwidth saturates).
+    EXPECT_LT(m.weightedSpeedup, 7.95);
+    EXPECT_GT(m.weightedSpeedup, 1.0);
+    EXPECT_GT(m.maxSlowdown, 1.01);
+    EXPECT_GT(alone, 0.0);
+}
+
+TEST(System, RefreshesHappen)
+{
+    SimConfig cfg = smallConfig();
+    std::vector<std::vector<TraceEntry>> traces;
+    traces.push_back(
+        generateTrace(benchmarkByName("compress"), 3000, 5, 4ULL << 30));
+    System sys(cfg, std::move(traces), 3000, nullptr);
+    const auto res = sys.run();
+    // compress is low-MPKI: the run spans many tREFI periods.
+    EXPECT_GT(res.controller.refreshes, 10u);
+}
+
+// -----------------------------------------------------------------
+// Defense overhead shape at a future-chip threshold (Fig. 12 core)
+// -----------------------------------------------------------------
+
+struct Fig12Fixture : public ::testing::Test
+{
+    Fig12Fixture() : runner(smallConfig(), 20000) {}
+
+    double
+    wsFor(DefenseKind kind, double threshold)
+    {
+        auto provider = std::make_shared<core::UniformThreshold>(
+            threshold, runner.config().rowsPerBank);
+        // Hotspot-heavy mix: high per-row activation density, the
+        // regime where count-triggered defenses react within a short
+        // simulated interval.
+        WorkloadMix mix;
+        mix.benchIdx = {16, 17, 16, 17, 16, 17, 16, 17};
+        return runner.runMix(mix, kind, provider).weightedSpeedup;
+    }
+
+    ExperimentRunner runner;
+};
+
+TEST_F(Fig12Fixture, DefenseOverheadsOrderAsInThePaper)
+{
+    const double base = wsFor(DefenseKind::None, 0);
+    const double para = wsFor(DefenseKind::Para, 64);
+    const double bh = wsFor(DefenseKind::BlockHammer, 64);
+    const double hydra = wsFor(DefenseKind::Hydra, 64);
+    const double aqua = wsFor(DefenseKind::Aqua, 64);
+    const double rrs = wsFor(DefenseKind::Rrs, 64);
+
+    // Everyone pays something at HC_first = 64.
+    EXPECT_LT(para, base * 0.99);
+    EXPECT_LT(bh, base);
+    EXPECT_LT(hydra, base);
+    EXPECT_LT(aqua, base);
+    EXPECT_LT(rrs, base);
+    // Robust paper-shape orderings (Fig. 12 at the lowest
+    // thresholds): Hydra is the cheapest, BlockHammer collapses, and
+    // RRS costs about twice AQUA (two-row swaps + unswaps vs. one-row
+    // migration). PARA's position relative to AQUA depends on whether
+    // the system is bank- or bus-bound and is recorded as a deviation
+    // in EXPERIMENTS.md.
+    EXPECT_GT(hydra, aqua);
+    EXPECT_GT(aqua, rrs);
+    EXPECT_GT(rrs, bh);
+    EXPECT_GT(para, rrs);
+}
+
+TEST_F(Fig12Fixture, OverheadGrowsAsThresholdShrinks)
+{
+    const double hi = wsFor(DefenseKind::Para, 4096);
+    const double lo = wsFor(DefenseKind::Para, 64);
+    EXPECT_LT(lo, hi);
+}
+
+TEST_F(Fig12Fixture, SvardImprovesEveryDefenseAtLowThreshold)
+{
+    const auto &spec = dram::moduleByLabel("S0");
+    auto sa = std::make_shared<dram::SubarrayMap>(spec);
+    auto model = std::make_shared<fault::VulnerabilityModel>(spec, sa);
+    auto prof = std::make_shared<core::VulnProfile>(
+        core::VulnProfile::fromModel(*model));
+    auto scaled = std::make_shared<core::VulnProfile>(
+        prof->resampledTo(16, runner.config().rowsPerBank)
+            .scaledTo(64.0));
+    auto svard = std::make_shared<core::Svard>(scaled);
+    auto uni = std::make_shared<core::UniformThreshold>(
+        64.0, runner.config().rowsPerBank);
+
+    WorkloadMix mix;
+    mix.benchIdx = {16, 17, 16, 17, 16, 17, 16, 17};
+    for (DefenseKind kind :
+         {DefenseKind::Para, DefenseKind::BlockHammer,
+          DefenseKind::Hydra, DefenseKind::Aqua, DefenseKind::Rrs}) {
+        const double without =
+            runner.runMix(mix, kind, uni).weightedSpeedup;
+        const double with_svard =
+            runner.runMix(mix, kind, svard).weightedSpeedup;
+        EXPECT_GE(with_svard, without * 0.999)
+            << defenseKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace svard::sim
