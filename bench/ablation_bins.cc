@@ -27,7 +27,7 @@ main()
     const uint32_t n_mixes =
         static_cast<uint32_t>(envInt("SVARD_MIXES", 3));
     const double threshold = 64.0;
-    ExperimentRunner runner(cfg, requests);
+    MixRunner runner(cfg, requests);
     const auto mixes = workloadMixes(120, cfg.cores);
 
     const auto &spec = dram::moduleByLabel("S0");
@@ -67,7 +67,7 @@ main()
         for (uint32_t bins : {2u, 4u, 8u, 14u}) {
             auto prof = std::make_shared<core::VulnProfile>(
                 core::VulnProfile::fromModel(model, bins)
-                    .resampledTo(16, cfg.rowsPerBank)
+                    .resampledTo(cfg.banksPerRank(), cfg.rowsPerBank)
                     .scaledTo(threshold));
             int bits = 1;
             while ((1u << bits) < prof->numBins())

@@ -6,106 +6,71 @@
  * (read-disturbance profiles of modules H1, M0, S0), sweeping the
  * chip's worst-case HC_first from 4K down to 64.
  *
+ * The whole grid is one declarative SweepSpec executed by the
+ * experiment engine, which shards the {defense x threshold x provider
+ * x mix} cells across a thread pool with deterministic per-cell seeds
+ * — the same results at any thread count.
+ *
  * Scale knobs: SVARD_MIXES (default 5; paper scale 120 via
- * SVARD_FULL=1), SVARD_REQS requests per core (default 6000).
+ * SVARD_FULL=1), SVARD_REQS requests per core (default 6000),
+ * SVARD_THREADS worker threads (default: hardware concurrency).
  * Expected shape: overheads grow as HC_first shrinks; ordering
  * Hydra < AQUA < PARA < RRS < BlockHammer; every Svärd configuration
  * is at or above No-Svärd, with S0's profile best.
  */
+#include <algorithm>
 #include <cstdio>
-#include <map>
-#include <memory>
 
 #include "bench_util.h"
-#include "common/stats.h"
-#include "sim/system.h"
+#include "engine/runner.h"
 
 using namespace svard;
 using namespace svard::bench;
-using namespace svard::sim;
-
-namespace {
-
-std::shared_ptr<core::VulnProfile>
-moduleProfile(const char *label, const SimConfig &cfg)
-{
-    const auto &spec = dram::moduleByLabel(label);
-    auto sa = std::make_shared<dram::SubarrayMap>(spec);
-    fault::VulnerabilityModel model(spec, sa);
-    return std::make_shared<core::VulnProfile>(
-        core::VulnProfile::fromModel(model).resampledTo(
-            16, cfg.rowsPerBank));
-}
-
-} // namespace
 
 int
 main()
 {
-    SimConfig cfg;
-    const size_t requests =
+    engine::SweepSpec spec;
+    spec.requestsPerCore =
         static_cast<size_t>(envInt("SVARD_REQS", 6000));
     const uint32_t n_mixes = static_cast<uint32_t>(
         fullScale() ? 120 : envInt("SVARD_MIXES", 5));
-    ExperimentRunner runner(cfg, requests);
+    spec.threads =
+        static_cast<unsigned>(envInt("SVARD_THREADS", 0));
 
-    const auto mixes = workloadMixes(120, cfg.cores);
-    const std::vector<DefenseKind> defenses = {
-        DefenseKind::Aqua, DefenseKind::BlockHammer, DefenseKind::Hydra,
-        DefenseKind::Para, DefenseKind::Rrs};
-    const std::vector<double> thresholds = {4096, 2048, 1024, 512,
-                                            256, 128, 64};
-    const char *profile_labels[] = {"H1", "M0", "S0"};
-    std::map<std::string, std::shared_ptr<core::VulnProfile>> profiles;
-    for (const char *l : profile_labels)
-        profiles[l] = moduleProfile(l, cfg);
+    spec.defenses = {"aqua", "blockhammer", "hydra", "para", "rrs"};
+    spec.thresholds = {4096, 2048, 1024, 512, 256, 128, 64};
+    spec.providers = {engine::ProviderSpec::uniform(),
+                      engine::ProviderSpec::svard("H1"),
+                      engine::ProviderSpec::svard("M0"),
+                      engine::ProviderSpec::svard("S0")};
+    const auto mixes = sim::workloadMixes(120, spec.config.cores);
+    const size_t take =
+        std::min<size_t>(n_mixes, mixes.size());
+    spec.mixes.assign(mixes.begin(), mixes.begin() + take);
 
-    // Per-mix no-defense baselines.
-    std::vector<MixMetrics> base;
-    for (uint32_t m = 0; m < n_mixes; ++m)
-        base.push_back(runner.runMix(mixes[m], DefenseKind::None,
-                                     nullptr));
+    // Paper-scale sweeps run for hours; keep a heartbeat on stderr.
+    spec.onProgress = [](size_t done, size_t total) {
+        const size_t stride = std::max<size_t>(1, total / 20);
+        if (done % stride == 0 || done == total)
+            std::fprintf(stderr, "fig12: %zu/%zu cells done\n", done,
+                         total);
+    };
+
+    engine::ExperimentRunner runner(std::move(spec));
 
     Table t("Fig. 12: defense performance with and without Svärd "
             "(normalized to no-defense baseline, mean over " +
-                std::to_string(n_mixes) + " mixes)",
+                std::to_string(take) + " mixes)",
             {"Defense", "HCfirst", "Config", "WeightedSpeedup",
              "HarmonicSpeedup", "MaxSlowdown"});
 
-    for (DefenseKind kind : defenses) {
-        for (double threshold : thresholds) {
-            for (int c = 0; c < 4; ++c) {
-                std::string config = "NoSvard";
-                std::shared_ptr<const core::ThresholdProvider> provider;
-                if (c == 0) {
-                    provider = std::make_shared<core::UniformThreshold>(
-                        threshold, cfg.rowsPerBank);
-                } else {
-                    const char *l = profile_labels[c - 1];
-                    config = std::string("Svard-") + l;
-                    provider = std::make_shared<core::Svard>(
-                        std::make_shared<core::VulnProfile>(
-                            profiles[l]->scaledTo(threshold)));
-                }
-                std::vector<double> ws, hs, sd;
-                for (uint32_t m = 0; m < n_mixes; ++m) {
-                    const auto r =
-                        runner.runMix(mixes[m], kind, provider);
-                    ws.push_back(r.weightedSpeedup /
-                                 base[m].weightedSpeedup);
-                    hs.push_back(r.harmonicSpeedup /
-                                 base[m].harmonicSpeedup);
-                    sd.push_back(r.maxSlowdown / base[m].maxSlowdown);
-                }
-                t.addRow({defenseKindName(kind),
-                          Table::fmtHc(int64_t(threshold)), config,
-                          Table::fmt(mean(ws), 4),
-                          Table::fmt(mean(hs), 4),
-                          Table::fmt(mean(sd), 4)});
-            }
-        }
-        std::fprintf(stderr, "fig12: %s done\n", defenseKindName(kind));
-    }
+    for (const auto &row : runner.summarize())
+        t.addRow({row.defense, Table::fmtHc(int64_t(row.threshold)),
+                  row.provider,
+                  Table::fmt(row.meanNormalized.weightedSpeedup, 4),
+                  Table::fmt(row.meanNormalized.harmonicSpeedup, 4),
+                  Table::fmt(row.meanNormalized.maxSlowdown, 4)});
     t.print();
     return 0;
 }

@@ -7,100 +7,58 @@
  * to the No-Svärd slowdown: Svärd configurations land below 1.0, S0's
  * profile lowest; Hydra's reduction is small (its adversarial cost is
  * counter traffic, which Svärd does not reduce), RRS's is large.
+ *
+ * The {attack case x provider x target row} grid runs through the
+ * experiment engine's adversarial sweep (SVARD_THREADS workers,
+ * deterministic per-cell seeds).
  */
-#include <map>
-#include <memory>
-
 #include "bench_util.h"
-#include "sim/system.h"
+#include "engine/runner.h"
 
 using namespace svard;
 using namespace svard::bench;
-using namespace svard::sim;
-
-namespace {
-
-std::shared_ptr<core::VulnProfile>
-moduleProfile(const char *label, const SimConfig &cfg, double threshold)
-{
-    const auto &spec = dram::moduleByLabel(label);
-    auto sa = std::make_shared<dram::SubarrayMap>(spec);
-    fault::VulnerabilityModel model(spec, sa);
-    return std::make_shared<core::VulnProfile>(
-        core::VulnProfile::fromModel(model)
-            .resampledTo(16, cfg.rowsPerBank)
-            .scaledTo(threshold));
-}
-
-} // namespace
 
 int
 main()
 {
-    SimConfig cfg;
-    const double threshold = 64.0;
-    const size_t requests =
+    engine::AdversarialSpec adv;
+    adv.threshold = 64.0;
+    adv.requestsPerCore =
         static_cast<size_t>(envInt("SVARD_REQS", 6000));
-    ExperimentRunner runner(cfg, requests);
+    adv.threads = static_cast<unsigned>(envInt("SVARD_THREADS", 0));
+    const size_t requests = adv.requestsPerCore;
 
-    Table t("Fig. 13: slowdown under adversarial access patterns "
-            "(normalized to No-Svärd; HCfirst = 64)",
-            {"Defense", "Config", "BenignWS", "Slowdown",
-             "NormToNoSvard"});
-
-    struct Case
-    {
-        DefenseKind kind;
-        std::vector<std::vector<TraceEntry>> traces;
-    };
-    std::vector<Case> cases;
-    cases.push_back({DefenseKind::Hydra,
-                     {adversarialHydraTrace(requests, 3)}});
+    adv.cases.push_back(
+        {"Hydra-thrash", "hydra",
+         {sim::adversarialHydraTrace(requests, 3)}});
     // The RRS attacker hammers a fixed row pair; its vulnerability bin
     // decides Svärd's headroom, so average over several target rows
     // (the expected-case attacker does not know the profile).
-    cases.push_back({DefenseKind::Rrs,
-                     {adversarialRrsTrace(requests, 3, 1537),
-                      adversarialRrsTrace(requests, 3, 5011),
-                      adversarialRrsTrace(requests, 3, 9973),
-                      adversarialRrsTrace(requests, 3, 20011)}});
+    adv.cases.push_back(
+        {"RRS-swap", "rrs",
+         {sim::adversarialRrsTrace(requests, 3, 1537),
+          sim::adversarialRrsTrace(requests, 3, 5011),
+          sim::adversarialRrsTrace(requests, 3, 9973),
+          sim::adversarialRrsTrace(requests, 3, 20011)}});
+    adv.providers = {engine::ProviderSpec::uniform(),
+                     engine::ProviderSpec::svard("S0"),
+                     engine::ProviderSpec::svard("M0"),
+                     engine::ProviderSpec::svard("H1")};
 
-    for (auto &c : cases) {
-        struct Config
-        {
-            std::string name;
-            std::shared_ptr<const core::ThresholdProvider> provider;
-        };
-        std::vector<Config> configs;
-        configs.push_back(
-            {"NoSvard", std::make_shared<core::UniformThreshold>(
-                            threshold, cfg.rowsPerBank)});
-        for (const char *l : {"S0", "M0", "H1"})
-            configs.push_back(
-                {std::string("Svard-") + l,
-                 std::make_shared<core::Svard>(
-                     moduleProfile(l, cfg, threshold))});
+    const auto results = engine::runAdversarialSweep(adv);
 
-        double no_svard_slowdown = 1.0;
-        for (size_t i = 0; i < configs.size(); ++i) {
-            double ws_sum = 0.0, slowdown_sum = 0.0;
-            for (const auto &trace : c.traces) {
-                const double ws_ref = runner.runAdversarial(
-                    trace, DefenseKind::None, nullptr);
-                const double ws = runner.runAdversarial(
-                    trace, c.kind, configs[i].provider);
-                ws_sum += ws;
-                slowdown_sum += ws_ref / std::max(ws, 1e-9);
-            }
-            const double ws = ws_sum / c.traces.size();
-            const double slowdown = slowdown_sum / c.traces.size();
-            if (i == 0)
-                no_svard_slowdown = slowdown;
-            t.addRow({defenseKindName(c.kind), configs[i].name,
-                      Table::fmt(ws, 3), Table::fmt(slowdown, 3),
-                      Table::fmt(slowdown / no_svard_slowdown, 3)});
-        }
-    }
+    Table t("Fig. 13: slowdown under adversarial access patterns "
+            "(normalized to No-Svärd; HCfirst = 64)",
+            {"Case", "Defense", "Config", "BenignWS", "Slowdown",
+             "NormToNoSvard"});
+
+    // The engine normalizes each case to its first provider — the
+    // No-Svärd baseline leading adv.providers above.
+    for (const auto &r : results)
+        t.addRow({r.caseName, r.defense, r.provider,
+                  Table::fmt(r.benignWs, 3),
+                  Table::fmt(r.slowdown, 3),
+                  Table::fmt(r.normalizedSlowdown, 3)});
     t.print();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/svard.h"
+#include "defense/registry.h"
 #include "fault/vuln_model.h"
 
 using namespace svard;
@@ -76,6 +77,27 @@ BM_ProfileScaling(benchmark::State &state)
         benchmark::DoNotOptimize(prof->scaledTo(64.0));
 }
 BENCHMARK(BM_ProfileScaling);
+
+/**
+ * Defense construction through the registry: the experiment engine
+ * pays this once per sweep cell, so it must stay negligible next to
+ * the cell's simulation time.
+ */
+void
+BM_RegistryConstruct(benchmark::State &state)
+{
+    auto svard = std::make_shared<core::Svard>(profileS3());
+    const auto names =
+        defense::DefenseRegistry::instance().names();
+    size_t i = 0;
+    for (auto _ : state) {
+        const defense::DefenseContext ctx(svard, 7, 16);
+        benchmark::DoNotOptimize(defense::makeDefenseByName(
+            names[i % names.size()], ctx));
+        ++i;
+    }
+}
+BENCHMARK(BM_RegistryConstruct);
 
 } // namespace
 

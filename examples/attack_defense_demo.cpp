@@ -11,35 +11,13 @@
 #include <cstdio>
 #include <memory>
 
-#include "defense/aqua.h"
-#include "defense/blockhammer.h"
-#include "defense/graphene.h"
 #include "defense/harness.h"
-#include "defense/hydra.h"
-#include "defense/para.h"
-#include "defense/rrs.h"
+#include "defense/registry.h"
 #include "fault/vuln_model.h"
 
 using namespace svard;
 using defense::AttackOptions;
 using defense::runDoubleSidedAttack;
-
-namespace {
-
-std::unique_ptr<defense::Defense>
-make(int i, std::shared_ptr<const core::ThresholdProvider> thr)
-{
-    switch (i) {
-      case 0: return std::make_unique<defense::Para>(thr, 7);
-      case 1: return std::make_unique<defense::BlockHammer>(thr);
-      case 2: return std::make_unique<defense::Hydra>(thr);
-      case 3: return std::make_unique<defense::Aqua>(thr);
-      case 4: return std::make_unique<defense::Rrs>(thr);
-      default: return std::make_unique<defense::Graphene>(thr);
-    }
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -75,7 +53,7 @@ main(int argc, char **argv)
     }
     const char *names[] = {"PARA", "BlockHammer", "Hydra",
                            "AQUA", "RRS", "Graphene"};
-    for (int i = 0; i < 6; ++i) {
+    for (const char *name : names) {
         for (int with_svard = 0; with_svard < 2; ++with_svard) {
             std::shared_ptr<const core::ThresholdProvider> thr;
             if (with_svard)
@@ -84,10 +62,13 @@ main(int argc, char **argv)
                 thr = std::make_shared<core::UniformThreshold>(
                     profile->minThreshold(), spec.rowsPerBank);
             dram::DramDevice dev(spec, subarrays, model);
-            auto d = make(i, thr);
+            // Registry lookups are case-insensitive, so the display
+            // names double as registry names.
+            auto d = defense::makeDefenseByName(
+                name, defense::DefenseContext(thr, 7, spec.banks));
             const auto r = runDoubleSidedAttack(dev, d.get(), attack);
             std::printf("%-12s %-9s %9llu %9llu %9llu %9llu\n",
-                        names[i], with_svard ? "Svärd" : "uniform",
+                        name, with_svard ? "Svärd" : "uniform",
                         (unsigned long long)r.bitflips,
                         (unsigned long long)r.preventiveRefreshes,
                         (unsigned long long)r.throttleEvents,
@@ -100,8 +81,11 @@ main(int argc, char **argv)
                 "activation counting\n");
     attack.tAggOn = 2 * dram::kPsPerUs;
     dram::DramDevice dev(spec, subarrays, model);
-    defense::Graphene g(std::make_shared<core::Svard>(profile));
-    const auto r = runDoubleSidedAttack(dev, &g, attack);
+    auto g = defense::makeDefenseByName(
+        "graphene",
+        defense::DefenseContext(std::make_shared<core::Svard>(profile),
+                                1, spec.banks));
+    const auto r = runDoubleSidedAttack(dev, g.get(), attack);
     std::printf("Graphene under RowPress: %llu bitflips "
                 "(activation counts alone are not sufficient)\n",
                 (unsigned long long)r.bitflips);

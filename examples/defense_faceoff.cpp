@@ -25,7 +25,7 @@ main(int argc, char **argv)
     const size_t requests = argc > 2 ? std::atol(argv[2]) : 6000;
 
     SimConfig cfg;
-    ExperimentRunner runner(cfg, requests);
+    MixRunner runner(cfg, requests);
     WorkloadMix mix;
     mix.name = "faceoff";
     mix.benchIdx = {16, 17, 16, 17, 0, 2, 8, 11};
@@ -35,10 +35,10 @@ main(int argc, char **argv)
     fault::VulnerabilityModel model(spec, sa);
     auto profile = std::make_shared<core::VulnProfile>(
         core::VulnProfile::fromModel(model)
-            .resampledTo(16, cfg.rowsPerBank)
+            .resampledTo(cfg.banksPerRank(), cfg.rowsPerBank)
             .scaledTo(threshold));
 
-    const auto base = runner.runMix(mix, DefenseKind::None, nullptr);
+    const auto base = runner.runMix(mix, "none", nullptr);
     std::printf("No defense: WS %.3f HS %.3f maxSd %.3f "
                 "(HC_first sweep point: %.0f)\n\n",
                 base.weightedSpeedup, base.harmonicSpeedup,
@@ -46,10 +46,12 @@ main(int argc, char **argv)
     std::printf("%-12s %-9s %10s %10s %10s\n", "defense", "config",
                 "normWS", "normHS", "normMaxSd");
 
-    for (DefenseKind kind :
-         {DefenseKind::Para, DefenseKind::BlockHammer,
-          DefenseKind::Hydra, DefenseKind::Aqua, DefenseKind::Rrs,
-          DefenseKind::Graphene}) {
+    // Every defense the registry knows, skipping the "none" baseline
+    // (extensions registered at startup show up here automatically).
+    for (const auto &name :
+         defense::DefenseRegistry::instance().names()) {
+        if (name == "none")
+            continue;
         for (int with_svard = 0; with_svard < 2; ++with_svard) {
             std::shared_ptr<const core::ThresholdProvider> thr;
             if (with_svard)
@@ -57,9 +59,9 @@ main(int argc, char **argv)
             else
                 thr = std::make_shared<core::UniformThreshold>(
                     threshold, cfg.rowsPerBank);
-            const auto m = runner.runMix(mix, kind, thr);
+            const auto m = runner.runMix(mix, name, thr);
             std::printf("%-12s %-9s %10.4f %10.4f %10.4f\n",
-                        defenseKindName(kind),
+                        name.c_str(),
                         with_svard ? "Svärd-S0" : "uniform",
                         m.weightedSpeedup / base.weightedSpeedup,
                         m.harmonicSpeedup / base.harmonicSpeedup,

@@ -17,7 +17,7 @@
 
 #include "charz/characterizer.h"
 #include "defense/harness.h"
-#include "defense/para.h"
+#include "defense/registry.h"
 #include "fault/vuln_model.h"
 
 using namespace svard;
@@ -73,10 +73,16 @@ main()
     }
     {
         dram::DramDevice dev(spec, subarrays, model);
-        defense::Para para(std::make_shared<core::UniformThreshold>(
-            profile->minThreshold(), spec.rowsPerBank));
+        // Defenses are constructed by name through the registry; the
+        // context threads the module's geometry into bank folding.
+        auto para = defense::makeDefenseByName(
+            "para",
+            defense::DefenseContext(
+                std::make_shared<core::UniformThreshold>(
+                    profile->minThreshold(), spec.rowsPerBank),
+                1, spec.banks));
         const auto res =
-            defense::runDoubleSidedAttack(dev, &para, attack);
+            defense::runDoubleSidedAttack(dev, para.get(), attack);
         std::printf("PARA (no Svärd): %llu bitflips, "
                     "%llu preventive refreshes\n",
                     (unsigned long long)res.bitflips,
@@ -84,9 +90,12 @@ main()
     }
     {
         dram::DramDevice dev(spec, subarrays, model);
-        defense::Para para(std::make_shared<core::Svard>(profile));
+        auto para = defense::makeDefenseByName(
+            "para", defense::DefenseContext(
+                        std::make_shared<core::Svard>(profile), 1,
+                        spec.banks));
         const auto res =
-            defense::runDoubleSidedAttack(dev, &para, attack);
+            defense::runDoubleSidedAttack(dev, para.get(), attack);
         std::printf("PARA + Svärd:    %llu bitflips, "
                     "%llu preventive refreshes "
                     "(same guarantee, fewer actions)\n",

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal deterministic work-sharing: run an index-addressed job list
+ * across a pool of std::threads. Work items must be independent and
+ * write only to their own result slots; the helper guarantees every
+ * index runs exactly once, so a run's outputs are identical for any
+ * thread count (the properties the experiment engine's sharded sweeps
+ * rely on).
+ */
+#ifndef SVARD_COMMON_PARALLEL_H
+#define SVARD_COMMON_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace svard {
+
+/** Threads to use for `0 = auto` requests. */
+inline unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/**
+ * Invoke `fn(i)` once for every i in [0, n), sharded over `threads`
+ * workers (0 = hardware concurrency). With threads == 1 the calls run
+ * inline in index order — handy for debugging and for determinism
+ * comparisons against sharded runs.
+ */
+inline void
+parallelFor(size_t n, unsigned threads,
+            const std::function<void(size_t)> &fn)
+{
+    const unsigned workers =
+        static_cast<unsigned>(std::min<size_t>(resolveThreadCount(threads), n));
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back([&] {
+            for (size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace svard
+
+#endif // SVARD_COMMON_PARALLEL_H

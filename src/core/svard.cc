@@ -45,4 +45,10 @@ Svard::rowsPerBank() const
     return profile_->rowsPerBank();
 }
 
+uint32_t
+Svard::banks() const
+{
+    return profile_->banks();
+}
+
 } // namespace svard::core

@@ -42,6 +42,13 @@ class ThresholdProvider
     virtual double worstCase() const = 0;
 
     virtual uint32_t rowsPerBank() const = 0;
+
+    /**
+     * Banks the provider distinguishes, or 0 when the threshold is
+     * bank-agnostic (uniform). Defenses fold flat bank indices into
+     * this space before looking thresholds up.
+     */
+    virtual uint32_t banks() const { return 0; }
 };
 
 /**
@@ -83,6 +90,7 @@ class Svard : public ThresholdProvider
     double victimThreshold(uint32_t bank, uint32_t row) const override;
     double worstCase() const override;
     uint32_t rowsPerBank() const override;
+    uint32_t banks() const override;
 
     const VulnProfile &profile() const { return *profile_; }
 

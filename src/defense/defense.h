@@ -87,6 +87,20 @@ class Defense
         return *threshold_;
     }
 
+    /**
+     * Configure how many banks one rank holds so flat controller bank
+     * indices fold onto the profile's bank space. Called by the
+     * registry / simulation engine with the geometry under test;
+     * defaults to the paper system's 16 banks per rank.
+     */
+    void
+    setBanksPerRank(uint32_t banks_per_rank)
+    {
+        banksPerRank_ = banks_per_rank == 0 ? 1 : banks_per_rank;
+    }
+
+    uint32_t banksPerRank() const { return banksPerRank_; }
+
   protected:
     /** Threshold lookup for a victim row (bank folded to profile). */
     double
@@ -102,15 +116,25 @@ class Defense
         return threshold_->aggressorBudget(foldBank(bank), row);
     }
 
-    /** Profiles cover one rank's banks; fold flat bank indices. */
+    /**
+     * Profiles cover one rank's banks; fold flat bank indices into
+     * the configured banks-per-rank, then into the provider's own
+     * bank space when it is narrower (e.g. a profile characterized on
+     * fewer banks than the simulated geometry exposes).
+     */
     uint32_t
     foldBank(uint32_t bank) const
     {
-        return bank % 16;
+        uint32_t folded = bank % banksPerRank_;
+        const uint32_t provider_banks = threshold_->banks();
+        if (provider_banks != 0 && folded >= provider_banks)
+            folded %= provider_banks;
+        return folded;
     }
 
     std::shared_ptr<const core::ThresholdProvider> threshold_;
     DefenseStats stats_;
+    uint32_t banksPerRank_ = 16;
 };
 
 } // namespace svard::defense

@@ -1,0 +1,118 @@
+#include "defense/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "defense/aqua.h"
+#include "defense/blockhammer.h"
+#include "defense/graphene.h"
+#include "defense/hydra.h"
+#include "defense/para.h"
+#include "defense/rrs.h"
+
+namespace svard::defense {
+
+namespace {
+
+std::string
+lowered(const std::string &name)
+{
+    std::string out = name;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/** Wrap a plain constructor call into a geometry-applying factory. */
+template <typename Make>
+DefenseFactory
+geometryAware(Make make)
+{
+    return [make](const DefenseContext &ctx) -> std::unique_ptr<Defense> {
+        std::unique_ptr<Defense> d = make(ctx);
+        if (d)
+            d->setBanksPerRank(ctx.banksPerRank);
+        return d;
+    };
+}
+
+} // anonymous namespace
+
+DefenseRegistry::DefenseRegistry()
+{
+    add("none", [](const DefenseContext &) { return nullptr; });
+    add("para", geometryAware([](const DefenseContext &ctx) {
+            return std::make_unique<Para>(ctx.provider, ctx.seed);
+        }));
+    add("blockhammer", geometryAware([](const DefenseContext &ctx) {
+            return std::make_unique<BlockHammer>(ctx.provider);
+        }));
+    add("hydra", geometryAware([](const DefenseContext &ctx) {
+            return std::make_unique<Hydra>(ctx.provider);
+        }));
+    add("aqua", geometryAware([](const DefenseContext &ctx) {
+            return std::make_unique<Aqua>(ctx.provider);
+        }));
+    add("rrs", geometryAware([](const DefenseContext &ctx) {
+            return std::make_unique<Rrs>(ctx.provider, Rrs::Params{},
+                                         ctx.seed);
+        }));
+    add("graphene", geometryAware([](const DefenseContext &ctx) {
+            return std::make_unique<Graphene>(ctx.provider);
+        }));
+}
+
+DefenseRegistry &
+DefenseRegistry::instance()
+{
+    static DefenseRegistry registry;
+    return registry;
+}
+
+void
+DefenseRegistry::add(const std::string &name, DefenseFactory factory)
+{
+    SVARD_ASSERT(!name.empty(), "defense name must be non-empty");
+    factories_[lowered(name)] = std::move(factory);
+}
+
+bool
+DefenseRegistry::contains(const std::string &name) const
+{
+    return factories_.count(lowered(name)) != 0;
+}
+
+std::vector<std::string>
+DefenseRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out; // std::map iterates sorted
+}
+
+std::unique_ptr<Defense>
+DefenseRegistry::make(const std::string &name,
+                      const DefenseContext &ctx) const
+{
+    const auto it = factories_.find(lowered(name));
+    if (it == factories_.end()) {
+        std::string known;
+        for (const auto &n : names())
+            known += (known.empty() ? "" : ", ") + n;
+        throw std::invalid_argument("unknown defense \"" + name +
+                                    "\" (known: " + known + ")");
+    }
+    return it->second(ctx);
+}
+
+std::unique_ptr<Defense>
+makeDefenseByName(const std::string &name, const DefenseContext &ctx)
+{
+    return DefenseRegistry::instance().make(name, ctx);
+}
+
+} // namespace svard::defense

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Name-indexed registry of read-disturbance defenses.
+ *
+ * Every construction site in the repo (benches, examples, tests, the
+ * experiment engine) goes through this registry instead of wiring
+ * concrete defense classes by hand: a defense is a string name plus a
+ * DefenseContext carrying the threshold provider, the deterministic
+ * seed, and the DRAM geometry under test. Factories thread the
+ * geometry into Defense::setBanksPerRank so bank folding follows the
+ * simulated module instead of a hardcoded constant.
+ *
+ * The registry is open: extensions register additional defenses at
+ * startup (DefenseRegistry::instance().add(...)) and every sweep-spec
+ * consumer picks them up by name with no further plumbing.
+ */
+#ifndef SVARD_DEFENSE_REGISTRY_H
+#define SVARD_DEFENSE_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+#include "sim/config.h"
+
+namespace svard::defense {
+
+/** Everything a defense factory needs to stand up an instance. */
+struct DefenseContext
+{
+    explicit DefenseContext(
+        std::shared_ptr<const core::ThresholdProvider> thr,
+        uint64_t rng_seed = 1, uint32_t banks_per_rank = 16)
+        : provider(std::move(thr)), seed(rng_seed),
+          banksPerRank(banks_per_rank)
+    {}
+
+    /** Geometry-aware context for a simulated system configuration. */
+    DefenseContext(const sim::SimConfig &cfg,
+                   std::shared_ptr<const core::ThresholdProvider> thr,
+                   uint64_t rng_seed = 1)
+        : provider(std::move(thr)), seed(rng_seed),
+          banksPerRank(cfg.banksPerRank())
+    {}
+
+    std::shared_ptr<const core::ThresholdProvider> provider;
+    uint64_t seed = 1;
+    uint32_t banksPerRank = 16;
+};
+
+using DefenseFactory =
+    std::function<std::unique_ptr<Defense>(const DefenseContext &)>;
+
+/**
+ * String -> factory map with the built-in defenses pre-registered:
+ * "none", "para", "blockhammer", "hydra", "aqua", "rrs", "graphene".
+ * Lookups are case-insensitive ("PARA" and "para" are the same
+ * defense); registered names are stored lowercase.
+ */
+class DefenseRegistry
+{
+  public:
+    /** The process-wide registry (built-ins registered on first use). */
+    static DefenseRegistry &instance();
+
+    /**
+     * Register a defense. Registering an existing name replaces the
+     * factory (tests override built-ins with instrumented variants).
+     */
+    void add(const std::string &name, DefenseFactory factory);
+
+    bool contains(const std::string &name) const;
+
+    /** All registered names, sorted ("none" included). */
+    std::vector<std::string> names() const;
+
+    /**
+     * Construct a defense by name. "none" yields nullptr (baseline).
+     * @throws std::invalid_argument for unregistered names, listing
+     *         the known ones.
+     */
+    std::unique_ptr<Defense> make(const std::string &name,
+                                  const DefenseContext &ctx) const;
+
+  private:
+    DefenseRegistry(); ///< registers the built-ins
+
+    std::map<std::string, DefenseFactory> factories_;
+};
+
+/** Convenience wrapper over DefenseRegistry::instance().make(). */
+std::unique_ptr<Defense> makeDefenseByName(const std::string &name,
+                                           const DefenseContext &ctx);
+
+} // namespace svard::defense
+
+#endif // SVARD_DEFENSE_REGISTRY_H

@@ -1,0 +1,444 @@
+#include "engine/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "dram/module_spec.h"
+#include "fault/vuln_model.h"
+
+namespace svard::engine {
+
+namespace {
+
+double
+safeRatio(double num, double den)
+{
+    return num / std::max(den, 1e-12);
+}
+
+/**
+ * Reject typoed module labels on the caller's thread: inside a
+ * sharded worker, moduleByLabel's fatal() would kill the sweep
+ * uncatchably mid-run.
+ */
+void
+validateProviderLabels(const std::vector<ProviderSpec> &providers)
+{
+    for (const auto &p : providers) {
+        if (p.moduleLabel.empty())
+            continue;
+        bool known = false;
+        for (const auto &m : dram::allModules())
+            known = known || m.label == p.moduleLabel;
+        if (!known)
+            throw std::invalid_argument(
+                "unknown module label \"" + p.moduleLabel +
+                "\" in provider spec \"" + p.name + "\"");
+    }
+}
+
+/** Build a module's profile resampled onto a geometry. */
+std::shared_ptr<const core::VulnProfile>
+buildProfile(const std::string &label, const sim::SimConfig &cfg)
+{
+    const auto &spec = dram::moduleByLabel(label);
+    auto sa = std::make_shared<dram::SubarrayMap>(spec);
+    fault::VulnerabilityModel model(spec, sa);
+    return std::make_shared<core::VulnProfile>(
+        core::VulnProfile::fromModel(model).resampledTo(
+            cfg.banksPerRank(), cfg.rowsPerBank));
+}
+
+} // anonymous namespace
+
+ExperimentRunner::ExperimentRunner(SweepSpec spec)
+    : spec_(std::move(spec))
+{
+    geoms_ = spec_.geometries.empty()
+                 ? std::vector<sim::SimConfig>{spec_.config}
+                 : spec_.geometries;
+    // Validate names up front: a typo must throw here on the caller's
+    // thread, not inside a sharded worker.
+    for (const auto &name : spec_.defenses)
+        if (!defense::DefenseRegistry::instance().contains(name))
+            throw std::invalid_argument(
+                "unknown defense \"" + name + "\" in sweep spec");
+    validateProviderLabels(spec_.providers);
+    SVARD_ASSERT(!spec_.defenses.empty(), "sweep needs defenses");
+    SVARD_ASSERT(!spec_.thresholds.empty(), "sweep needs thresholds");
+    SVARD_ASSERT(!spec_.providers.empty(), "sweep needs providers");
+    SVARD_ASSERT(!spec_.mixes.empty(), "sweep needs workload mixes");
+}
+
+uint64_t
+ExperimentRunner::cellSeed(const SweepCell &c) const
+{
+    return hashSeed({spec_.baseSeed, c.geom, c.defense, c.threshold,
+                     c.provider, c.mix, 0x5EEDCE11ULL});
+}
+
+std::shared_ptr<const core::VulnProfile>
+ExperimentRunner::baseProfile(uint32_t geom,
+                              const std::string &label) const
+{
+    const auto it = profiles_.find({geom, label});
+    SVARD_ASSERT(it != profiles_.end(),
+                 "profile not prebuilt: " + label);
+    return it->second;
+}
+
+std::shared_ptr<const core::ThresholdProvider>
+ExperimentRunner::makeProvider(uint32_t geom, const ProviderSpec &p,
+                               double threshold) const
+{
+    if (p.moduleLabel.empty())
+        return std::make_shared<core::UniformThreshold>(
+            threshold, geoms_[geom].rowsPerBank);
+    return std::make_shared<core::Svard>(
+        std::make_shared<core::VulnProfile>(
+            baseProfile(geom, p.moduleLabel)->scaledTo(threshold)));
+}
+
+std::vector<uint32_t>
+ExperimentRunner::benchesUsed() const
+{
+    std::set<uint32_t> used;
+    for (const auto &mix : spec_.mixes)
+        for (uint32_t b : mix.benchIdx)
+            used.insert(b);
+    return {used.begin(), used.end()};
+}
+
+sim::MixMetrics
+ExperimentRunner::runMixCell(
+    uint32_t geom, uint32_t mix, const std::string &defense_name,
+    std::shared_ptr<const core::ThresholdProvider> provider,
+    uint64_t seed) const
+{
+    // Copy the prebuilt traces: System consumes them, and cells
+    // sharing a mix run concurrently.
+    sim::System sys(geoms_[geom], mixTraces_[mix],
+                    spec_.requestsPerCore, defense_name,
+                    std::move(provider), seed);
+    const auto &alone = aloneIpc_[geom];
+    return sim::computeMixMetrics(
+        sys.run(), spec_.mixes[mix],
+        [&](uint32_t b) { return alone[b]; });
+}
+
+void
+ExperimentRunner::computeBaselines()
+{
+    // Phase 0: module profiles (read-only once sharding starts).
+    std::vector<std::pair<uint32_t, std::string>> wanted;
+    for (uint32_t g = 0; g < geoms_.size(); ++g)
+        for (const auto &p : spec_.providers)
+            if (!p.moduleLabel.empty() &&
+                !profiles_.count({g, p.moduleLabel})) {
+                profiles_[{g, p.moduleLabel}] = nullptr;
+                wanted.push_back({g, p.moduleLabel});
+            }
+    // Assign through find(): keys were inserted serially above, and
+    // map::find is data-race-const, unlike operator[].
+    parallelFor(wanted.size(), spec_.threads, [&](size_t i) {
+        profiles_.find(wanted[i])->second =
+            buildProfile(wanted[i].second, geoms_[wanted[i].first]);
+    });
+
+    // Phase 1: per-mix traces (seeded by the base seed only, so one
+    // generation serves every geometry and defense configuration).
+    const auto &suite = sim::benchmarkSuite();
+    mixTraces_.resize(spec_.mixes.size());
+    parallelFor(spec_.mixes.size(), spec_.threads, [&](size_t m) {
+        const auto &mix = spec_.mixes[m];
+        for (uint32_t c = 0; c < mix.benchIdx.size(); ++c)
+            mixTraces_[m].push_back(sim::generateTrace(
+                suite[mix.benchIdx[c]], spec_.requestsPerCore,
+                spec_.baseSeed,
+                sim::coreTraceOffset(spec_.baseSeed, c)));
+    });
+
+    // Phase 2: per-(geometry, benchmark) alone IPCs.
+    const auto benches = benchesUsed();
+    aloneIpc_.assign(geoms_.size(),
+                     std::vector<double>(suite.size(), 0.0));
+    parallelFor(geoms_.size() * benches.size(), spec_.threads,
+                [&](size_t i) {
+        const uint32_t g = static_cast<uint32_t>(i / benches.size());
+        const uint32_t b = benches[i % benches.size()];
+        std::vector<std::vector<sim::TraceEntry>> traces;
+        traces.push_back(sim::generateTrace(
+            suite[b], spec_.requestsPerCore, spec_.baseSeed,
+            sim::coreTraceOffset(spec_.baseSeed, 0)));
+        sim::System sys(geoms_[g], std::move(traces),
+                        spec_.requestsPerCore, nullptr);
+        aloneIpc_[g][b] = std::max(sys.run().ipc[0], 1e-9);
+    });
+
+    // Phase 3: per-(geometry, mix) no-defense baselines.
+    mixBase_.assign(geoms_.size(), std::vector<sim::MixMetrics>(
+                                       spec_.mixes.size()));
+    parallelFor(geoms_.size() * spec_.mixes.size(), spec_.threads,
+                [&](size_t i) {
+        const uint32_t g =
+            static_cast<uint32_t>(i / spec_.mixes.size());
+        const uint32_t m =
+            static_cast<uint32_t>(i % spec_.mixes.size());
+        SweepCell base;
+        base.geom = g;
+        base.mix = m;
+        mixBase_[g][m] = runMixCell(g, m, "none", nullptr,
+                                    cellSeed(base));
+    });
+}
+
+const std::vector<CellResult> &
+ExperimentRunner::run()
+{
+    if (ran_)
+        return results_;
+    computeBaselines();
+
+    // Enumerate the grid, axis order fixed by the spec.
+    std::vector<SweepCell> cells;
+    for (uint32_t g = 0; g < geoms_.size(); ++g)
+        for (uint32_t d = 0; d < spec_.defenses.size(); ++d)
+            for (uint32_t t = 0; t < spec_.thresholds.size(); ++t)
+                for (uint32_t p = 0; p < spec_.providers.size(); ++p)
+                    for (uint32_t m = 0; m < spec_.mixes.size(); ++m)
+                        cells.push_back({g, d, t, p, m});
+
+    results_.assign(cells.size(), CellResult{});
+    std::atomic<size_t> done{0};
+    parallelFor(cells.size(), spec_.threads, [&](size_t i) {
+        const SweepCell &c = cells[i];
+        CellResult &out = results_[i];
+        out.cell = c;
+        out.seed = cellSeed(c);
+        out.defense = spec_.defenses[c.defense];
+        out.threshold = spec_.thresholds[c.threshold];
+        out.provider = spec_.providers[c.provider].name;
+        out.mix = spec_.mixes[c.mix].name;
+        out.metrics = runMixCell(
+            c.geom, c.mix, out.defense,
+            makeProvider(c.geom, spec_.providers[c.provider],
+                         out.threshold),
+            out.seed);
+        const sim::MixMetrics &base = mixBase_[c.geom][c.mix];
+        out.normalized.weightedSpeedup = safeRatio(
+            out.metrics.weightedSpeedup, base.weightedSpeedup);
+        out.normalized.harmonicSpeedup = safeRatio(
+            out.metrics.harmonicSpeedup, base.harmonicSpeedup);
+        out.normalized.maxSlowdown =
+            safeRatio(out.metrics.maxSlowdown, base.maxSlowdown);
+        if (spec_.onProgress)
+            spec_.onProgress(done.fetch_add(1) + 1, cells.size());
+    });
+    ran_ = true;
+    return results_;
+}
+
+std::vector<SummaryRow>
+ExperimentRunner::summarize()
+{
+    run();
+    std::vector<SummaryRow> rows;
+    const size_t mixes = spec_.mixes.size();
+    // Cells are mix-contiguous in enumeration order.
+    for (size_t start = 0; start < results_.size(); start += mixes) {
+        const CellResult &first = results_[start];
+        SummaryRow row;
+        row.geom = first.cell.geom;
+        row.defense = first.defense;
+        row.threshold = first.threshold;
+        row.provider = first.provider;
+        row.mixCount = static_cast<uint32_t>(mixes);
+        for (size_t m = 0; m < mixes; ++m) {
+            const sim::MixMetrics &n = results_[start + m].normalized;
+            row.meanNormalized.weightedSpeedup += n.weightedSpeedup;
+            row.meanNormalized.harmonicSpeedup += n.harmonicSpeedup;
+            row.meanNormalized.maxSlowdown += n.maxSlowdown;
+        }
+        row.meanNormalized.weightedSpeedup /= mixes;
+        row.meanNormalized.harmonicSpeedup /= mixes;
+        row.meanNormalized.maxSlowdown /= mixes;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+Table
+ExperimentRunner::cellTable()
+{
+    run();
+    Table t("Experiment sweep (" + std::to_string(results_.size()) +
+                " cells)",
+            {"Geometry", "Defense", "HCfirst", "Provider", "Mix",
+             "WS", "HS", "MaxSd", "NormWS", "NormHS", "NormMaxSd"});
+    for (const auto &r : results_) {
+        const sim::SimConfig &g = geoms_[r.cell.geom];
+        t.addRow({std::to_string(g.channels) + "ch-" +
+                      std::to_string(g.banksPerRank()) + "b-" +
+                      std::to_string(g.rowsPerBank / 1024) + "Kr",
+                  r.defense, Table::fmtHc(int64_t(r.threshold)),
+                  r.provider, r.mix,
+                  Table::fmt(r.metrics.weightedSpeedup, 4),
+                  Table::fmt(r.metrics.harmonicSpeedup, 4),
+                  Table::fmt(r.metrics.maxSlowdown, 4),
+                  Table::fmt(r.normalized.weightedSpeedup, 4),
+                  Table::fmt(r.normalized.harmonicSpeedup, 4),
+                  Table::fmt(r.normalized.maxSlowdown, 4)});
+    }
+    return t;
+}
+
+double
+ExperimentRunner::aloneIpc(uint32_t geom, uint32_t bench_idx) const
+{
+    SVARD_ASSERT(geom < aloneIpc_.size() &&
+                     bench_idx < aloneIpc_[geom].size(),
+                 "alone-IPC index out of range");
+    return aloneIpc_[geom][bench_idx];
+}
+
+std::vector<AdversarialResult>
+runAdversarialSweep(const AdversarialSpec &adv)
+{
+    const sim::SimConfig &cfg = adv.config;
+    const auto &suite = sim::benchmarkSuite();
+
+    // Typos must throw here, not inside a sharded worker thread.
+    for (const auto &c : adv.cases)
+        if (!defense::DefenseRegistry::instance().contains(c.defense))
+            throw std::invalid_argument("unknown defense \"" +
+                                        c.defense +
+                                        "\" in adversarial spec");
+    validateProviderLabels(adv.providers);
+
+    // Benign companion mix: the fixed assignment MixRunner uses.
+    const sim::WorkloadMix benign = sim::adversarialBenignMix(cfg.cores);
+
+    // Profiles for this spec's geometry.
+    std::map<std::string, std::shared_ptr<const core::VulnProfile>>
+        profiles;
+    std::vector<std::string> labels;
+    for (const auto &p : adv.providers)
+        if (!p.moduleLabel.empty() && !profiles.count(p.moduleLabel)) {
+            profiles[p.moduleLabel] = nullptr;
+            labels.push_back(p.moduleLabel);
+        }
+    parallelFor(labels.size(), adv.threads, [&](size_t i) {
+        profiles.find(labels[i])->second =
+            buildProfile(labels[i], cfg);
+    });
+
+    // Alone IPCs of the benign benchmarks.
+    std::vector<double> alone(suite.size(), 0.0);
+    const std::set<uint32_t> bench_set(benign.benchIdx.begin(),
+                                       benign.benchIdx.end());
+    const std::vector<uint32_t> benches(bench_set.begin(),
+                                        bench_set.end());
+    parallelFor(benches.size(), adv.threads, [&](size_t i) {
+        const uint32_t b = benches[i];
+        std::vector<std::vector<sim::TraceEntry>> traces;
+        traces.push_back(sim::generateTrace(
+            suite[b], adv.requestsPerCore, adv.baseSeed,
+            sim::coreTraceOffset(adv.baseSeed, 0)));
+        sim::System sys(cfg, std::move(traces), adv.requestsPerCore,
+                        nullptr);
+        alone[b] = std::max(sys.run().ipc[0], 1e-9);
+    });
+
+    // One adversarial system run: attacker on core 0 (shared
+    // implementation with MixRunner::runAdversarial).
+    auto run_one = [&](const std::vector<sim::TraceEntry> &attack,
+                       const std::string &defense_name,
+                       std::shared_ptr<const core::ThresholdProvider>
+                           provider,
+                       uint64_t seed) {
+        return sim::adversarialBenignWs(
+            cfg, attack, adv.requestsPerCore, adv.baseSeed,
+            defense_name, std::move(provider), seed,
+            [&](uint32_t b) { return alone[b]; });
+    };
+
+    auto make_provider = [&](const ProviderSpec &p)
+        -> std::shared_ptr<const core::ThresholdProvider> {
+        if (p.moduleLabel.empty())
+            return std::make_shared<core::UniformThreshold>(
+                adv.threshold, cfg.rowsPerBank);
+        return std::make_shared<core::Svard>(
+            std::make_shared<core::VulnProfile>(
+                profiles.at(p.moduleLabel)->scaledTo(adv.threshold)));
+    };
+
+    // Reference runs (no defense), shared across providers.
+    std::vector<std::vector<double>> ref(adv.cases.size());
+    std::vector<std::pair<uint32_t, uint32_t>> ref_cells;
+    for (uint32_t c = 0; c < adv.cases.size(); ++c) {
+        ref[c].assign(adv.cases[c].traces.size(), 0.0);
+        for (uint32_t t = 0; t < adv.cases[c].traces.size(); ++t)
+            ref_cells.push_back({c, t});
+    }
+    parallelFor(ref_cells.size(), adv.threads, [&](size_t i) {
+        const auto [c, t] = ref_cells[i];
+        ref[c][t] = run_one(
+            adv.cases[c].traces[t], "none", nullptr,
+            hashSeed({adv.baseSeed, c, t, 0xADF0ULL}));
+    });
+
+    // Defended runs: the full {case x provider x trace} grid.
+    struct Cell
+    {
+        uint32_t c, p, t;
+    };
+    std::vector<Cell> cells;
+    for (uint32_t c = 0; c < adv.cases.size(); ++c)
+        for (uint32_t p = 0; p < adv.providers.size(); ++p)
+            for (uint32_t t = 0; t < adv.cases[c].traces.size(); ++t)
+                cells.push_back({c, p, t});
+    std::vector<double> ws(cells.size(), 0.0);
+    parallelFor(cells.size(), adv.threads, [&](size_t i) {
+        const Cell &cell = cells[i];
+        ws[i] = run_one(
+            adv.cases[cell.c].traces[cell.t],
+            adv.cases[cell.c].defense,
+            make_provider(adv.providers[cell.p]),
+            hashSeed({adv.baseSeed, cell.c, cell.p, cell.t,
+                      0xADF1ULL}));
+    });
+
+    // Aggregate: mean over each case's traces; normalize each case
+    // to its first provider (the spec's baseline configuration).
+    std::vector<AdversarialResult> out;
+    size_t idx = 0;
+    for (uint32_t c = 0; c < adv.cases.size(); ++c) {
+        double baseline_slowdown = 1.0;
+        for (uint32_t p = 0; p < adv.providers.size(); ++p) {
+            AdversarialResult r;
+            r.caseName = adv.cases[c].name;
+            r.defense = adv.cases[c].defense;
+            r.provider = adv.providers[p].name;
+            const size_t n = adv.cases[c].traces.size();
+            for (uint32_t t = 0; t < n; ++t, ++idx) {
+                r.benignWs += ws[idx];
+                r.slowdown += safeRatio(ref[c][t], ws[idx]);
+            }
+            r.benignWs /= static_cast<double>(n);
+            r.slowdown /= static_cast<double>(n);
+            if (p == 0)
+                baseline_slowdown = r.slowdown;
+            r.normalizedSlowdown =
+                safeRatio(r.slowdown, baseline_slowdown);
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+} // namespace svard::engine

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parallel experiment engine: enumerates a SweepSpec's cells, shards
+ * them across a std::thread pool, and emits one result table the
+ * figure benches consume. Every cell derives its RNG seed from its
+ * grid coordinates (hashSeed over the axis indices), and each worker
+ * writes only its own pre-allocated result slot, so the output is
+ * bit-identical for any thread count — a 4-thread sharded sweep
+ * reproduces the single-threaded run cell for cell.
+ *
+ * Baselines are part of the grid: per-(geometry, benchmark) alone
+ * IPCs and per-(geometry, mix) no-defense runs are sharded first,
+ * then defense cells run against those fixed references.
+ */
+#ifndef SVARD_ENGINE_RUNNER_H
+#define SVARD_ENGINE_RUNNER_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "core/vuln_profile.h"
+#include "engine/sweep.h"
+
+namespace svard::engine {
+
+/**
+ * Execute an adversarial grid (Fig. 13): {attack case x provider x
+ * trace} cells sharded across a thread pool, no-defense reference
+ * runs shared across providers. Deterministic for any thread count.
+ */
+std::vector<AdversarialResult>
+runAdversarialSweep(const AdversarialSpec &adv);
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(SweepSpec spec);
+
+    /** Execute the grid (cached: repeat calls return the same run). */
+    const std::vector<CellResult> &run();
+
+    /** Mean normalized metrics per configuration, axis order. */
+    std::vector<SummaryRow> summarize();
+
+    /** Per-cell result table (one row per executed cell). */
+    Table cellTable();
+
+    const SweepSpec &spec() const { return spec_; }
+
+    /** The geometry axis after defaulting (spec.geometries or config). */
+    const std::vector<sim::SimConfig> &geometries() const
+    {
+        return geoms_;
+    }
+
+    /** Alone IPC baseline of a benchmark under a geometry (post-run). */
+    double aloneIpc(uint32_t geom, uint32_t bench_idx) const;
+
+  private:
+    /** Deterministic seed of a cell from its grid coordinates. */
+    uint64_t cellSeed(const SweepCell &c) const;
+
+    /** Resampled base profile of (geometry, module label), cached. */
+    std::shared_ptr<const core::VulnProfile>
+    baseProfile(uint32_t geom, const std::string &label) const;
+
+    /** Build the cell's threshold provider (fresh per cell: provider
+     *  lookup counters are mutable and must not be shared across
+     *  worker threads). */
+    std::shared_ptr<const core::ThresholdProvider>
+    makeProvider(uint32_t geom, const ProviderSpec &p,
+                 double threshold) const;
+
+    /** Benchmarks referenced by the spec's mixes (alone baselines). */
+    std::vector<uint32_t> benchesUsed() const;
+
+    void computeBaselines();
+    sim::MixMetrics runMixCell(uint32_t geom, uint32_t mix,
+                               const std::string &defense_name,
+                               std::shared_ptr<
+                                   const core::ThresholdProvider>
+                                   provider,
+                               uint64_t seed) const;
+
+    SweepSpec spec_;
+    std::vector<sim::SimConfig> geoms_;
+    std::map<std::pair<uint32_t, std::string>,
+             std::shared_ptr<const core::VulnProfile>>
+        profiles_; ///< built before sharding; read-only afterwards
+
+    /** Per-mix core traces, generated once and copied into each cell
+     *  (traces depend only on the base seed, not the geometry).
+     *  Providers, by contrast, stay per-cell: Svard and VulnProfile
+     *  keep mutable lazy counters, so sharing one instance across
+     *  concurrently-running cells would race. */
+    std::vector<std::vector<std::vector<sim::TraceEntry>>> mixTraces_;
+    std::vector<std::vector<double>> aloneIpc_;         ///< [geom][bench]
+    std::vector<std::vector<sim::MixMetrics>> mixBase_; ///< [geom][mix]
+    std::vector<CellResult> results_;
+    bool ran_ = false;
+};
+
+} // namespace svard::engine
+
+#endif // SVARD_ENGINE_RUNNER_H

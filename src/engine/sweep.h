@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Declarative experiment grids. The paper's headline evaluations
+ * (Fig. 12 performance overheads, Fig. 13 adversarial workloads) are
+ * grids of {DRAM module/geometry x defense x threshold provider x
+ * workload} runs; a SweepSpec names each axis once and the engine
+ * enumerates, shards, and executes the cells. Geometry is a sweep
+ * axis too: every cell resamples its module profile onto its
+ * SimConfig's banks-per-rank x rows-per-bank space, so HBM-style or
+ * multi-channel configurations drop in without touching defense code.
+ */
+#ifndef SVARD_ENGINE_SWEEP_H
+#define SVARD_ENGINE_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/system.h"
+#include "sim/workload.h"
+
+namespace svard::engine {
+
+/** One threshold-provider configuration of the sweep. */
+struct ProviderSpec
+{
+    std::string name;        ///< display name (e.g. "Svard-S0")
+    std::string moduleLabel; ///< empty: uniform worst-case threshold
+
+    /** The paper's No-Svärd baseline (uniform worst case). */
+    static ProviderSpec
+    uniform()
+    {
+        return {"NoSvard", ""};
+    }
+
+    /** Svärd over the named module's vulnerability profile. */
+    static ProviderSpec
+    svard(const std::string &module_label)
+    {
+        return {"Svard-" + module_label, module_label};
+    }
+};
+
+/**
+ * The full grid: geometries x defenses x thresholds x providers x
+ * mixes. Axes with one entry are fixed; the engine runs the cross
+ * product of the rest.
+ */
+struct SweepSpec
+{
+    /** Base system configuration (also the default geometry). */
+    sim::SimConfig config;
+
+    /**
+     * Optional geometry axis. Empty means {config}; otherwise every
+     * entry is swept as its own (channels/ranks/banks/rows) system.
+     */
+    std::vector<sim::SimConfig> geometries;
+
+    std::vector<std::string> defenses;  ///< registry names; "none" ok
+    std::vector<double> thresholds;     ///< worst-case HC_first sweep
+    std::vector<ProviderSpec> providers;
+    std::vector<sim::WorkloadMix> mixes;
+
+    size_t requestsPerCore = 6000;
+    uint64_t baseSeed = 11;
+
+    /** Worker threads for cell sharding (0 = hardware concurrency). */
+    unsigned threads = 0;
+
+    /**
+     * Progress hook invoked after each defense cell completes, as
+     * (cells_done, cells_total). Called concurrently from worker
+     * threads — keep it cheap and thread-safe (an fprintf is fine).
+     */
+    std::function<void(size_t, size_t)> onProgress;
+};
+
+/** Grid coordinates of one cell. */
+struct SweepCell
+{
+    uint32_t geom = 0;
+    uint32_t defense = 0;
+    uint32_t threshold = 0;
+    uint32_t provider = 0;
+    uint32_t mix = 0;
+};
+
+/** One executed cell. */
+struct CellResult
+{
+    SweepCell cell;
+    uint64_t seed = 0;          ///< deterministic per-cell seed
+    std::string defense;        ///< resolved axis values for reporting
+    double threshold = 0.0;
+    std::string provider;
+    std::string mix;
+    sim::MixMetrics metrics;    ///< raw paper metrics
+    sim::MixMetrics normalized; ///< vs. same-geometry/mix no-defense run
+};
+
+/** Mean normalized metrics of one configuration across its mixes. */
+struct SummaryRow
+{
+    uint32_t geom = 0;
+    std::string defense;
+    double threshold = 0.0;
+    std::string provider;
+    uint32_t mixCount = 0;
+    sim::MixMetrics meanNormalized;
+};
+
+// ------------------------------------------------------------------
+// Adversarial sweeps (Fig. 13)
+// ------------------------------------------------------------------
+
+/** A defense under a family of adversarial traces. */
+struct AdversarialCase
+{
+    std::string name;    ///< display name (e.g. "Hydra-thrash")
+    std::string defense; ///< registry name
+    /** Traces averaged over (the expected-case attacker does not know
+     *  the module's profile, so evaluations vary the target rows). */
+    std::vector<std::vector<sim::TraceEntry>> traces;
+};
+
+struct AdversarialSpec
+{
+    sim::SimConfig config;
+    double threshold = 64.0; ///< worst-case HC_first
+    std::vector<AdversarialCase> cases;
+    std::vector<ProviderSpec> providers;
+    size_t requestsPerCore = 6000;
+    uint64_t baseSeed = 11;
+    unsigned threads = 0;
+};
+
+struct AdversarialResult
+{
+    std::string caseName;
+    std::string defense;
+    std::string provider;
+    double benignWs = 0.0;  ///< mean benign weighted speedup
+    double slowdown = 0.0;  ///< mean no-defense WS / defended WS
+    /** slowdown / the same case's first-provider slowdown. Put the
+     *  No-Svärd baseline first in AdversarialSpec::providers to get
+     *  the paper's normalize-to-NoSvärd bars. */
+    double normalizedSlowdown = 0.0;
+};
+
+} // namespace svard::engine
+
+#endif // SVARD_ENGINE_SWEEP_H

@@ -3,7 +3,10 @@
  * MOP (Minimalist Open Page, Kaseridis et al., MICRO 2011) physical
  * address mapping: a small run of consecutive cache blocks stays in
  * one row (preserving limited spatial locality), then the stream hops
- * to the next bank, spreading accesses for bank-level parallelism.
+ * to the next channel and bank, spreading accesses for channel- and
+ * bank-level parallelism. With one channel (the paper's Table 4
+ * system) the mapping is bit-identical to the classic single-channel
+ * MOP scheme.
  */
 #ifndef SVARD_SIM_ADDRMAP_H
 #define SVARD_SIM_ADDRMAP_H
@@ -26,7 +29,10 @@ class MopMapper
         const uint64_t mop = block % cfg_.mopWidth;
         block /= cfg_.mopWidth;
         dram::Address a;
-        a.channel = 0;
+        // Channel interleaving at MOP-run granularity: consecutive
+        // runs alternate channels before spreading over bank groups.
+        a.channel = static_cast<uint32_t>(block % cfg_.channels);
+        block /= cfg_.channels;
         a.bankGroup = static_cast<uint32_t>(block % cfg_.bankGroups);
         block /= cfg_.bankGroups;
         a.bank = static_cast<uint32_t>(block % cfg_.banksPerGroup);

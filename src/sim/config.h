@@ -40,6 +40,14 @@ struct SimConfig
 
     dram::TimingParams timing = dram::ddr4Timing(3200);
 
+    /** Banks of one rank (the space vulnerability profiles cover). */
+    uint32_t
+    banksPerRank() const
+    {
+        return bankGroups * banksPerGroup;
+    }
+
+    /** Flat banks of one channel. */
     uint32_t
     totalBanks() const
     {

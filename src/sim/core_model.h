@@ -39,6 +39,16 @@ class CoreModel
      */
     dram::Tick nextReleaseTime() const;
 
+    /**
+     * Inspect the next request without popping it (the system peeks
+     * to route by channel and check backpressure before committing).
+     */
+    const TraceEntry &
+    peek() const
+    {
+        return entryAt(nextIdx_);
+    }
+
     /** Pop the next request (caller checked canRelease). */
     TraceEntry release(dram::Tick now, uint64_t *token_out);
 

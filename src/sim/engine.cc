@@ -1,0 +1,164 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace svard::sim {
+
+SimEngine::SimEngine(const SimConfig &cfg,
+                     const std::string &defense_name,
+                     std::shared_ptr<const core::ThresholdProvider>
+                         provider,
+                     uint64_t seed, Completion on_complete)
+    : cfg_(cfg), mapper_(cfg)
+{
+    SVARD_ASSERT(cfg_.channels >= 1, "need at least one channel");
+    for (uint32_t c = 0; c < cfg_.channels; ++c) {
+        // Channel 0 keeps the caller's seed so 1-channel runs match
+        // the pre-engine construction path bit for bit.
+        const uint64_t chan_seed =
+            c == 0 ? seed : hashSeed({seed, c, 0xC4A77E1ULL});
+        ownedDefenses_.push_back(defense::makeDefenseByName(
+            defense_name,
+            defense::DefenseContext(cfg_, provider, chan_seed)));
+        defenses_.push_back(ownedDefenses_.back().get());
+        controllers_.push_back(std::make_unique<MemController>(
+            cfg_, defenses_.back(), on_complete));
+    }
+}
+
+SimEngine::SimEngine(const SimConfig &cfg, defense::Defense *defense,
+                     Completion on_complete)
+    : cfg_(cfg), mapper_(cfg)
+{
+    SVARD_ASSERT(cfg_.channels >= 1, "need at least one channel");
+    SVARD_ASSERT(defense == nullptr || cfg_.channels == 1,
+                 "a shared external defense is single-channel only; "
+                 "use the registry constructor for multi-channel runs");
+    if (defense)
+        defense->setBanksPerRank(cfg_.banksPerRank());
+    for (uint32_t c = 0; c < cfg_.channels; ++c) {
+        defenses_.push_back(defense);
+        controllers_.push_back(std::make_unique<MemController>(
+            cfg_, defense, on_complete));
+    }
+}
+
+bool
+SimEngine::queueFull(uint32_t channel) const
+{
+    const MemController &mc = *controllers_[channel % channels()];
+    return mc.readQueueFull() || mc.writeQueueFull();
+}
+
+bool
+SimEngine::enqueue(const MemRequest &req)
+{
+    SVARD_ASSERT(req.addr.channel < channels(),
+                 "request channel out of range");
+    return controllers_[req.addr.channel]->enqueue(req);
+}
+
+dram::Tick
+SimEngine::run(dram::Tick until)
+{
+    dram::Tick reached = 0;
+    for (auto &mc : controllers_)
+        reached = std::max(reached, mc->run(until));
+    return reached;
+}
+
+dram::Tick
+SimEngine::now() const
+{
+    // Channels advance in lockstep; report the slowest clock so the
+    // caller never skips time a channel has not yet simulated.
+    dram::Tick t = controllers_[0]->now();
+    for (const auto &mc : controllers_)
+        t = std::min(t, mc->now());
+    return t;
+}
+
+bool
+SimEngine::idle() const
+{
+    for (const auto &mc : controllers_)
+        if (!mc->idle())
+            return false;
+    return true;
+}
+
+ControllerStats
+SimEngine::stats() const
+{
+    ControllerStats sum;
+    for (const auto &mc : controllers_) {
+        const ControllerStats &s = mc->stats();
+        sum.reads += s.reads;
+        sum.writes += s.writes;
+        sum.activations += s.activations;
+        sum.rowHits += s.rowHits;
+        sum.rowConflicts += s.rowConflicts;
+        sum.refreshes += s.refreshes;
+        sum.preventiveRefreshes += s.preventiveRefreshes;
+        sum.migrations += s.migrations;
+        sum.swaps += s.swaps;
+        sum.metadataAccesses += s.metadataAccesses;
+        sum.throttleStall += s.throttleStall;
+    }
+    return sum;
+}
+
+defense::DefenseStats
+SimEngine::defenseStats() const
+{
+    defense::DefenseStats sum;
+    // The external-defense constructor aliases one instance across
+    // its (single) channel; count each distinct instance once.
+    for (uint32_t c = 0; c < channels(); ++c) {
+        const defense::Defense *d = defenses_[c];
+        if (!d)
+            continue;
+        bool seen = false;
+        for (uint32_t p = 0; p < c; ++p)
+            seen = seen || defenses_[p] == d;
+        if (seen)
+            continue;
+        const defense::DefenseStats &s = d->stats();
+        sum.activationsObserved += s.activationsObserved;
+        sum.preventiveRefreshes += s.preventiveRefreshes;
+        sum.throttleEvents += s.throttleEvents;
+        sum.throttleDelayTotal += s.throttleDelayTotal;
+        sum.migrations += s.migrations;
+        sum.swaps += s.swaps;
+        sum.metadataAccesses += s.metadataAccesses;
+    }
+    return sum;
+}
+
+const MemController &
+SimEngine::channel(uint32_t c) const
+{
+    SVARD_ASSERT(c < channels(), "channel out of range");
+    return *controllers_[c];
+}
+
+defense::Defense *
+SimEngine::defenseOf(uint32_t c) const
+{
+    SVARD_ASSERT(c < channels(), "channel out of range");
+    return defenses_[c];
+}
+
+bool
+SimEngine::hasDefense() const
+{
+    for (const auto *d : defenses_)
+        if (d)
+            return true;
+    return false;
+}
+
+} // namespace svard::sim

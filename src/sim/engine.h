@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multi-channel memory subsystem. A SimEngine owns one MemController
+ * per channel behind the channel-interleaving MopMapper, each with its
+ * own defense instance (read-disturbance state is per-channel in real
+ * controllers), and aggregates ControllerStats / DefenseStats across
+ * channels. All channels advance in lockstep to the same target tick,
+ * so a 1-channel SimEngine is cycle-identical to driving a bare
+ * MemController.
+ */
+#ifndef SVARD_SIM_ENGINE_H
+#define SVARD_SIM_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/registry.h"
+#include "sim/controller.h"
+
+namespace svard::sim {
+
+class SimEngine
+{
+  public:
+    using Completion = MemController::Completion;
+
+    /**
+     * Build per-channel defense instances from the registry. Each
+     * channel gets an independent instance (seeded per channel) so
+     * counters and RNG streams do not alias across channels.
+     */
+    SimEngine(const SimConfig &cfg, const std::string &defense_name,
+              std::shared_ptr<const core::ThresholdProvider> provider,
+              uint64_t seed, Completion on_complete);
+
+    /**
+     * Use a single caller-owned defense (legacy path, tests and the
+     * security harness). Requires a 1-channel configuration unless
+     * `defense` is null; the defense's bank folding is configured to
+     * the engine's geometry.
+     */
+    SimEngine(const SimConfig &cfg, defense::Defense *defense,
+              Completion on_complete);
+
+    const MopMapper &mapper() const { return mapper_; }
+
+    uint32_t
+    channels() const
+    {
+        return static_cast<uint32_t>(controllers_.size());
+    }
+
+    /** Either queue of `channel` is full (core must stall). */
+    bool queueFull(uint32_t channel) const;
+
+    /** Route a request to its channel; returns false if full. */
+    bool enqueue(const MemRequest &req);
+
+    /** Advance every channel to `until` in lockstep. */
+    dram::Tick run(dram::Tick until);
+
+    dram::Tick now() const;
+    bool idle() const;
+
+    /** Stats summed over channels. */
+    ControllerStats stats() const;
+    defense::DefenseStats defenseStats() const;
+
+    /** Per-channel introspection. */
+    const MemController &channel(uint32_t c) const;
+    defense::Defense *defenseOf(uint32_t c) const;
+    bool hasDefense() const;
+
+  private:
+    const SimConfig &cfg_;
+    MopMapper mapper_;
+    std::vector<std::unique_ptr<defense::Defense>> ownedDefenses_;
+    std::vector<defense::Defense *> defenses_; ///< per channel, may be null
+    std::vector<std::unique_ptr<MemController>> controllers_;
+};
+
+} // namespace svard::sim
+
+#endif // SVARD_SIM_ENGINE_H

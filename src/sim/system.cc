@@ -3,12 +3,6 @@
 #include <algorithm>
 
 #include "common/log.h"
-#include "defense/aqua.h"
-#include "defense/blockhammer.h"
-#include "defense/graphene.h"
-#include "defense/hydra.h"
-#include "defense/para.h"
-#include "defense/rrs.h"
 
 namespace svard::sim {
 
@@ -21,15 +15,34 @@ constexpr dram::Tick kQuantum = 500 * dram::kPsPerNs;
 System::System(const SimConfig &cfg,
                std::vector<std::vector<TraceEntry>> traces,
                size_t primary, defense::Defense *defense)
-    : cfg_(cfg), defense_(defense)
+    : cfg_(cfg)
 {
     SVARD_ASSERT(!traces.empty(), "system needs traces");
     for (uint32_t c = 0; c < traces.size(); ++c)
         cores_.push_back(std::make_unique<CoreModel>(
             cfg_, c, std::move(traces[c]), primary));
 
-    controller_ = std::make_unique<MemController>(
-        cfg_, defense_, [this](const MemRequest &req, dram::Tick when) {
+    engine_ = std::make_unique<SimEngine>(
+        cfg_, defense, [this](const MemRequest &req, dram::Tick when) {
+            cores_[req.core]->onReadComplete(req.token, when);
+        });
+}
+
+System::System(const SimConfig &cfg,
+               std::vector<std::vector<TraceEntry>> traces,
+               size_t primary, const std::string &defense_name,
+               std::shared_ptr<const core::ThresholdProvider> provider,
+               uint64_t seed)
+    : cfg_(cfg)
+{
+    SVARD_ASSERT(!traces.empty(), "system needs traces");
+    for (uint32_t c = 0; c < traces.size(); ++c)
+        cores_.push_back(std::make_unique<CoreModel>(
+            cfg_, c, std::move(traces[c]), primary));
+
+    engine_ = std::make_unique<SimEngine>(
+        cfg_, defense_name, std::move(provider), seed,
+        [this](const MemRequest &req, dram::Tick when) {
             cores_[req.core]->onReadComplete(req.token, when);
         });
 }
@@ -37,7 +50,7 @@ System::System(const SimConfig &cfg,
 RunResult
 System::run()
 {
-    MopMapper mapper(cfg_);
+    const MopMapper &mapper = engine_->mapper();
     const dram::Tick hard_stop = 30000 * dram::kPsPerMs; // 30 s walltime
     auto all_done = [&] {
         for (const auto &core : cores_)
@@ -46,16 +59,17 @@ System::run()
         return true;
     };
 
-    while (!all_done() && controller_->now() < hard_stop) {
-        const dram::Tick now = controller_->now();
+    while (!all_done() && engine_->now() < hard_stop) {
+        const dram::Tick now = engine_->now();
         bool released = false;
         for (auto &core : cores_) {
             while (core->canRelease(now)) {
-                // Backpressure: a full queue stalls the core briefly
-                // (checked before release since enqueue is
-                // irreversible for the core's state).
-                if (controller_->readQueueFull() ||
-                    controller_->writeQueueFull()) {
+                // Route by channel before releasing: backpressure is
+                // per-channel, and enqueue is irreversible for the
+                // core's state.
+                const dram::Address addr =
+                    mapper.map(core->peek().address);
+                if (engine_->queueFull(addr.channel)) {
                     core->stallUntil(now + 20 * dram::kPsPerNs);
                     break;
                 }
@@ -64,10 +78,10 @@ System::run()
                 MemRequest req;
                 req.core = core->id();
                 req.write = e.write;
-                req.addr = mapper.map(e.address);
+                req.addr = addr;
                 req.arrive = now;
                 req.token = token;
-                const bool ok = controller_->enqueue(req);
+                const bool ok = engine_->enqueue(req);
                 SVARD_ASSERT(ok, "enqueue failed after capacity check");
                 released = true;
             }
@@ -81,11 +95,11 @@ System::run()
         dram::Tick until = std::min(next_core, now + kQuantum);
         if (until <= now)
             until = now + kQuantum;
-        controller_->run(until);
-        if (controller_->now() <= now) {
+        engine_->run(until);
+        if (engine_->now() <= now) {
             // Defensive: guarantee forward progress.
-            controller_->run(now + cfg_.timing.tCK);
-            if (controller_->now() <= now)
+            engine_->run(now + cfg_.timing.tCK);
+            if (engine_->now() <= now)
                 break;
         }
     }
@@ -93,10 +107,12 @@ System::run()
     RunResult out;
     for (const auto &core : cores_)
         out.ipc.push_back(core->ipc());
-    out.controller = controller_->stats();
-    if (defense_)
-        out.defense = defense_->stats();
-    out.endTime = controller_->now();
+    out.controller = engine_->stats();
+    for (uint32_t c = 0; c < engine_->channels(); ++c)
+        out.perChannel.push_back(engine_->channel(c).stats());
+    if (engine_->hasDefense())
+        out.defense = engine_->defenseStats();
+    out.endTime = engine_->now();
     return out;
 }
 
@@ -120,79 +136,40 @@ makeDefense(DefenseKind kind,
             std::shared_ptr<const core::ThresholdProvider> provider,
             uint64_t seed)
 {
-    switch (kind) {
-      case DefenseKind::None:
-        return nullptr;
-      case DefenseKind::Para:
-        return std::make_unique<defense::Para>(std::move(provider),
-                                               seed);
-      case DefenseKind::BlockHammer:
-        return std::make_unique<defense::BlockHammer>(
-            std::move(provider));
-      case DefenseKind::Hydra:
-        return std::make_unique<defense::Hydra>(std::move(provider));
-      case DefenseKind::Aqua:
-        return std::make_unique<defense::Aqua>(std::move(provider));
-      case DefenseKind::Rrs:
-        return std::make_unique<defense::Rrs>(std::move(provider),
-                                              defense::Rrs::Params{},
-                                              seed);
-      case DefenseKind::Graphene:
-        return std::make_unique<defense::Graphene>(std::move(provider));
-    }
-    return nullptr;
+    return defense::makeDefenseByName(
+        defenseKindName(kind),
+        defense::DefenseContext(std::move(provider), seed));
 }
 
-ExperimentRunner::ExperimentRunner(SimConfig cfg,
-                                   size_t requests_per_core,
-                                   uint64_t seed)
+MixRunner::MixRunner(SimConfig cfg, size_t requests_per_core,
+                     uint64_t seed)
     : cfg_(std::move(cfg)), requests_(requests_per_core), seed_(seed),
       aloneCache_(benchmarkSuite().size(), 0.0)
 {}
 
-namespace {
-
-/**
- * Per-core base address: disjoint 4 GiB regions plus a seeded row-
- * granular scatter. Without the scatter every core's footprint starts
- * at a multiple of 16K rows — a whole number of subarrays on every
- * module — and spatially-structured profiles (e.g. S0's subarray
- * parity) would alias pathologically with the placement, which no OS
- * page allocator produces.
- */
-uint64_t
-coreOffset(uint64_t seed, uint32_t core)
-{
-    const uint64_t row_scatter =
-        hashSeed({seed, core, 0x0FF5E7ULL}) % 16384;
-    return (core + 1) * (4ULL << 30) + row_scatter * (256 * 1024);
-}
-
-} // anonymous namespace
-
 std::vector<std::vector<TraceEntry>>
-ExperimentRunner::tracesForMix(const WorkloadMix &mix) const
+MixRunner::tracesForMix(const WorkloadMix &mix) const
 {
     std::vector<std::vector<TraceEntry>> traces;
     const auto &suite = benchmarkSuite();
     for (uint32_t c = 0; c < mix.benchIdx.size(); ++c) {
         const auto &profile = suite[mix.benchIdx[c]];
         traces.push_back(generateTrace(profile, requests_, seed_,
-                                       coreOffset(seed_, c)));
+                                       coreTraceOffset(seed_, c)));
     }
     return traces;
 }
 
 double
-ExperimentRunner::aloneIpc(uint32_t bench_idx)
+MixRunner::aloneIpc(uint32_t bench_idx)
 {
     SVARD_ASSERT(bench_idx < aloneCache_.size(), "bench out of range");
     if (aloneCache_[bench_idx] > 0.0)
         return aloneCache_[bench_idx];
     const auto &profile = benchmarkSuite()[bench_idx];
     std::vector<std::vector<TraceEntry>> traces;
-    traces.push_back(
-        generateTrace(profile, requests_, seed_, coreOffset(seed_, 0)));
+    traces.push_back(generateTrace(profile, requests_, seed_,
+                                   coreTraceOffset(seed_, 0)));
     System sys(cfg_, std::move(traces), requests_, nullptr);
     const RunResult res = sys.run();
     aloneCache_[bench_idx] = std::max(res.ipc[0], 1e-9);
@@ -200,21 +177,14 @@ ExperimentRunner::aloneIpc(uint32_t bench_idx)
 }
 
 MixMetrics
-ExperimentRunner::runMix(
-    const WorkloadMix &mix, DefenseKind kind,
-    std::shared_ptr<const core::ThresholdProvider> provider,
-    RunResult *raw)
+computeMixMetrics(const RunResult &res, const WorkloadMix &mix,
+                  const AloneIpcFn &alone_ipc)
 {
-    auto defense = makeDefense(kind, std::move(provider), seed_);
-    System sys(cfg_, tracesForMix(mix), requests_, defense.get());
-    const RunResult res = sys.run();
-    if (raw)
-        *raw = res;
-
     MixMetrics m;
     double harm_acc = 0.0;
     for (uint32_t c = 0; c < mix.benchIdx.size(); ++c) {
-        const double alone = aloneIpc(mix.benchIdx[c]);
+        const double alone =
+            std::max(alone_ipc(mix.benchIdx[c]), 1e-9);
         const double shared = std::max(res.ipc[c], 1e-9);
         m.weightedSpeedup += shared / alone;
         harm_acc += alone / shared;
@@ -226,33 +196,78 @@ ExperimentRunner::runMix(
 }
 
 double
-ExperimentRunner::runAdversarial(
-    const std::vector<TraceEntry> &attack_trace, DefenseKind kind,
-    std::shared_ptr<const core::ThresholdProvider> provider)
+adversarialBenignWs(
+    const SimConfig &cfg, const std::vector<TraceEntry> &attack_trace,
+    size_t requests_per_core, uint64_t trace_seed,
+    const std::string &defense_name,
+    std::shared_ptr<const core::ThresholdProvider> provider,
+    uint64_t defense_seed, const AloneIpcFn &alone_ipc)
 {
-    // Core 0 is the attacker; the rest run a fixed benign mix.
-    WorkloadMix benign;
+    // Core 0 is the attacker; the rest run the fixed benign mix.
+    const WorkloadMix benign = adversarialBenignMix(cfg.cores);
     const auto &suite = benchmarkSuite();
-    for (uint32_t c = 1; c < cfg_.cores; ++c)
-        benign.benchIdx.push_back(c % suite.size());
 
     std::vector<std::vector<TraceEntry>> traces;
     traces.push_back(attack_trace);
-    for (uint32_t c = 1; c < cfg_.cores; ++c)
+    for (uint32_t c = 1; c < cfg.cores; ++c)
         traces.push_back(generateTrace(suite[benign.benchIdx[c - 1]],
-                                       requests_, seed_,
-                                       coreOffset(seed_, c)));
+                                       requests_per_core, trace_seed,
+                                       coreTraceOffset(trace_seed, c)));
 
-    auto defense = makeDefense(kind, std::move(provider), seed_);
-    System sys(cfg_, std::move(traces), requests_, defense.get());
+    System sys(cfg, std::move(traces), requests_per_core, defense_name,
+               std::move(provider), defense_seed);
     const RunResult res = sys.run();
 
     double ws = 0.0;
-    for (uint32_t c = 1; c < cfg_.cores; ++c) {
-        const double alone = aloneIpc(benign.benchIdx[c - 1]);
-        ws += std::max(res.ipc[c], 1e-9) / alone;
-    }
+    for (uint32_t c = 1; c < cfg.cores; ++c)
+        ws += std::max(res.ipc[c], 1e-9) /
+              std::max(alone_ipc(benign.benchIdx[c - 1]), 1e-9);
     return ws;
+}
+
+MixMetrics
+MixRunner::runMix(
+    const WorkloadMix &mix, const std::string &defense_name,
+    std::shared_ptr<const core::ThresholdProvider> provider,
+    RunResult *raw)
+{
+    System sys(cfg_, tracesForMix(mix), requests_, defense_name,
+               std::move(provider), seed_);
+    const RunResult res = sys.run();
+    if (raw)
+        *raw = res;
+    return computeMixMetrics(
+        res, mix, [this](uint32_t b) { return aloneIpc(b); });
+}
+
+MixMetrics
+MixRunner::runMix(
+    const WorkloadMix &mix, DefenseKind kind,
+    std::shared_ptr<const core::ThresholdProvider> provider,
+    RunResult *raw)
+{
+    return runMix(mix, defenseKindName(kind), std::move(provider), raw);
+}
+
+double
+MixRunner::runAdversarial(
+    const std::vector<TraceEntry> &attack_trace,
+    const std::string &defense_name,
+    std::shared_ptr<const core::ThresholdProvider> provider)
+{
+    return adversarialBenignWs(
+        cfg_, attack_trace, requests_, seed_, defense_name,
+        std::move(provider), seed_,
+        [this](uint32_t b) { return aloneIpc(b); });
+}
+
+double
+MixRunner::runAdversarial(
+    const std::vector<TraceEntry> &attack_trace, DefenseKind kind,
+    std::shared_ptr<const core::ThresholdProvider> provider)
+{
+    return runAdversarial(attack_trace, defenseKindName(kind),
+                          std::move(provider));
 }
 
 } // namespace svard::sim

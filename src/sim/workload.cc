@@ -135,6 +135,25 @@ adversarialHydraTrace(size_t n, uint64_t seed)
     return trace;
 }
 
+WorkloadMix
+adversarialBenignMix(uint32_t cores)
+{
+    WorkloadMix benign;
+    benign.name = "adversarial-benign";
+    const auto &suite = benchmarkSuite();
+    for (uint32_t c = 1; c < cores; ++c)
+        benign.benchIdx.push_back(c % suite.size());
+    return benign;
+}
+
+uint64_t
+coreTraceOffset(uint64_t seed, uint32_t core)
+{
+    const uint64_t row_scatter =
+        hashSeed({seed, core, 0x0FF5E7ULL}) % 16384;
+    return (core + 1) * (4ULL << 30) + row_scatter * (256 * 1024);
+}
+
 std::vector<TraceEntry>
 adversarialRrsTrace(size_t n, uint64_t seed, uint32_t base_row)
 {

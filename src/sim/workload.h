@@ -53,6 +53,17 @@ std::vector<TraceEntry> generateTrace(const BenchProfile &profile,
                                       size_t n, uint64_t seed,
                                       uint64_t core_offset);
 
+/**
+ * Per-core base address: disjoint 4 GiB regions plus a seeded row-
+ * granular scatter. Without the scatter every core's footprint starts
+ * at a multiple of 16K rows — a whole number of subarrays on every
+ * module — and spatially-structured profiles (e.g. S0's subarray
+ * parity) would alias pathologically with the placement, which no OS
+ * page allocator produces. Shared by every trace-placing runner so
+ * experiment cells are comparable across the sim and engine layers.
+ */
+uint64_t coreTraceOffset(uint64_t seed, uint32_t core);
+
 /** An 8-core multiprogrammed mix: benchmark indices into the suite. */
 struct WorkloadMix
 {
@@ -66,6 +77,14 @@ struct WorkloadMix
 std::vector<WorkloadMix> workloadMixes(uint32_t count = 120,
                                        uint32_t cores = 8,
                                        uint64_t seed = 2024);
+
+/**
+ * The fixed benign companion mix of adversarial runs (paper Fig. 13):
+ * cores 1..cores-1 cycle through the benchmark suite while core 0
+ * executes the attack trace. Shared by MixRunner and the experiment
+ * engine so both report comparable benign weighted speedups.
+ */
+WorkloadMix adversarialBenignMix(uint32_t cores);
 
 /**
  * Adversarial access-pattern traces (paper Fig. 13).

@@ -155,6 +155,39 @@ TEST(Svard, EdgeRowBudgetUsesSingleNeighbor)
                      prof->thresholdOf(0, last - 1));
 }
 
+TEST(ThresholdProvider, AggressorBudgetClampsAtBothArrayEdges)
+{
+    // Hand-built profile so every neighbor has a distinct threshold:
+    // a wraparound or out-of-bounds neighbor lookup at either edge
+    // would change the budget observably.
+    VulnProfile prof("edges", 1, 8, {10.0, 100.0, 1000.0});
+    prof.setBin(0, 0, 0);  // 10
+    prof.setBin(0, 1, 2);  // 1000
+    prof.setBin(0, 2, 1);  // 100
+    prof.setBin(0, 3, 2);  // 1000
+    prof.setBin(0, 6, 1);  // 100
+    prof.setBin(0, 7, 0);  // 10
+    Svard svard(std::make_shared<VulnProfile>(prof));
+
+    // Row 0 disturbs only row 1 (no row "-1" to consult).
+    EXPECT_DOUBLE_EQ(svard.aggressorBudget(0, 0), 1000.0);
+    // The last row disturbs only rowsPerBank-2.
+    EXPECT_DOUBLE_EQ(svard.aggressorBudget(0, 7), 100.0);
+    // Interior rows take the weaker of both neighbors.
+    EXPECT_DOUBLE_EQ(svard.aggressorBudget(0, 1), 10.0);
+    EXPECT_DOUBLE_EQ(svard.aggressorBudget(0, 2), 1000.0);
+}
+
+TEST(ThresholdProvider, ProviderBankCountsExposeProfileGeometry)
+{
+    VulnProfile prof("geom", 4, 16, {32.0});
+    Svard svard(std::make_shared<VulnProfile>(prof));
+    EXPECT_EQ(svard.banks(), 4u);
+    // Uniform providers are bank-agnostic (0 = unconstrained).
+    UniformThreshold uni(64.0, 16);
+    EXPECT_EQ(uni.banks(), 0u);
+}
+
 TEST(UniformThreshold, IsTheNoSvardBaseline)
 {
     UniformThreshold uni(4096.0, 65536);

@@ -16,6 +16,7 @@
 #include "defense/harness.h"
 #include "defense/hydra.h"
 #include "defense/para.h"
+#include "defense/registry.h"
 #include "defense/rrs.h"
 #include "fault/vuln_model.h"
 
@@ -254,6 +255,92 @@ TEST(Defense, EpochEndResetsCounters)
 }
 
 // ---------------------------------------------------------------
+// Defense registry
+// ---------------------------------------------------------------
+
+TEST(Registry, EveryRegisteredNameConstructsAndObservesActivations)
+{
+    auto &reg = DefenseRegistry::instance();
+    const auto names = reg.names();
+    EXPECT_GE(names.size(), 7u); // 6 defenses + "none"
+    for (const auto &name : names) {
+        const DefenseContext ctx(uniform(1024), 3);
+        auto d = reg.make(name, ctx);
+        if (name == "none") {
+            EXPECT_EQ(d, nullptr);
+            continue;
+        }
+        ASSERT_NE(d, nullptr) << name;
+        std::vector<PreventiveAction> acts;
+        d->onActivate(0, 100, 0, acts);
+        EXPECT_EQ(d->stats().activationsObserved, 1u) << name;
+    }
+}
+
+TEST(Registry, LookupIsCaseInsensitive)
+{
+    auto &reg = DefenseRegistry::instance();
+    EXPECT_TRUE(reg.contains("PARA"));
+    EXPECT_TRUE(reg.contains("BlockHammer"));
+    const DefenseContext ctx(uniform(1024));
+    auto d = reg.make("Graphene", ctx);
+    ASSERT_NE(d, nullptr);
+    EXPECT_STREQ(d->name(), "Graphene");
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownNames)
+{
+    const DefenseContext ctx(uniform(1024));
+    EXPECT_FALSE(
+        DefenseRegistry::instance().contains("not-a-defense"));
+    try {
+        makeDefenseByName("not-a-defense", ctx);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The error lists the registered names to aid sweep authors.
+        EXPECT_NE(std::string(e.what()).find("para"),
+                  std::string::npos);
+    }
+}
+
+TEST(Registry, ContextGeometryConfiguresBankFolding)
+{
+    const DefenseContext ctx(uniform(1024), 1, /*banks_per_rank=*/8);
+    auto d = makeDefenseByName("para", ctx);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->banksPerRank(), 8u);
+}
+
+TEST(Registry, FoldedBanksHitTheRightProfileBank)
+{
+    // Two-bank profile: bank 0 weak (budget 8), bank 1 strong. With
+    // banksPerRank = 2, flat banks 2/3 must fold onto profile banks
+    // 0/1 — the seed's hardcoded % 16 would index the profile out of
+    // its bank range instead.
+    VulnProfile prof("fold", 2, 64, {8.0, 4096.0});
+    for (uint32_t row = 0; row < 64; ++row)
+        prof.setBin(1, row, 1);
+    auto svard =
+        std::make_shared<Svard>(std::make_shared<VulnProfile>(prof));
+    const DefenseContext ctx(svard, 1, /*banks_per_rank=*/2);
+
+    auto weak = makeDefenseByName("graphene", ctx);
+    auto strong = makeDefenseByName("graphene", ctx);
+    std::vector<PreventiveAction> acts;
+    uint64_t weak_ref = 0, strong_ref = 0;
+    for (int i = 0; i < 16; ++i) {
+        acts.clear();
+        weak->onActivate(/*flat bank*/ 2, 30, 0, acts); // -> bank 0
+        weak_ref += acts.size();
+        acts.clear();
+        strong->onActivate(/*flat bank*/ 3, 30, 0, acts); // -> bank 1
+        strong_ref += acts.size();
+    }
+    EXPECT_GT(weak_ref, 0u);    // budget 8: refreshes by 16 ACTs
+    EXPECT_EQ(strong_ref, 0u);  // budget 4096: untouched
+}
+
+// ---------------------------------------------------------------
 // End-to-end security property against the behavioral device
 // ---------------------------------------------------------------
 
@@ -293,22 +380,16 @@ TEST(Security, UnprotectedDeviceFlips)
     EXPECT_GT(res.aggressorActs, 100000u);
 }
 
-class SecurityP : public ::testing::TestWithParam<int>
+class SecurityP : public ::testing::TestWithParam<const char *>
 {};
 
 TEST_P(SecurityP, DefenseAtProfileThresholdPreventsAllFlips)
 {
     SecurityRig rig("S2");
-    std::unique_ptr<Defense> defense;
     auto svard = std::make_shared<Svard>(rig.profile);
-    switch (GetParam()) {
-      case 0: defense = std::make_unique<Para>(svard, 7); break;
-      case 1: defense = std::make_unique<BlockHammer>(svard); break;
-      case 2: defense = std::make_unique<Hydra>(svard); break;
-      case 3: defense = std::make_unique<Aqua>(svard); break;
-      case 4: defense = std::make_unique<Rrs>(svard); break;
-      case 5: defense = std::make_unique<Graphene>(svard); break;
-    }
+    auto defense = makeDefenseByName(
+        GetParam(), DefenseContext(svard, 7, rig.spec.banks));
+    ASSERT_NE(defense, nullptr);
     AttackOptions opt;
     opt.victim = rig.weakestVictimLogical(opt.bank);
     opt.refreshWindows = 2;
@@ -324,7 +405,9 @@ TEST_P(SecurityP, DefenseAtProfileThresholdPreventsAllFlips)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDefenses, SecurityP,
-                         ::testing::Values(0, 1, 2, 3, 4, 5));
+                         ::testing::Values("para", "blockhammer",
+                                           "hydra", "aqua", "rrs",
+                                           "graphene"));
 
 TEST(Security, MisconfiguredThresholdStillFlips)
 {

@@ -11,9 +11,8 @@
 #include <memory>
 
 #include "charz/characterizer.h"
-#include "defense/graphene.h"
 #include "defense/harness.h"
-#include "defense/para.h"
+#include "defense/registry.h"
 #include "fault/vuln_model.h"
 
 namespace svard {
@@ -60,14 +59,17 @@ TEST_P(MeasuredProfileP, MeasuredProfileDefendsTheDevice)
 
     // 3. Defend a fresh device with it and attack the weakest row.
     dram::DramDevice victim_dev(p.spec, p.subarrays, p.model);
-    defense::Graphene g(std::make_shared<core::Svard>(prof));
+    auto g = defense::makeDefenseByName(
+        "graphene",
+        defense::DefenseContext(std::make_shared<core::Svard>(prof),
+                                1, p.spec.banks));
     defense::AttackOptions attack;
     attack.victim =
         victim_dev.mapping().toLogical(p.model->weakestRow(attack.bank));
     attack.refreshWindows = 1;
     attack.maxActsPerAggressor = 200 * 1024;
     const auto res =
-        defense::runDoubleSidedAttack(victim_dev, &g, attack);
+        defense::runDoubleSidedAttack(victim_dev, g.get(), attack);
     EXPECT_EQ(res.bitflips, 0u) << GetParam();
     EXPECT_GT(res.preventiveRefreshes, 0u) << GetParam();
 }

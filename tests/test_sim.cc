@@ -187,7 +187,7 @@ TEST(System, SingleCoreRunsToCompletionWithSaneIpc)
 TEST(System, EightCoresContendAndSlowDown)
 {
     SimConfig cfg = smallConfig();
-    ExperimentRunner runner(cfg, 3000);
+    MixRunner runner(cfg, 3000);
     const double alone = runner.aloneIpc(2); // ptrchase-hi
 
     WorkloadMix mix;
@@ -236,7 +236,7 @@ struct Fig12Fixture : public ::testing::Test
         return runner.runMix(mix, kind, provider).weightedSpeedup;
     }
 
-    ExperimentRunner runner;
+    MixRunner runner;
 };
 
 TEST_F(Fig12Fixture, DefenseOverheadsOrderAsInThePaper)
@@ -281,7 +281,8 @@ TEST_F(Fig12Fixture, SvardImprovesEveryDefenseAtLowThreshold)
     auto prof = std::make_shared<core::VulnProfile>(
         core::VulnProfile::fromModel(*model));
     auto scaled = std::make_shared<core::VulnProfile>(
-        prof->resampledTo(16, runner.config().rowsPerBank)
+        prof->resampledTo(runner.config().banksPerRank(),
+                          runner.config().rowsPerBank)
             .scaledTo(64.0));
     auto svard = std::make_shared<core::Svard>(scaled);
     auto uni = std::make_shared<core::UniformThreshold>(
