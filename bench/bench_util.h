@@ -7,13 +7,18 @@
 #ifndef SVARD_BENCH_BENCH_UTIL_H
 #define SVARD_BENCH_BENCH_UTIL_H
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "charz/characterizer.h"
+#include "common/log.h"
 #include "common/table.h"
 #include "fault/vuln_model.h"
+#include "io/async_sink.h"
+#include "io/result_sink.h"
+#include "io/sweep_cache.h"
 
 namespace svard::bench {
 
@@ -69,6 +74,79 @@ benchCharzOptions(const dram::ModuleSpec &spec, bool quick_wcdp = true)
         ++step;
     opt.rowStep = step;
     return opt;
+}
+
+/** String environment knob with a default. */
+inline std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *raw = std::getenv(name);
+    return raw && *raw ? raw : fallback;
+}
+
+/**
+ * Shared streaming/caching plumbing of the sweep benches
+ * (fig12/fig13): a result sink and a per-cell sweep cache resolved
+ * from argv or the environment.
+ *
+ *   --out=PATH    stream finished cells to PATH as they complete
+ *                 (.csv default; .jsonl / .bin|.svc by extension),
+ *                 wrapped in an AsyncSink so workers never block on
+ *                 file I/O. Env: SVARD_OUT.
+ *   --cache=PATH  per-cell cache + checkpoint: cached cells skip
+ *                 execution, finished cells append immediately, so a
+ *                 killed sweep resumes from PATH. Env: SVARD_CACHE.
+ *   --resume      assert that a checkpoint already exists at the
+ *                 cache path (guards against a typoed path silently
+ *                 recomputing everything). Env: SVARD_RESUME=1.
+ */
+struct SweepIo
+{
+    std::shared_ptr<io::ResultSink> sink;
+    std::shared_ptr<io::SweepCache> cache;
+    std::string outPath;
+    std::string cachePath;
+    bool resume = false;
+};
+
+inline SweepIo
+parseSweepIo(int argc, char **argv)
+{
+    SweepIo out;
+    out.outPath = envStr("SVARD_OUT", "");
+    out.cachePath = envStr("SVARD_CACHE", "");
+    out.resume = envInt("SVARD_RESUME", 0) != 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            out.outPath = arg.substr(6);
+        else if (arg.rfind("--cache=", 0) == 0)
+            out.cachePath = arg.substr(8);
+        else if (arg == "--resume")
+            out.resume = true;
+        else
+            SVARD_FATAL("unknown argument \"" + arg +
+                        "\" (expected --out=PATH, --cache=PATH, "
+                        "--resume)");
+    }
+    if (!out.outPath.empty() && out.outPath == out.cachePath)
+        SVARD_FATAL("--out and --cache must name different files "
+                    "(\"" + out.outPath + "\"): the sink would "
+                    "truncate the checkpoint it is resuming from");
+    if (out.resume) {
+        if (out.cachePath.empty())
+            SVARD_FATAL("--resume requires --cache=PATH "
+                        "(or SVARD_CACHE)");
+        if (!io::SweepCache::fileExists(out.cachePath))
+            SVARD_FATAL("--resume: no checkpoint at \"" +
+                        out.cachePath + "\"");
+    }
+    if (!out.cachePath.empty())
+        out.cache = std::make_shared<io::SweepCache>(out.cachePath);
+    if (!out.outPath.empty())
+        out.sink = std::make_shared<io::AsyncSink>(
+            io::makeSinkForPath(out.outPath));
+    return out;
 }
 
 } // namespace svard::bench

@@ -14,6 +14,9 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
 
 namespace svard {
 
@@ -38,6 +41,74 @@ hashSeed(std::initializer_list<uint64_t> parts)
     }
     return state;
 }
+
+/**
+ * Incremental variant of hashSeed for heterogeneous data: fold any
+ * sequence of integers, doubles, and strings into one 64-bit value.
+ * The experiment engine fingerprints a sweep cell's *resolved* inputs
+ * (geometry, defense name, threshold, provider, workload, parameter
+ * bag) this way, so the result cache can tell an unchanged cell from
+ * an edited one regardless of its position in the grid.
+ */
+class HashStream
+{
+  public:
+    explicit HashStream(uint64_t salt = 0x9e3779b97f4a7c15ULL)
+        : state_(salt)
+    {}
+
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    HashStream &
+    mix(T v)
+    {
+        return mixWord(static_cast<uint64_t>(v));
+    }
+
+    /** Doubles are folded by bit pattern: -0.0 != +0.0, exact. */
+    HashStream &
+    mix(double v)
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        return mixWord(bits);
+    }
+
+    /** Length-prefixed, so {"ab","c"} and {"a","bc"} differ. */
+    HashStream &
+    mix(const std::string &s)
+    {
+        mixWord(s.size());
+        uint64_t word = 0;
+        int filled = 0;
+        for (unsigned char c : s) {
+            word = (word << 8) | c;
+            if (++filled == 8) {
+                mixWord(word);
+                word = 0;
+                filled = 0;
+            }
+        }
+        if (filled)
+            mixWord(word);
+        return *this;
+    }
+
+    uint64_t value() const { return state_; }
+
+  private:
+    HashStream &
+    mixWord(uint64_t v)
+    {
+        state_ ^= v + 0x9e3779b97f4a7c15ULL + (state_ << 6) +
+                  (state_ >> 2);
+        state_ = splitmix64(state_);
+        return *this;
+    }
+
+    uint64_t state_;
+};
 
 /**
  * xoshiro256** PRNG. Small, fast, and forkable: constructing a new Rng

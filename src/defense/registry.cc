@@ -48,7 +48,10 @@ DefenseRegistry::DefenseRegistry()
             return std::make_unique<Para>(ctx.provider, ctx.seed);
         }));
     add("blockhammer", geometryAware([](const DefenseContext &ctx) {
-            return std::make_unique<BlockHammer>(ctx.provider);
+            BlockHammer::Params p;
+            p.blacklistFraction =
+                ctx.param("blacklist_fraction", p.blacklistFraction);
+            return std::make_unique<BlockHammer>(ctx.provider, p);
         }));
     add("hydra", geometryAware([](const DefenseContext &ctx) {
             return std::make_unique<Hydra>(ctx.provider);

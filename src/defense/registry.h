@@ -28,6 +28,9 @@
 
 namespace svard::defense {
 
+/** Named defense parameters (registry-driven parameter sweeps). */
+using DefenseParams = std::map<std::string, double>;
+
 /** Everything a defense factory needs to stand up an instance. */
 struct DefenseContext
 {
@@ -41,14 +44,28 @@ struct DefenseContext
     /** Geometry-aware context for a simulated system configuration. */
     DefenseContext(const sim::SimConfig &cfg,
                    std::shared_ptr<const core::ThresholdProvider> thr,
-                   uint64_t rng_seed = 1)
+                   uint64_t rng_seed = 1,
+                   DefenseParams defense_params = {})
         : provider(std::move(thr)), seed(rng_seed),
-          banksPerRank(cfg.banksPerRank())
+          banksPerRank(cfg.banksPerRank()),
+          params(std::move(defense_params))
     {}
+
+    /** Named parameter with a factory-chosen fallback. Factories use
+     *  this to expose tunables by name (e.g. BlockHammer's
+     *  "blacklist_fraction") so sweep specs can vary them without new
+     *  plumbing per defense. */
+    double
+    param(const std::string &name, double fallback) const
+    {
+        const auto it = params.find(name);
+        return it == params.end() ? fallback : it->second;
+    }
 
     std::shared_ptr<const core::ThresholdProvider> provider;
     uint64_t seed = 1;
     uint32_t banksPerRank = 16;
+    DefenseParams params;
 };
 
 using DefenseFactory =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -10,6 +11,8 @@
 #include "common/rng.h"
 #include "dram/module_spec.h"
 #include "fault/vuln_model.h"
+#include "io/result_sink.h"
+#include "io/sweep_cache.h"
 
 namespace svard::engine {
 
@@ -19,6 +22,125 @@ double
 safeRatio(double num, double den)
 {
     return num / std::max(den, 1e-12);
+}
+
+void
+requireSpec(bool ok, const std::string &what)
+{
+    if (!ok)
+        throw std::invalid_argument("degenerate sweep spec: " + what);
+}
+
+/**
+ * First-error latch for sharded workers. An exception thrown out of a
+ * parallelFor lambda would unwind a bare pool thread and terminate
+ * the process, so workers capture sink/cache I/O failures here and
+ * the caller rethrows after the pool joins. Simulation results that
+ * were checkpointed before the failure stay checkpointed, so the
+ * retried sweep resumes instead of starting over.
+ */
+class ErrorLatch
+{
+  public:
+    void
+    capture()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+
+    void
+    rethrow()
+    {
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    std::mutex mu_;
+    std::exception_ptr error_;
+};
+
+/**
+ * Streams results to a sink in final enumeration order while workers
+ * complete cells in arbitrary order: complete(i) marks slot i done
+ * and emits every consecutive done slot past the cursor. The emitted
+ * stream is therefore a growing prefix of the final table — tailable
+ * mid-run, bit-identical at any thread count.
+ */
+class OrderedEmitter
+{
+  public:
+    OrderedEmitter(const std::vector<CellResult> &results,
+                   io::ResultSink *sink)
+        : results_(results), sink_(sink), done_(results.size(), 0)
+    {}
+
+    void
+    complete(size_t i)
+    {
+        if (!sink_)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        done_[i] = 1;
+        while (cursor_ < done_.size() && done_[cursor_]) {
+            sink_->write(results_[cursor_]);
+            ++cursor_;
+        }
+    }
+
+    /** Stop emitting (after a sink failure; the error is latched). */
+    void
+    disable()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        sink_ = nullptr;
+    }
+
+  private:
+    const std::vector<CellResult> &results_;
+    io::ResultSink *sink_;
+    std::vector<char> done_;
+    size_t cursor_ = 0;
+    std::mutex mu_;
+};
+
+/** Fold the full system configuration (geometry + timing) into a
+ *  fingerprint: any field that changes simulation behaviour must be
+ *  mixed here, or an edited config would wrongly hit the cache. */
+void
+hashConfig(HashStream &h, const sim::SimConfig &g)
+{
+    h.mix(g.cores).mix(g.cpuGhz).mix(g.issueWidth).mix(g.instrWindow);
+    h.mix(g.channels).mix(g.ranks).mix(g.bankGroups);
+    h.mix(g.banksPerGroup).mix(g.rowsPerBank).mix(g.rowBytes);
+    h.mix(g.readQueue).mix(g.writeQueue).mix(g.columnCap);
+    h.mix(g.mopWidth);
+    const dram::TimingParams &t = g.timing;
+    h.mix(t.tCK).mix(t.tRCD).mix(t.tRP).mix(t.tRAS).mix(t.tRC);
+    h.mix(t.tCL).mix(t.tCWL).mix(t.tBL).mix(t.tCCD_S).mix(t.tCCD_L);
+    h.mix(t.tRRD_S).mix(t.tRRD_L).mix(t.tFAW).mix(t.tWR).mix(t.tRTP);
+    h.mix(t.tWTR_S).mix(t.tWTR_L).mix(t.tRFC).mix(t.tREFI);
+    h.mix(t.tREFW);
+}
+
+void
+hashTrace(HashStream &h, const std::vector<sim::TraceEntry> &trace)
+{
+    h.mix(trace.size());
+    for (const auto &e : trace)
+        h.mix(e.gap).mix(e.write ? 1 : 0).mix(e.address);
+}
+
+void
+hashParams(
+    HashStream &h,
+    const std::vector<std::pair<std::string, double>> &params)
+{
+    h.mix(params.size());
+    for (const auto &[name, value] : params)
+        h.mix(name).mix(value);
 }
 
 /**
@@ -69,10 +191,16 @@ ExperimentRunner::ExperimentRunner(SweepSpec spec)
             throw std::invalid_argument(
                 "unknown defense \"" + name + "\" in sweep spec");
     validateProviderLabels(spec_.providers);
-    SVARD_ASSERT(!spec_.defenses.empty(), "sweep needs defenses");
-    SVARD_ASSERT(!spec_.thresholds.empty(), "sweep needs thresholds");
-    SVARD_ASSERT(!spec_.providers.empty(), "sweep needs providers");
-    SVARD_ASSERT(!spec_.mixes.empty(), "sweep needs workload mixes");
+    // A degenerate spec would silently enumerate an empty (or
+    // unrunnable) grid; refuse it loudly instead.
+    requireSpec(!spec_.defenses.empty(), "defense axis is empty");
+    requireSpec(!spec_.thresholds.empty(), "threshold axis is empty");
+    requireSpec(!spec_.providers.empty(), "provider axis is empty");
+    requireSpec(!spec_.mixes.empty(), "workload-mix axis is empty");
+    requireSpec(spec_.requestsPerCore > 0, "requestsPerCore is zero");
+    for (const auto &mix : spec_.mixes)
+        requireSpec(!mix.benchIdx.empty(),
+                    "mix \"" + mix.name + "\" has no benchmarks");
 }
 
 uint64_t
@@ -80,6 +208,41 @@ ExperimentRunner::cellSeed(const SweepCell &c) const
 {
     return hashSeed({spec_.baseSeed, c.geom, c.defense, c.threshold,
                      c.provider, c.mix, 0x5EEDCE11ULL});
+}
+
+uint64_t
+ExperimentRunner::cellFingerprint(const CellResult &r) const
+{
+    const ProviderSpec &prov = spec_.providers[r.cell.provider];
+    const sim::WorkloadMix &mix = spec_.mixes[r.cell.mix];
+    HashStream h;
+    h.mix(std::string("svard-cell-v1"));
+    h.mix(r.seed); // covers baseSeed and the coordinate-derived RNG
+    hashConfig(h, geoms_[r.cell.geom]);
+    h.mix(spec_.requestsPerCore);
+    h.mix(r.defense);
+    h.mix(r.threshold);
+    h.mix(prov.name).mix(prov.moduleLabel);
+    h.mix(mix.name).mix(mix.benchIdx.size());
+    for (uint32_t b : mix.benchIdx)
+        h.mix(b);
+    hashParams(h, r.params);
+    return h.value();
+}
+
+void
+ExperimentRunner::resolveCellMeta(const SweepCell &c,
+                                  CellResult *out) const
+{
+    out->cell = c;
+    out->seed = cellSeed(c);
+    out->defense = spec_.defenses[c.defense];
+    out->threshold = spec_.thresholds[c.threshold];
+    out->provider = spec_.providers[c.provider].name;
+    out->mix = spec_.mixes[c.mix].name;
+    out->params.assign(spec_.defenseParams.begin(),
+                       spec_.defenseParams.end());
+    out->fingerprint = cellFingerprint(*out);
 }
 
 std::shared_ptr<const core::VulnProfile>
@@ -124,7 +287,7 @@ ExperimentRunner::runMixCell(
     // sharing a mix run concurrently.
     sim::System sys(geoms_[geom], mixTraces_[mix],
                     spec_.requestsPerCore, defense_name,
-                    std::move(provider), seed);
+                    std::move(provider), seed, spec_.defenseParams);
     const auto &alone = aloneIpc_[geom];
     return sim::computeMixMetrics(
         sys.run(), spec_.mixes[mix],
@@ -202,7 +365,9 @@ ExperimentRunner::run()
 {
     if (ran_)
         return results_;
-    computeBaselines();
+    // A retry after a latched sink/cache error re-enters here with
+    // ran_ still false; counters restart so they never double-count.
+    executed_.store(0);
 
     // Enumerate the grid, axis order fixed by the spec.
     std::vector<SweepCell> cells;
@@ -213,17 +378,48 @@ ExperimentRunner::run()
                     for (uint32_t m = 0; m < spec_.mixes.size(); ++m)
                         cells.push_back({g, d, t, p, m});
 
+    // Resolve metadata serially and probe the cache: hits keep their
+    // checkpointed metrics, misses are scheduled. Metadata always
+    // comes from the *current* spec so coordinates stay consistent
+    // even when the cached record predates a spec edit.
     results_.assign(cells.size(), CellResult{});
-    std::atomic<size_t> done{0};
-    parallelFor(cells.size(), spec_.threads, [&](size_t i) {
+    std::vector<size_t> pending;
+    std::vector<char> hit(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        CellResult &out = results_[i];
+        resolveCellMeta(cells[i], &out);
+        CellResult cached;
+        if (spec_.cache &&
+            spec_.cache->lookup(out.seed, out.fingerprint, &cached)) {
+            out.metrics = cached.metrics;
+            out.normalized = cached.normalized;
+            hit[i] = 1;
+        } else {
+            pending.push_back(i);
+        }
+    }
+    cachedHits_ = cells.size() - pending.size();
+
+    // A fully cached re-run executes nothing: no baselines, no
+    // profiles, zero simulated cells.
+    if (!pending.empty())
+        computeBaselines();
+
+    // Stream cells out in final order as they finish; cached cells
+    // are complete up front (so a resumed sweep's sink emits the
+    // already-finished prefix immediately — still on the caller's
+    // thread, where sink errors may throw directly).
+    OrderedEmitter emitter(results_, spec_.sink.get());
+    ErrorLatch io_errors;
+    for (size_t i = 0; i < cells.size(); ++i)
+        if (hit[i])
+            emitter.complete(i);
+
+    std::atomic<size_t> done{cachedHits_};
+    parallelFor(pending.size(), spec_.threads, [&](size_t j) {
+        const size_t i = pending[j];
         const SweepCell &c = cells[i];
         CellResult &out = results_[i];
-        out.cell = c;
-        out.seed = cellSeed(c);
-        out.defense = spec_.defenses[c.defense];
-        out.threshold = spec_.thresholds[c.threshold];
-        out.provider = spec_.providers[c.provider].name;
-        out.mix = spec_.mixes[c.mix].name;
         out.metrics = runMixCell(
             c.geom, c.mix, out.defense,
             makeProvider(c.geom, spec_.providers[c.provider],
@@ -236,9 +432,24 @@ ExperimentRunner::run()
             out.metrics.harmonicSpeedup, base.harmonicSpeedup);
         out.normalized.maxSlowdown =
             safeRatio(out.metrics.maxSlowdown, base.maxSlowdown);
+        executed_.fetch_add(1);
+        // Checkpoint before emitting: a kill between the two loses
+        // sink tail rows (rewritten on resume) but never cached work.
+        // I/O failures are latched, not thrown, on worker threads.
+        try {
+            if (spec_.cache)
+                spec_.cache->store(out);
+            emitter.complete(i);
+        } catch (...) {
+            io_errors.capture();
+            emitter.disable();
+        }
         if (spec_.onProgress)
             spec_.onProgress(done.fetch_add(1) + 1, cells.size());
     });
+    io_errors.rethrow();
+    if (spec_.sink)
+        spec_.sink->flush();
     ran_ = true;
     return results_;
 }
@@ -279,14 +490,19 @@ ExperimentRunner::cellTable()
     Table t("Experiment sweep (" + std::to_string(results_.size()) +
                 " cells)",
             {"Geometry", "Defense", "HCfirst", "Provider", "Mix",
-             "WS", "HS", "MaxSd", "NormWS", "NormHS", "NormMaxSd"});
+             "Params", "WS", "HS", "MaxSd", "NormWS", "NormHS",
+             "NormMaxSd"});
     for (const auto &r : results_) {
         const sim::SimConfig &g = geoms_[r.cell.geom];
+        std::string params;
+        for (const auto &[name, value] : r.params)
+            params += (params.empty() ? "" : "|") + name + "=" +
+                      Table::fmt(value, 3);
         t.addRow({std::to_string(g.channels) + "ch-" +
                       std::to_string(g.banksPerRank()) + "b-" +
                       std::to_string(g.rowsPerBank / 1024) + "Kr",
                   r.defense, Table::fmtHc(int64_t(r.threshold)),
-                  r.provider, r.mix,
+                  r.provider, r.mix, params.empty() ? "-" : params,
                   Table::fmt(r.metrics.weightedSpeedup, 4),
                   Table::fmt(r.metrics.harmonicSpeedup, 4),
                   Table::fmt(r.metrics.maxSlowdown, 4),
@@ -307,7 +523,8 @@ ExperimentRunner::aloneIpc(uint32_t geom, uint32_t bench_idx) const
 }
 
 std::vector<AdversarialResult>
-runAdversarialSweep(const AdversarialSpec &adv)
+runAdversarialSweep(const AdversarialSpec &adv,
+                    SweepIoStats *io_stats)
 {
     const sim::SimConfig &cfg = adv.config;
     const auto &suite = sim::benchmarkSuite();
@@ -319,40 +536,146 @@ runAdversarialSweep(const AdversarialSpec &adv)
                                         c.defense +
                                         "\" in adversarial spec");
     validateProviderLabels(adv.providers);
+    requireSpec(!adv.cases.empty(), "adversarial case list is empty");
+    requireSpec(!adv.providers.empty(), "provider axis is empty");
+    requireSpec(adv.requestsPerCore > 0, "requestsPerCore is zero");
+    for (const auto &c : adv.cases)
+        requireSpec(!c.traces.empty(),
+                    "case \"" + c.name + "\" has no traces");
+
+    SweepIoStats stats;
+    // Shared fingerprint prefix: everything but the per-cell axes.
+    // (The defense threshold is mixed into defended cells only; the
+    // no-defense references do not depend on it.)
+    auto base_hash = [&](const char *tag) {
+        HashStream h;
+        h.mix(std::string(tag));
+        hashConfig(h, cfg);
+        h.mix(adv.requestsPerCore).mix(adv.baseSeed);
+        return h;
+    };
 
     // Benign companion mix: the fixed assignment MixRunner uses.
     const sim::WorkloadMix benign = sim::adversarialBenignMix(cfg.cores);
 
-    // Profiles for this spec's geometry.
+    // Filled only when some cell actually executes: a fully cached
+    // resume must skip profile building and baseline simulation
+    // entirely, just like the main sweep skips its baselines.
     std::map<std::string, std::shared_ptr<const core::VulnProfile>>
         profiles;
-    std::vector<std::string> labels;
-    for (const auto &p : adv.providers)
-        if (!p.moduleLabel.empty() && !profiles.count(p.moduleLabel)) {
-            profiles[p.moduleLabel] = nullptr;
-            labels.push_back(p.moduleLabel);
-        }
-    parallelFor(labels.size(), adv.threads, [&](size_t i) {
-        profiles.find(labels[i])->second =
-            buildProfile(labels[i], cfg);
-    });
-
-    // Alone IPCs of the benign benchmarks.
     std::vector<double> alone(suite.size(), 0.0);
-    const std::set<uint32_t> bench_set(benign.benchIdx.begin(),
-                                       benign.benchIdx.end());
-    const std::vector<uint32_t> benches(bench_set.begin(),
-                                        bench_set.end());
-    parallelFor(benches.size(), adv.threads, [&](size_t i) {
-        const uint32_t b = benches[i];
-        std::vector<std::vector<sim::TraceEntry>> traces;
-        traces.push_back(sim::generateTrace(
-            suite[b], adv.requestsPerCore, adv.baseSeed,
-            sim::coreTraceOffset(adv.baseSeed, 0)));
-        sim::System sys(cfg, std::move(traces), adv.requestsPerCore,
-                        nullptr);
-        alone[b] = std::max(sys.run().ipc[0], 1e-9);
-    });
+
+    // Reference runs (no defense), shared across providers. These
+    // are checkpointed too: a resumed adversarial sweep re-executes
+    // nothing it already finished.
+    std::vector<std::vector<double>> ref(adv.cases.size());
+    std::vector<std::pair<uint32_t, uint32_t>> ref_cells;
+    for (uint32_t c = 0; c < adv.cases.size(); ++c) {
+        ref[c].assign(adv.cases[c].traces.size(), 0.0);
+        for (uint32_t t = 0; t < adv.cases[c].traces.size(); ++t)
+            ref_cells.push_back({c, t});
+    }
+    auto ref_meta = [&](uint32_t c, uint32_t t) {
+        CellResult r;
+        r.cell = {0, c, 0, 0, t};
+        r.seed = hashSeed({adv.baseSeed, c, t, 0xADF0ULL});
+        r.defense = "none";
+        r.provider = "(reference)";
+        r.mix = adv.cases[c].name + "#" + std::to_string(t);
+        HashStream h = base_hash("svard-adv-ref-v1");
+        h.mix(r.seed);
+        hashTrace(h, adv.cases[c].traces[t]);
+        r.fingerprint = h.value();
+        return r;
+    };
+    std::vector<std::pair<uint32_t, uint32_t>> ref_pending;
+    for (const auto &[c, t] : ref_cells) {
+        const CellResult meta = ref_meta(c, t);
+        CellResult cached;
+        if (adv.cache &&
+            adv.cache->lookup(meta.seed, meta.fingerprint, &cached)) {
+            ref[c][t] = cached.metrics.weightedSpeedup;
+            ++stats.cached;
+        } else {
+            ref_pending.push_back({c, t});
+        }
+    }
+    // Defended runs: the full {case x provider x trace} grid, with
+    // cache consult before scheduling and in-order sink emission.
+    struct Cell
+    {
+        uint32_t c, p, t;
+    };
+    std::vector<Cell> cells;
+    for (uint32_t c = 0; c < adv.cases.size(); ++c)
+        for (uint32_t p = 0; p < adv.providers.size(); ++p)
+            for (uint32_t t = 0; t < adv.cases[c].traces.size(); ++t)
+                cells.push_back({c, p, t});
+
+    std::vector<CellResult> defended(cells.size());
+    std::vector<size_t> pending;
+    std::vector<char> hit(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        const ProviderSpec &prov = adv.providers[cell.p];
+        CellResult &out = defended[i];
+        out.cell = {0, cell.c, 0, cell.p, cell.t};
+        out.seed = hashSeed(
+            {adv.baseSeed, cell.c, cell.p, cell.t, 0xADF1ULL});
+        out.defense = adv.cases[cell.c].defense;
+        out.threshold = adv.threshold;
+        out.provider = prov.name;
+        out.mix =
+            adv.cases[cell.c].name + "#" + std::to_string(cell.t);
+        HashStream h = base_hash("svard-adv-v1");
+        h.mix(out.seed);
+        h.mix(out.defense).mix(adv.threshold);
+        h.mix(prov.name).mix(prov.moduleLabel);
+        hashTrace(h, adv.cases[cell.c].traces[cell.t]);
+        out.fingerprint = h.value();
+        CellResult cached;
+        if (adv.cache &&
+            adv.cache->lookup(out.seed, out.fingerprint, &cached)) {
+            out.metrics = cached.metrics;
+            out.normalized = cached.normalized;
+            hit[i] = 1;
+            ++stats.cached;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    // Baselines and profiles are only needed for cells that will
+    // actually execute.
+    if (!ref_pending.empty() || !pending.empty()) {
+        std::vector<std::string> labels;
+        for (const auto &p : adv.providers)
+            if (!p.moduleLabel.empty() &&
+                !profiles.count(p.moduleLabel)) {
+                profiles[p.moduleLabel] = nullptr;
+                labels.push_back(p.moduleLabel);
+            }
+        parallelFor(labels.size(), adv.threads, [&](size_t i) {
+            profiles.find(labels[i])->second =
+                buildProfile(labels[i], cfg);
+        });
+
+        // Alone IPCs of the benign benchmarks.
+        const std::set<uint32_t> bench_set(benign.benchIdx.begin(),
+                                           benign.benchIdx.end());
+        const std::vector<uint32_t> benches(bench_set.begin(),
+                                            bench_set.end());
+        parallelFor(benches.size(), adv.threads, [&](size_t i) {
+            const uint32_t b = benches[i];
+            std::vector<std::vector<sim::TraceEntry>> traces;
+            traces.push_back(sim::generateTrace(
+                suite[b], adv.requestsPerCore, adv.baseSeed,
+                sim::coreTraceOffset(adv.baseSeed, 0)));
+            sim::System sys(cfg, std::move(traces),
+                            adv.requestsPerCore, nullptr);
+            alone[b] = std::max(sys.run().ipc[0], 1e-9);
+        });
+    }
 
     // One adversarial system run: attacker on core 0 (shared
     // implementation with MixRunner::runAdversarial).
@@ -377,41 +700,59 @@ runAdversarialSweep(const AdversarialSpec &adv)
                 profiles.at(p.moduleLabel)->scaledTo(adv.threshold)));
     };
 
-    // Reference runs (no defense), shared across providers.
-    std::vector<std::vector<double>> ref(adv.cases.size());
-    std::vector<std::pair<uint32_t, uint32_t>> ref_cells;
-    for (uint32_t c = 0; c < adv.cases.size(); ++c) {
-        ref[c].assign(adv.cases[c].traces.size(), 0.0);
-        for (uint32_t t = 0; t < adv.cases[c].traces.size(); ++t)
-            ref_cells.push_back({c, t});
-    }
-    parallelFor(ref_cells.size(), adv.threads, [&](size_t i) {
-        const auto [c, t] = ref_cells[i];
-        ref[c][t] = run_one(
-            adv.cases[c].traces[t], "none", nullptr,
-            hashSeed({adv.baseSeed, c, t, 0xADF0ULL}));
+    ErrorLatch io_errors;
+    parallelFor(ref_pending.size(), adv.threads, [&](size_t i) {
+        const auto [c, t] = ref_pending[i];
+        CellResult out = ref_meta(c, t);
+        out.metrics.weightedSpeedup = run_one(
+            adv.cases[c].traces[t], "none", nullptr, out.seed);
+        ref[c][t] = out.metrics.weightedSpeedup;
+        try {
+            if (adv.cache)
+                adv.cache->store(out);
+        } catch (...) {
+            io_errors.capture();
+        }
     });
+    stats.executed += ref_pending.size();
+    io_errors.rethrow();
 
-    // Defended runs: the full {case x provider x trace} grid.
-    struct Cell
-    {
-        uint32_t c, p, t;
-    };
-    std::vector<Cell> cells;
-    for (uint32_t c = 0; c < adv.cases.size(); ++c)
-        for (uint32_t p = 0; p < adv.providers.size(); ++p)
-            for (uint32_t t = 0; t < adv.cases[c].traces.size(); ++t)
-                cells.push_back({c, p, t});
-    std::vector<double> ws(cells.size(), 0.0);
-    parallelFor(cells.size(), adv.threads, [&](size_t i) {
+    OrderedEmitter emitter(defended, adv.sink.get());
+    for (size_t i = 0; i < cells.size(); ++i)
+        if (hit[i])
+            emitter.complete(i);
+    parallelFor(pending.size(), adv.threads, [&](size_t j) {
+        const size_t i = pending[j];
         const Cell &cell = cells[i];
-        ws[i] = run_one(
+        CellResult &out = defended[i];
+        out.metrics.weightedSpeedup = run_one(
             adv.cases[cell.c].traces[cell.t],
             adv.cases[cell.c].defense,
-            make_provider(adv.providers[cell.p]),
-            hashSeed({adv.baseSeed, cell.c, cell.p, cell.t,
-                      0xADF1ULL}));
+            make_provider(adv.providers[cell.p]), out.seed);
+        // Normalized WS vs. the shared no-defense reference (its
+        // inverse is this trace's slowdown).
+        out.normalized.weightedSpeedup =
+            safeRatio(out.metrics.weightedSpeedup,
+                      ref[cell.c][cell.t]);
+        try {
+            if (adv.cache)
+                adv.cache->store(out);
+            emitter.complete(i);
+        } catch (...) {
+            io_errors.capture();
+            emitter.disable();
+        }
     });
+    stats.executed += pending.size();
+    io_errors.rethrow();
+    if (adv.sink)
+        adv.sink->flush();
+    if (io_stats)
+        *io_stats = stats;
+
+    std::vector<double> ws(cells.size(), 0.0);
+    for (size_t i = 0; i < cells.size(); ++i)
+        ws[i] = defended[i].metrics.weightedSpeedup;
 
     // Aggregate: mean over each case's traces; normalize each case
     // to its first provider (the spec's baseline configuration).

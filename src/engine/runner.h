@@ -15,6 +15,7 @@
 #ifndef SVARD_ENGINE_RUNNER_H
 #define SVARD_ENGINE_RUNNER_H
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
@@ -29,17 +30,34 @@ namespace svard::engine {
  * Execute an adversarial grid (Fig. 13): {attack case x provider x
  * trace} cells sharded across a thread pool, no-defense reference
  * runs shared across providers. Deterministic for any thread count.
+ * Honors the spec's sink (defended cells stream out in enumeration
+ * order) and cache (reference and defended cells are checkpointed
+ * and skipped on resume); `io_stats`, when given, receives the
+ * executed/cached cell counts.
  */
 std::vector<AdversarialResult>
-runAdversarialSweep(const AdversarialSpec &adv);
+runAdversarialSweep(const AdversarialSpec &adv,
+                    SweepIoStats *io_stats = nullptr);
 
 class ExperimentRunner
 {
   public:
+    /**
+     * @throws std::invalid_argument for unknown defense/module names
+     *         and for degenerate specs (an empty defense, threshold,
+     *         provider, or mix axis; a mix without benchmarks; zero
+     *         requests per core) — a silent empty grid is never run.
+     */
     explicit ExperimentRunner(SweepSpec spec);
 
     /** Execute the grid (cached: repeat calls return the same run). */
     const std::vector<CellResult> &run();
+
+    /** Cells actually simulated by run() (cache misses). */
+    size_t executedCells() const { return executed_.load(); }
+
+    /** Cells satisfied from the sweep cache without execution. */
+    size_t cachedCells() const { return cachedHits_; }
 
     /** Mean normalized metrics per configuration, axis order. */
     std::vector<SummaryRow> summarize();
@@ -55,12 +73,28 @@ class ExperimentRunner
         return geoms_;
     }
 
-    /** Alone IPC baseline of a benchmark under a geometry (post-run). */
+    /** Alone IPC baseline of a benchmark under a geometry (post-run).
+     *  Only populated when at least one cell executed: a fully cached
+     *  run skips baseline simulation entirely. */
     double aloneIpc(uint32_t geom, uint32_t bench_idx) const;
 
   private:
     /** Deterministic seed of a cell from its grid coordinates. */
     uint64_t cellSeed(const SweepCell &c) const;
+
+    /**
+     * Cache fingerprint of a metadata-resolved cell: hashes the
+     * cell's seed and every input that shapes its result (geometry +
+     * timing, request count, defense name, threshold value, provider,
+     * workload mix, parameter bag). Two runs compute the same
+     * fingerprint for a cell iff the cell would simulate identically,
+     * which is what makes the sweep cache safe across spec edits.
+     */
+    uint64_t cellFingerprint(const CellResult &resolved) const;
+
+    /** Fill a cell's metadata (coords, seed, fingerprint, resolved
+     *  axis values) without executing it. */
+    void resolveCellMeta(const SweepCell &c, CellResult *out) const;
 
     /** Resampled base profile of (geometry, module label), cached. */
     std::shared_ptr<const core::VulnProfile>
@@ -100,6 +134,8 @@ class ExperimentRunner
     std::vector<std::vector<sim::MixMetrics>> mixBase_; ///< [geom][mix]
     std::vector<CellResult> results_;
     bool ran_ = false;
+    std::atomic<size_t> executed_{0};
+    size_t cachedHits_ = 0;
 };
 
 } // namespace svard::engine

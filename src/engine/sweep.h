@@ -14,12 +14,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.h"
 #include "sim/system.h"
 #include "sim/workload.h"
+
+namespace svard::io {
+class ResultSink;
+class SweepCache;
+} // namespace svard::io
 
 namespace svard::engine {
 
@@ -77,6 +85,31 @@ struct SweepSpec
      * threads — keep it cheap and thread-safe (an fprintf is fine).
      */
     std::function<void(size_t, size_t)> onProgress;
+
+    /**
+     * Defense parameter bag applied to every cell's DefenseContext
+     * (registry-driven sweeps, e.g. {"blacklist_fraction", 0.25} for
+     * BlockHammer). Recorded per cell and part of the cache
+     * fingerprint, so editing a parameter invalidates cached cells.
+     */
+    std::map<std::string, double> defenseParams;
+
+    /**
+     * Optional streaming sink: finished cells are emitted in final
+     * enumeration order as soon as every predecessor has completed,
+     * so a paper-scale sweep can be tailed while it runs and the
+     * final file is bit-identical at any thread count.
+     */
+    std::shared_ptr<io::ResultSink> sink;
+
+    /**
+     * Optional per-cell cache / checkpoint: before scheduling, every
+     * cell is looked up by (deterministic seed, spec fingerprint);
+     * hits skip execution, misses are appended as workers finish.
+     * Re-running an interrupted or edited sweep against the same
+     * cache executes only missing/changed cells.
+     */
+    std::shared_ptr<io::SweepCache> cache;
 };
 
 /** Grid coordinates of one cell. */
@@ -94,10 +127,13 @@ struct CellResult
 {
     SweepCell cell;
     uint64_t seed = 0;          ///< deterministic per-cell seed
+    uint64_t fingerprint = 0;   ///< hash of the cell's resolved inputs
     std::string defense;        ///< resolved axis values for reporting
     double threshold = 0.0;
     std::string provider;
     std::string mix;
+    /** Defense parameter bag the cell ran under (sorted by name). */
+    std::vector<std::pair<std::string, double>> params;
     sim::MixMetrics metrics;    ///< raw paper metrics
     sim::MixMetrics normalized; ///< vs. same-geometry/mix no-defense run
 };
@@ -136,6 +172,20 @@ struct AdversarialSpec
     size_t requestsPerCore = 6000;
     uint64_t baseSeed = 11;
     unsigned threads = 0;
+
+    /** Optional streaming sink for defended cells (see SweepSpec). */
+    std::shared_ptr<io::ResultSink> sink;
+
+    /** Optional per-cell cache; covers reference runs too, so a
+     *  resumed adversarial sweep re-executes nothing it finished. */
+    std::shared_ptr<io::SweepCache> cache;
+};
+
+/** Cache effectiveness of one sweep execution. */
+struct SweepIoStats
+{
+    size_t executed = 0; ///< cells actually simulated this run
+    size_t cached = 0;   ///< cells satisfied from the cache
 };
 
 struct AdversarialResult

@@ -1,0 +1,114 @@
+#include "io/async_sink.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace svard::io {
+
+AsyncSink::AsyncSink(std::unique_ptr<ResultSink> inner,
+                     size_t queue_capacity)
+    : inner_(std::move(inner)),
+      capacity_(std::max<size_t>(1, queue_capacity))
+{
+    SVARD_ASSERT(inner_ != nullptr, "AsyncSink needs an inner sink");
+    writer_ = std::thread([this] { writerLoop(); });
+}
+
+AsyncSink::~AsyncSink()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    canPop_.notify_all();
+    writer_.join();
+    // Best-effort final flush; destructors must not throw.
+    try {
+        inner_->flush();
+    } catch (...) {
+    }
+}
+
+void
+AsyncSink::rethrowLocked(std::unique_lock<std::mutex> &lock)
+{
+    if (!error_)
+        return;
+    const std::exception_ptr err = error_;
+    lock.unlock();
+    std::rethrow_exception(err);
+}
+
+void
+AsyncSink::write(const engine::CellResult &row)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    canPush_.wait(lock, [this] {
+        return queue_.size() < capacity_ || error_ != nullptr;
+    });
+    rethrowLocked(lock);
+    queue_.push_back(row);
+    maxDepth_ = std::max(maxDepth_, queue_.size());
+    canPop_.notify_one();
+}
+
+void
+AsyncSink::flush()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] {
+        return (queue_.empty() && !writing_) || error_ != nullptr;
+    });
+    rethrowLocked(lock);
+    // Keep the lock across the inner flush: releasing it would let a
+    // concurrent producer wake the writer into inner_->write() while
+    // we are inside inner_->flush() — a data race on the inner sink,
+    // which is promised single-threaded access.
+    inner_->flush();
+}
+
+size_t
+AsyncSink::maxDepthSeen() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return maxDepth_;
+}
+
+void
+AsyncSink::writerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mu_);
+        canPop_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stop_ and drained: exit after the last row is written.
+            return;
+        }
+        engine::CellResult row = std::move(queue_.front());
+        queue_.pop_front();
+        writing_ = true;
+        lock.unlock();
+        canPush_.notify_one();
+
+        try {
+            inner_->write(row);
+            lock.lock();
+            writing_ = false;
+        } catch (...) {
+            lock.lock();
+            writing_ = false;
+            error_ = std::current_exception();
+            queue_.clear(); // unblock producers; rows are lost anyway
+            lock.unlock();
+            canPush_.notify_all();
+            drained_.notify_all();
+            return;
+        }
+        if (queue_.empty())
+            drained_.notify_all();
+    }
+}
+
+} // namespace svard::io

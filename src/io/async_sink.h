@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Asynchronous sink decorator: producers enqueue finished cells into
+ * a bounded MPSC queue and a dedicated writer thread drains it into
+ * the wrapped sink, so simulation workers never block on file I/O
+ * (until the queue fills, at which point writes apply backpressure
+ * instead of buffering unboundedly). flush() waits for the queue to
+ * drain and then flushes the inner sink; errors raised on the writer
+ * thread are rethrown to the producer at the next write()/flush().
+ */
+#ifndef SVARD_IO_ASYNC_SINK_H
+#define SVARD_IO_ASYNC_SINK_H
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "io/result_sink.h"
+
+namespace svard::io {
+
+class AsyncSink : public ResultSink
+{
+  public:
+    explicit AsyncSink(std::unique_ptr<ResultSink> inner,
+                       size_t queue_capacity = 256);
+    ~AsyncSink() override;
+
+    /** Enqueue a row; blocks while the queue holds `capacity` rows. */
+    void write(const engine::CellResult &row) override;
+
+    /** Drain the queue, then flush the wrapped sink. */
+    void flush() override;
+
+    /** High-water mark of the queue (tuning/observability). */
+    size_t maxDepthSeen() const;
+
+  private:
+    void writerLoop();
+    void rethrowLocked(std::unique_lock<std::mutex> &lock);
+
+    std::unique_ptr<ResultSink> inner_;
+    const size_t capacity_;
+
+    mutable std::mutex mu_;
+    std::condition_variable canPush_;
+    std::condition_variable canPop_;
+    std::condition_variable drained_;
+    std::deque<engine::CellResult> queue_;
+    bool stop_ = false;
+    bool writing_ = false; ///< a row is between pop and inner write
+    size_t maxDepth_ = 0;
+    std::exception_ptr error_;
+
+    std::thread writer_;
+};
+
+} // namespace svard::io
+
+#endif // SVARD_IO_ASYNC_SINK_H

@@ -1,0 +1,547 @@
+#include "io/result_sink.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace svard::io {
+
+namespace {
+
+/** Record framing magic ("SVC1" little-endian on disk). */
+constexpr uint32_t kRecordMagic = 0x31435653u;
+/** Defensive cap: no serialized cell is remotely this large. */
+constexpr uint32_t kMaxPayload = 1u << 20;
+
+std::FILE *
+openOrDie(const std::string &path, const char *mode)
+{
+    std::FILE *f = std::fopen(path.c_str(), mode);
+    if (!f)
+        SVARD_FATAL("cannot open \"" + path + "\" (mode " + mode + ")");
+    return f;
+}
+
+/** I/O failures (disk full, revoked quota) must never leave a
+ *  silently truncated result table behind a zero exit code. */
+[[noreturn]] void
+throwWriteError(const std::string &path)
+{
+    throw std::runtime_error("write failed on \"" + path + "\"");
+}
+
+void
+checkFlush(std::FILE *f, const std::string &path)
+{
+    if (std::fflush(f) != 0)
+        throwWriteError(path);
+}
+
+/** CSV/params fields use ',', '|', '=' as separators; reject rows
+ *  that would be unparseable rather than emit a corrupt file. Throws
+ *  (not aborts): on a worker/writer thread this must surface through
+ *  the engine's error latch like any other sink failure. */
+void
+checkFieldClean(const std::string &s)
+{
+    if (s.find_first_of(",|=\n\"") != std::string::npos)
+        throw std::runtime_error(
+            "result field contains a separator: \"" + s + "\"");
+}
+
+uint64_t
+payloadChecksum(const std::string &payload)
+{
+    return HashStream(0xC0DEC0DEC0DEC0DEULL).mix(payload).value();
+}
+
+// --- binary payload primitives (host-endian; caches are local) ----
+
+void
+putU32(std::string &b, uint32_t v)
+{
+    b.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putU64(std::string &b, uint64_t v)
+{
+    b.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putF64(std::string &b, double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(b, bits);
+}
+
+void
+putStr(std::string &b, const std::string &s)
+{
+    putU32(b, static_cast<uint32_t>(s.size()));
+    b.append(s);
+}
+
+/** Bounds-checked sequential reader over a payload buffer. */
+struct Cursor
+{
+    const std::string &buf;
+    size_t pos = 0;
+
+    bool
+    getU32(uint32_t *v)
+    {
+        if (pos + sizeof(*v) > buf.size())
+            return false;
+        std::memcpy(v, buf.data() + pos, sizeof(*v));
+        pos += sizeof(*v);
+        return true;
+    }
+
+    bool
+    getU64(uint64_t *v)
+    {
+        if (pos + sizeof(*v) > buf.size())
+            return false;
+        std::memcpy(v, buf.data() + pos, sizeof(*v));
+        pos += sizeof(*v);
+        return true;
+    }
+
+    bool
+    getF64(double *v)
+    {
+        uint64_t bits = 0;
+        if (!getU64(&bits))
+            return false;
+        std::memcpy(v, &bits, sizeof(*v));
+        return true;
+    }
+
+    bool
+    getStr(std::string *s)
+    {
+        uint32_t len = 0;
+        if (!getU32(&len) || pos + len > buf.size())
+            return false;
+        s->assign(buf, pos, len);
+        pos += len;
+        return true;
+    }
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue; // row fields never contain control chars
+        out.push_back(c);
+    }
+    return out;
+}
+
+double
+parseDouble(const std::string &s)
+{
+    return std::strtod(s.c_str(), nullptr);
+}
+
+uint64_t
+parseU64(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::vector<std::string>
+splitOn(const std::string &line, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (;;) {
+        const size_t at = line.find(sep, start);
+        if (at == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, at - start));
+        start = at + 1;
+    }
+}
+
+} // anonymous namespace
+
+std::string
+formatDouble(double v)
+{
+    // 17 significant digits round-trip IEEE-754 doubles exactly, so
+    // text written here parses back to the same bits (the property
+    // the resume byte-identity guarantee rests on).
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+formatParams(
+    const std::vector<std::pair<std::string, double>> &params)
+{
+    std::string out;
+    for (const auto &[name, value] : params) {
+        checkFieldClean(name);
+        if (!out.empty())
+            out.push_back('|');
+        out += name + "=" + formatDouble(value);
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// CsvSink
+// ------------------------------------------------------------------
+
+const char *
+CsvSink::header()
+{
+    return "coords,seed,fingerprint,defense,threshold,provider,mix,"
+           "weighted_speedup,harmonic_speedup,max_slowdown,"
+           "norm_weighted_speedup,norm_harmonic_speedup,"
+           "norm_max_slowdown,params";
+}
+
+CsvSink::CsvSink(const std::string &path)
+    : path_(path), file_(openOrDie(path, "w"))
+{
+    if (std::fprintf(file_, "%s\n", header()) < 0)
+        throwWriteError(path_);
+}
+
+CsvSink::~CsvSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+CsvSink::write(const engine::CellResult &r)
+{
+    checkFieldClean(r.defense);
+    checkFieldClean(r.provider);
+    checkFieldClean(r.mix);
+    const int n = std::fprintf(
+        file_, "%u.%u.%u.%u.%u,%" PRIu64 ",%" PRIu64 ",%s,%s,%s,%s,"
+               "%s,%s,%s,%s,%s,%s,%s\n",
+        r.cell.geom, r.cell.defense, r.cell.threshold, r.cell.provider,
+        r.cell.mix, r.seed, r.fingerprint, r.defense.c_str(),
+        formatDouble(r.threshold).c_str(), r.provider.c_str(),
+        r.mix.c_str(), formatDouble(r.metrics.weightedSpeedup).c_str(),
+        formatDouble(r.metrics.harmonicSpeedup).c_str(),
+        formatDouble(r.metrics.maxSlowdown).c_str(),
+        formatDouble(r.normalized.weightedSpeedup).c_str(),
+        formatDouble(r.normalized.harmonicSpeedup).c_str(),
+        formatDouble(r.normalized.maxSlowdown).c_str(),
+        formatParams(r.params).c_str());
+    if (n < 0)
+        throwWriteError(path_);
+}
+
+void
+CsvSink::flush()
+{
+    checkFlush(file_, path_);
+}
+
+std::vector<engine::CellResult>
+readCsvResults(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        throw std::runtime_error("cannot read CSV \"" + path + "\"");
+    std::vector<engine::CellResult> out;
+    std::string s;
+    bool first = true;
+    // Unbounded line length: the reader must accept any row the
+    // writer emitted (param bags make rows arbitrarily long).
+    while (std::getline(in, s)) {
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+            s.pop_back();
+        if (first) {
+            first = false;
+            if (s != CsvSink::header())
+                throw std::runtime_error(
+                    "unexpected CSV header in \"" + path + "\"");
+            continue;
+        }
+        if (s.empty())
+            continue;
+        const auto fields = splitOn(s, ',');
+        if (fields.size() != 14)
+            throw std::runtime_error("malformed CSV row in \"" + path +
+                                     "\": " + s);
+        engine::CellResult r;
+        if (std::sscanf(fields[0].c_str(), "%u.%u.%u.%u.%u",
+                        &r.cell.geom, &r.cell.defense,
+                        &r.cell.threshold, &r.cell.provider,
+                        &r.cell.mix) != 5)
+            throw std::runtime_error("malformed coords in \"" + path +
+                                     "\": " + fields[0]);
+        r.seed = parseU64(fields[1]);
+        r.fingerprint = parseU64(fields[2]);
+        r.defense = fields[3];
+        r.threshold = parseDouble(fields[4]);
+        r.provider = fields[5];
+        r.mix = fields[6];
+        r.metrics.weightedSpeedup = parseDouble(fields[7]);
+        r.metrics.harmonicSpeedup = parseDouble(fields[8]);
+        r.metrics.maxSlowdown = parseDouble(fields[9]);
+        r.normalized.weightedSpeedup = parseDouble(fields[10]);
+        r.normalized.harmonicSpeedup = parseDouble(fields[11]);
+        r.normalized.maxSlowdown = parseDouble(fields[12]);
+        if (!fields[13].empty())
+            for (const auto &kv : splitOn(fields[13], '|')) {
+                const size_t eq = kv.find('=');
+                if (eq == std::string::npos)
+                    throw std::runtime_error("malformed params in \"" +
+                                             path + "\": " + kv);
+                r.params.emplace_back(kv.substr(0, eq),
+                                      parseDouble(kv.substr(eq + 1)));
+            }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// JsonlSink
+// ------------------------------------------------------------------
+
+JsonlSink::JsonlSink(const std::string &path)
+    : path_(path), file_(openOrDie(path, "w"))
+{}
+
+JsonlSink::~JsonlSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JsonlSink::write(const engine::CellResult &r)
+{
+    std::string params = "{";
+    for (const auto &[name, value] : r.params) {
+        if (params.size() > 1)
+            params += ",";
+        params += "\"" + jsonEscape(name) +
+                  "\":" + formatDouble(value);
+    }
+    params += "}";
+    const int n = std::fprintf(
+        file_,
+        "{\"coords\":[%u,%u,%u,%u,%u],\"seed\":%" PRIu64
+        ",\"fingerprint\":%" PRIu64
+        ",\"defense\":\"%s\",\"threshold\":%s,\"provider\":\"%s\","
+        "\"mix\":\"%s\",\"ws\":%s,\"hs\":%s,\"max_slowdown\":%s,"
+        "\"norm_ws\":%s,\"norm_hs\":%s,\"norm_max_slowdown\":%s,"
+        "\"params\":%s}\n",
+        r.cell.geom, r.cell.defense, r.cell.threshold, r.cell.provider,
+        r.cell.mix, r.seed, r.fingerprint,
+        jsonEscape(r.defense).c_str(),
+        formatDouble(r.threshold).c_str(),
+        jsonEscape(r.provider).c_str(), jsonEscape(r.mix).c_str(),
+        formatDouble(r.metrics.weightedSpeedup).c_str(),
+        formatDouble(r.metrics.harmonicSpeedup).c_str(),
+        formatDouble(r.metrics.maxSlowdown).c_str(),
+        formatDouble(r.normalized.weightedSpeedup).c_str(),
+        formatDouble(r.normalized.harmonicSpeedup).c_str(),
+        formatDouble(r.normalized.maxSlowdown).c_str(),
+        params.c_str());
+    if (n < 0)
+        throwWriteError(path_);
+}
+
+void
+JsonlSink::flush()
+{
+    checkFlush(file_, path_);
+}
+
+// ------------------------------------------------------------------
+// Binary records
+// ------------------------------------------------------------------
+
+std::string
+encodeCellResult(const engine::CellResult &r)
+{
+    std::string b;
+    putU32(b, r.cell.geom);
+    putU32(b, r.cell.defense);
+    putU32(b, r.cell.threshold);
+    putU32(b, r.cell.provider);
+    putU32(b, r.cell.mix);
+    putU64(b, r.seed);
+    putU64(b, r.fingerprint);
+    putStr(b, r.defense);
+    putF64(b, r.threshold);
+    putStr(b, r.provider);
+    putStr(b, r.mix);
+    putU32(b, static_cast<uint32_t>(r.params.size()));
+    for (const auto &[name, value] : r.params) {
+        putStr(b, name);
+        putF64(b, value);
+    }
+    putF64(b, r.metrics.weightedSpeedup);
+    putF64(b, r.metrics.harmonicSpeedup);
+    putF64(b, r.metrics.maxSlowdown);
+    putF64(b, r.normalized.weightedSpeedup);
+    putF64(b, r.normalized.harmonicSpeedup);
+    putF64(b, r.normalized.maxSlowdown);
+    return b;
+}
+
+bool
+decodeCellResult(const std::string &payload, engine::CellResult *out)
+{
+    Cursor c{payload};
+    engine::CellResult r;
+    uint32_t nparams = 0;
+    if (!c.getU32(&r.cell.geom) || !c.getU32(&r.cell.defense) ||
+        !c.getU32(&r.cell.threshold) || !c.getU32(&r.cell.provider) ||
+        !c.getU32(&r.cell.mix) || !c.getU64(&r.seed) ||
+        !c.getU64(&r.fingerprint) || !c.getStr(&r.defense) ||
+        !c.getF64(&r.threshold) || !c.getStr(&r.provider) ||
+        !c.getStr(&r.mix) || !c.getU32(&nparams))
+        return false;
+    for (uint32_t i = 0; i < nparams; ++i) {
+        std::string name;
+        double value = 0.0;
+        if (!c.getStr(&name) || !c.getF64(&value))
+            return false;
+        r.params.emplace_back(std::move(name), value);
+    }
+    if (!c.getF64(&r.metrics.weightedSpeedup) ||
+        !c.getF64(&r.metrics.harmonicSpeedup) ||
+        !c.getF64(&r.metrics.maxSlowdown) ||
+        !c.getF64(&r.normalized.weightedSpeedup) ||
+        !c.getF64(&r.normalized.harmonicSpeedup) ||
+        !c.getF64(&r.normalized.maxSlowdown) ||
+        c.pos != payload.size())
+        return false;
+    *out = std::move(r);
+    return true;
+}
+
+void
+appendRecord(std::FILE *f, const engine::CellResult &r)
+{
+    const std::string payload = encodeCellResult(r);
+    std::string frame;
+    putU32(frame, kRecordMagic);
+    putU32(frame, static_cast<uint32_t>(payload.size()));
+    putU64(frame, r.seed);
+    putU64(frame, r.fingerprint);
+    frame += payload;
+    putU64(frame, payloadChecksum(payload));
+    // One fwrite per record: a kill can truncate the tail record but
+    // never interleave two records.
+    if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size())
+        throw std::runtime_error(
+            "short write appending a sweep record");
+}
+
+std::vector<engine::CellResult>
+readRecords(std::FILE *f, uint64_t *valid_bytes)
+{
+    std::vector<engine::CellResult> out;
+    uint64_t valid = 0;
+    for (;;) {
+        char header[24];
+        if (std::fread(header, 1, sizeof(header), f) != sizeof(header))
+            break; // clean EOF or truncated header: stop
+        uint32_t magic = 0, size = 0;
+        uint64_t key = 0, fingerprint = 0;
+        std::memcpy(&magic, header, 4);
+        std::memcpy(&size, header + 4, 4);
+        std::memcpy(&key, header + 8, 8);
+        std::memcpy(&fingerprint, header + 16, 8);
+        if (magic != kRecordMagic || size > kMaxPayload)
+            break; // corrupt tail
+        std::string payload(size, '\0');
+        if (std::fread(payload.data(), 1, size, f) != size)
+            break; // truncated payload (killed mid-write)
+        uint64_t checksum = 0;
+        if (std::fread(&checksum, 1, sizeof(checksum), f) !=
+                sizeof(checksum) ||
+            checksum != payloadChecksum(payload))
+            break;
+        engine::CellResult r;
+        if (!decodeCellResult(payload, &r) || r.seed != key ||
+            r.fingerprint != fingerprint)
+            break;
+        out.push_back(std::move(r));
+        valid += sizeof(header) + size + sizeof(checksum);
+    }
+    if (valid_bytes)
+        *valid_bytes = valid;
+    return out;
+}
+
+BinarySink::BinarySink(const std::string &path, bool append)
+    : path_(path), file_(openOrDie(path, append ? "ab" : "wb"))
+{}
+
+BinarySink::~BinarySink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+BinarySink::write(const engine::CellResult &r)
+{
+    appendRecord(file_, r);
+}
+
+void
+BinarySink::flush()
+{
+    checkFlush(file_, path_);
+}
+
+std::vector<engine::CellResult>
+readBinaryResults(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    auto out = readRecords(f);
+    std::fclose(f);
+    return out;
+}
+
+std::unique_ptr<ResultSink>
+makeSinkForPath(const std::string &path)
+{
+    auto ends_with = [&](const char *suffix) {
+        const size_t n = std::strlen(suffix);
+        return path.size() >= n &&
+               path.compare(path.size() - n, n, suffix) == 0;
+    };
+    if (ends_with(".jsonl"))
+        return std::make_unique<JsonlSink>(path);
+    if (ends_with(".bin") || ends_with(".svc"))
+        return std::make_unique<BinarySink>(path);
+    return std::make_unique<CsvSink>(path);
+}
+
+} // namespace svard::io

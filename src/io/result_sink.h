@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Streaming result sinks for experiment sweeps. The engine emits each
+ * finished CellResult to a ResultSink in final enumeration order, so
+ * paper-scale grids can be tailed, checkpointed, and resumed instead
+ * of materializing in memory until the last cell lands.
+ *
+ * Three on-disk formats share one row model:
+ *  - CsvSink: human/tool-friendly, one row per cell. Doubles are
+ *    printed with 17 significant digits, so text -> double recovers
+ *    the exact bits and a resumed sweep's CSV is byte-identical to an
+ *    uninterrupted run's.
+ *  - JsonlSink: one JSON object per line (ingestion pipelines).
+ *  - BinarySink: length-prefixed, checksummed records — the
+ *    checkpoint format. A file of records doubles as a SweepCache, so
+ *    "checkpoint" and "cache" are the same artifact.
+ *
+ * Sinks are NOT thread-safe: the engine serializes emission through
+ * its ordered emitter; wrap a sink in AsyncSink to move the file I/O
+ * off the worker threads.
+ */
+#ifndef SVARD_IO_RESULT_SINK_H
+#define SVARD_IO_RESULT_SINK_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.h"
+
+namespace svard::io {
+
+/** Row-at-a-time consumer of finished sweep cells. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /**
+     * Emit one finished cell (calls arrive in final table order).
+     * @throws std::runtime_error on I/O failure (e.g. disk full) —
+     *         silent truncation of a result table is never OK.
+     */
+    virtual void write(const engine::CellResult &row) = 0;
+
+    /** Make everything written so far durable/visible.
+     *  @throws std::runtime_error on I/O failure. */
+    virtual void flush() {}
+};
+
+// ------------------------------------------------------------------
+// Text formats
+// ------------------------------------------------------------------
+
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(const std::string &path);
+    ~CsvSink() override;
+
+    void write(const engine::CellResult &row) override;
+    void flush() override;
+
+    /** The header line (no newline); also what the reader expects. */
+    static const char *header();
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+class JsonlSink : public ResultSink
+{
+  public:
+    explicit JsonlSink(const std::string &path);
+    ~JsonlSink() override;
+
+    void write(const engine::CellResult &row) override;
+    void flush() override;
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+// ------------------------------------------------------------------
+// Binary record format (checkpoint / cache)
+// ------------------------------------------------------------------
+
+class BinarySink : public ResultSink
+{
+  public:
+    /** `append` continues an existing checkpoint instead of truncating. */
+    explicit BinarySink(const std::string &path, bool append = false);
+    ~BinarySink() override;
+
+    void write(const engine::CellResult &row) override;
+    void flush() override;
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+/** Serialize one CellResult into the binary payload (host-endian). */
+std::string encodeCellResult(const engine::CellResult &row);
+
+/** Inverse of encodeCellResult; false on malformed payload. */
+bool decodeCellResult(const std::string &payload,
+                      engine::CellResult *out);
+
+/** Append one framed record (magic, length, key, checksum) to `f`.
+ *  @throws std::runtime_error when the write comes up short. */
+void appendRecord(std::FILE *f, const engine::CellResult &row);
+
+/**
+ * Read every intact record from `f`. Stops silently at a truncated or
+ * corrupt tail — exactly what a checkpoint killed mid-write leaves
+ * behind — so resume loses at most the one in-flight cell.
+ * `valid_bytes`, when given, receives the offset just past the last
+ * intact record (SweepCache truncates a torn tail there before
+ * appending, or new records would hide behind the garbage).
+ */
+std::vector<engine::CellResult>
+readRecords(std::FILE *f, uint64_t *valid_bytes = nullptr);
+
+// ------------------------------------------------------------------
+// Whole-file readers + helpers
+// ------------------------------------------------------------------
+
+/** Load a CsvSink file. @throws std::runtime_error on malformed input. */
+std::vector<engine::CellResult>
+readCsvResults(const std::string &path);
+
+/** Load a BinarySink/SweepCache file (empty if absent/unreadable). */
+std::vector<engine::CellResult>
+readBinaryResults(const std::string &path);
+
+/**
+ * Sink for a path by extension: ".jsonl" -> JsonlSink, ".bin"/".svc"
+ * -> BinarySink, anything else -> CsvSink.
+ */
+std::unique_ptr<ResultSink> makeSinkForPath(const std::string &path);
+
+/** Exact-round-trip double formatting (17 significant digits). */
+std::string formatDouble(double v);
+
+/** "name=value|name=value" encoding of a cell's parameter bag. */
+std::string
+formatParams(const std::vector<std::pair<std::string, double>> &params);
+
+} // namespace svard::io
+
+#endif // SVARD_IO_RESULT_SINK_H

@@ -1,0 +1,96 @@
+#include "io/sweep_cache.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "io/result_sink.h"
+
+namespace svard::io {
+
+SweepCache::SweepCache(const std::string &path)
+    : path_(path)
+{
+    // Load whatever a previous (possibly killed) run left behind.
+    uint64_t valid_bytes = 0;
+    if (std::FILE *f = std::fopen(path_.c_str(), "rb")) {
+        for (auto &r : readRecords(f, &valid_bytes)) {
+            const std::pair<uint64_t, uint64_t> key{r.seed,
+                                                    r.fingerprint};
+            cells_[key] = std::move(r); // duplicates: last one wins
+        }
+        std::fclose(f);
+        // Repair a torn tail (a kill mid-append) before appending:
+        // records written after in-file garbage would be invisible to
+        // the next load, which stops at the first corrupt byte.
+        std::error_code ec;
+        const auto on_disk =
+            std::filesystem::file_size(path_, ec);
+        if (!ec && on_disk > valid_bytes) {
+            warn("sweep cache \"" + path_ + "\": dropping " +
+                 std::to_string(on_disk - valid_bytes) +
+                 " bytes of torn tail record");
+            std::filesystem::resize_file(path_, valid_bytes, ec);
+            if (ec)
+                SVARD_FATAL("cannot repair sweep cache \"" + path_ +
+                            "\": " + ec.message());
+        }
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (!file_)
+        SVARD_FATAL("cannot open sweep cache \"" + path_ +
+                    "\" for append");
+}
+
+SweepCache::~SweepCache()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+SweepCache::lookup(uint64_t seed, uint64_t fingerprint,
+                   engine::CellResult *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cells_.find({seed, fingerprint});
+    if (it == cells_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+SweepCache::store(const engine::CellResult &row)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::pair<uint64_t, uint64_t> key{row.seed,
+                                            row.fingerprint};
+    if (!cells_.emplace(key, row).second)
+        return; // already persisted
+    appendRecord(file_, row); // throws on a short write
+    // Per-record durability: a kill after this point cannot lose the
+    // cell. The sim work per cell dwarfs one small flushed write.
+    if (std::fflush(file_) != 0)
+        throw std::runtime_error("flush failed on sweep cache \"" +
+                                 path_ + "\"");
+}
+
+size_t
+SweepCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cells_.size();
+}
+
+bool
+SweepCache::fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+} // namespace svard::io

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-cell sweep cache / checkpoint. One append-only file of binary
+ * records (the BinarySink format) maps (deterministic cell seed,
+ * spec fingerprint) -> finished CellResult:
+ *
+ *  - Before scheduling, the engine looks every cell up; hits skip
+ *    execution entirely (a fully cached sweep executes zero cells).
+ *  - Workers append each finished cell immediately, so killing a
+ *    sweep at any point leaves a valid checkpoint — re-running with
+ *    the same cache path resumes with only the missing cells.
+ *  - The fingerprint hashes the cell's *resolved* inputs (geometry,
+ *    defense name, threshold value, provider, workload, parameter
+ *    bag, request count), so editing a spec invalidates exactly the
+ *    cells whose inputs changed.
+ *
+ * Loading tolerates a truncated or corrupt tail record (what a kill
+ * mid-append leaves behind): intact records are kept, the tail is
+ * dropped. store() is thread-safe; lookup() is const and safe to call
+ * concurrently with other lookups (the engine probes before sharding).
+ */
+#ifndef SVARD_IO_SWEEP_CACHE_H
+#define SVARD_IO_SWEEP_CACHE_H
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "engine/sweep.h"
+
+namespace svard::io {
+
+class SweepCache
+{
+  public:
+    /** Open (creating if absent) and load every intact record. */
+    explicit SweepCache(const std::string &path);
+    ~SweepCache();
+
+    SweepCache(const SweepCache &) = delete;
+    SweepCache &operator=(const SweepCache &) = delete;
+
+    /**
+     * Fetch a finished cell by (seed, fingerprint). On a hit, copies
+     * the cached result into `*out` and returns true.
+     */
+    bool lookup(uint64_t seed, uint64_t fingerprint,
+                engine::CellResult *out) const;
+
+    /** Append a finished cell (thread-safe; flushed per record).
+     *  @throws std::runtime_error on I/O failure. */
+    void store(const engine::CellResult &row);
+
+    /** Number of distinct cached cells. */
+    size_t size() const;
+
+    const std::string &path() const { return path_; }
+
+    static bool fileExists(const std::string &path);
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr; ///< append handle
+    mutable std::mutex mu_;
+    std::map<std::pair<uint64_t, uint64_t>, engine::CellResult>
+        cells_;
+};
+
+} // namespace svard::io
+
+#endif // SVARD_IO_SWEEP_CACHE_H

@@ -11,7 +11,8 @@ SimEngine::SimEngine(const SimConfig &cfg,
                      const std::string &defense_name,
                      std::shared_ptr<const core::ThresholdProvider>
                          provider,
-                     uint64_t seed, Completion on_complete)
+                     uint64_t seed, Completion on_complete,
+                     const defense::DefenseParams &params)
     : cfg_(cfg), mapper_(cfg)
 {
     SVARD_ASSERT(cfg_.channels >= 1, "need at least one channel");
@@ -22,7 +23,8 @@ SimEngine::SimEngine(const SimConfig &cfg,
             c == 0 ? seed : hashSeed({seed, c, 0xC4A77E1ULL});
         ownedDefenses_.push_back(defense::makeDefenseByName(
             defense_name,
-            defense::DefenseContext(cfg_, provider, chan_seed)));
+            defense::DefenseContext(cfg_, provider, chan_seed,
+                                    params)));
         defenses_.push_back(ownedDefenses_.back().get());
         controllers_.push_back(std::make_unique<MemController>(
             cfg_, defenses_.back(), on_complete));

@@ -29,10 +29,13 @@ class SimEngine
      * Build per-channel defense instances from the registry. Each
      * channel gets an independent instance (seeded per channel) so
      * counters and RNG streams do not alias across channels.
+     * `params` is the named-parameter bag handed to every channel's
+     * DefenseContext (registry-driven parameter sweeps).
      */
     SimEngine(const SimConfig &cfg, const std::string &defense_name,
               std::shared_ptr<const core::ThresholdProvider> provider,
-              uint64_t seed, Completion on_complete);
+              uint64_t seed, Completion on_complete,
+              const defense::DefenseParams &params = {});
 
     /**
      * Use a single caller-owned defense (legacy path, tests and the

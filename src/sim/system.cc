@@ -32,7 +32,7 @@ System::System(const SimConfig &cfg,
                std::vector<std::vector<TraceEntry>> traces,
                size_t primary, const std::string &defense_name,
                std::shared_ptr<const core::ThresholdProvider> provider,
-               uint64_t seed)
+               uint64_t seed, const defense::DefenseParams &params)
     : cfg_(cfg)
 {
     SVARD_ASSERT(!traces.empty(), "system needs traces");
@@ -44,7 +44,8 @@ System::System(const SimConfig &cfg,
         cfg_, defense_name, std::move(provider), seed,
         [this](const MemRequest &req, dram::Tick when) {
             cores_[req.core]->onReadComplete(req.token, when);
-        });
+        },
+        params);
 }
 
 RunResult

@@ -54,12 +54,13 @@ class System
     /**
      * Registry construction: one defense instance per channel, built
      * from `defense_name` over `provider` with per-channel seeds.
+     * `params` is forwarded into every channel's DefenseContext.
      */
     System(const SimConfig &cfg,
            std::vector<std::vector<TraceEntry>> traces, size_t primary,
            const std::string &defense_name,
            std::shared_ptr<const core::ThresholdProvider> provider,
-           uint64_t seed);
+           uint64_t seed, const defense::DefenseParams &params = {});
 
     /** Run to completion of all cores' measured phases. */
     RunResult run();

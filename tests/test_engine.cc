@@ -309,5 +309,84 @@ TEST(ExperimentRunner, UnknownDefenseNameThrowsUpFront)
                  std::invalid_argument);
 }
 
+TEST(ExperimentRunner, DegenerateSpecsThrowInsteadOfEmptyGrids)
+{
+    // An empty axis would silently enumerate a zero-cell grid; every
+    // degenerate shape must throw on the caller's thread instead.
+    {
+        engine::SweepSpec spec = smallSpec(1);
+        spec.mixes.clear();
+        EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                     std::invalid_argument);
+    }
+    {
+        engine::SweepSpec spec = smallSpec(1);
+        spec.defenses.clear();
+        EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                     std::invalid_argument);
+    }
+    {
+        engine::SweepSpec spec = smallSpec(1);
+        spec.thresholds.clear();
+        EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                     std::invalid_argument);
+    }
+    {
+        engine::SweepSpec spec = smallSpec(1);
+        spec.providers.clear();
+        EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                     std::invalid_argument);
+    }
+    {
+        engine::SweepSpec spec = smallSpec(1);
+        spec.requestsPerCore = 0;
+        EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                     std::invalid_argument);
+    }
+    {
+        engine::SweepSpec spec = smallSpec(1);
+        spec.mixes[1].benchIdx.clear();
+        EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                     std::invalid_argument);
+    }
+}
+
+TEST(AdversarialSweep, DegenerateSpecsThrow)
+{
+    auto base = [] {
+        engine::AdversarialSpec adv;
+        adv.config.cores = 4;
+        adv.requestsPerCore = 500;
+        adv.cases.push_back({"Hydra-thrash", "hydra",
+                             {sim::adversarialHydraTrace(500, 3)}});
+        adv.providers = {engine::ProviderSpec::uniform()};
+        return adv;
+    };
+    {
+        engine::AdversarialSpec adv = base();
+        adv.cases.clear();
+        EXPECT_THROW(engine::runAdversarialSweep(adv),
+                     std::invalid_argument);
+    }
+    {
+        engine::AdversarialSpec adv = base();
+        adv.providers.clear();
+        EXPECT_THROW(engine::runAdversarialSweep(adv),
+                     std::invalid_argument);
+    }
+    {
+        engine::AdversarialSpec adv = base();
+        adv.cases[0].traces.clear();
+        EXPECT_THROW(engine::runAdversarialSweep(adv),
+                     std::invalid_argument);
+    }
+    {
+        engine::AdversarialSpec adv = base();
+        adv.requestsPerCore = 0;
+        EXPECT_THROW(engine::runAdversarialSweep(adv),
+                     std::invalid_argument);
+    }
+}
+
 } // namespace
 } // namespace svard

@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Tests for the streaming result-sink subsystem: exact CSV/binary
+ * round-trips, the AsyncSink decorator, and the per-cell sweep cache
+ * — including the headline guarantee that a sweep killed mid-run and
+ * resumed from its checkpoint produces a byte-identical result table
+ * to an uninterrupted run at any thread count, and that a fully
+ * cached re-run executes zero cells.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "defense/blockhammer.h"
+#include "defense/registry.h"
+#include "engine/runner.h"
+#include "io/async_sink.h"
+#include "io/result_sink.h"
+#include "io/sweep_cache.h"
+
+namespace svard {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "svard_io_" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Synthetic row with awkward doubles (round-trip must be exact). */
+engine::CellResult
+makeRow(uint32_t i)
+{
+    engine::CellResult r;
+    r.cell = {i, i + 1, i + 2, i + 3, i + 4};
+    r.seed = hashSeed({i, 0xABCULL});
+    r.fingerprint = hashSeed({i, 0xDEFULL});
+    r.defense = "blockhammer";
+    r.threshold = 4096.0 / (i + 3);
+    r.provider = "Svard-S0";
+    r.mix = "mix-" + std::to_string(i);
+    r.params = {{"blacklist_fraction", 0.1 + i / 7.0},
+                {"q", 1e-17 * (i + 1)}};
+    r.metrics.weightedSpeedup = 1.0 / 3.0 + i;
+    r.metrics.harmonicSpeedup = 0.1 * (i + 1);
+    r.metrics.maxSlowdown = std::sqrt(2.0) * (i + 1);
+    r.normalized.weightedSpeedup = 0.98765432101234567 / (i + 1);
+    r.normalized.harmonicSpeedup = 1e300 / std::pow(10.0, i);
+    r.normalized.maxSlowdown = -0.0;
+    return r;
+}
+
+void
+expectRowsEqual(const engine::CellResult &a,
+                const engine::CellResult &b)
+{
+    EXPECT_EQ(a.cell.geom, b.cell.geom);
+    EXPECT_EQ(a.cell.defense, b.cell.defense);
+    EXPECT_EQ(a.cell.threshold, b.cell.threshold);
+    EXPECT_EQ(a.cell.provider, b.cell.provider);
+    EXPECT_EQ(a.cell.mix, b.cell.mix);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.defense, b.defense);
+    EXPECT_EQ(a.threshold, b.threshold); // exact: == on doubles
+    EXPECT_EQ(a.provider, b.provider);
+    EXPECT_EQ(a.mix, b.mix);
+    EXPECT_EQ(a.params, b.params);
+    EXPECT_EQ(a.metrics.weightedSpeedup, b.metrics.weightedSpeedup);
+    EXPECT_EQ(a.metrics.harmonicSpeedup, b.metrics.harmonicSpeedup);
+    EXPECT_EQ(a.metrics.maxSlowdown, b.metrics.maxSlowdown);
+    EXPECT_EQ(a.normalized.weightedSpeedup,
+              b.normalized.weightedSpeedup);
+    EXPECT_EQ(a.normalized.harmonicSpeedup,
+              b.normalized.harmonicSpeedup);
+    EXPECT_EQ(a.normalized.maxSlowdown, b.normalized.maxSlowdown);
+}
+
+/** In-memory sink for observing emission order and content. */
+class CollectSink : public io::ResultSink
+{
+  public:
+    void
+    write(const engine::CellResult &row) override
+    {
+        rows.push_back(row);
+    }
+
+    std::vector<engine::CellResult> rows;
+};
+
+// -----------------------------------------------------------------
+// Sink round-trips
+// -----------------------------------------------------------------
+
+TEST(ResultSink, CsvAndBinaryRoundTripIdenticalRows)
+{
+    std::vector<engine::CellResult> rows;
+    for (uint32_t i = 0; i < 6; ++i)
+        rows.push_back(makeRow(i));
+
+    const std::string csv = tmpPath("roundtrip.csv");
+    const std::string bin = tmpPath("roundtrip.bin");
+    {
+        io::CsvSink cs(csv);
+        io::BinarySink bs(bin);
+        for (const auto &r : rows) {
+            cs.write(r);
+            bs.write(r);
+        }
+        cs.flush();
+        bs.flush();
+    }
+
+    const auto from_csv = io::readCsvResults(csv);
+    const auto from_bin = io::readBinaryResults(bin);
+    ASSERT_EQ(from_csv.size(), rows.size());
+    ASSERT_EQ(from_bin.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        expectRowsEqual(rows[i], from_csv[i]);
+        expectRowsEqual(rows[i], from_bin[i]);
+        // Both formats decode to the same rows as each other, too.
+        expectRowsEqual(from_csv[i], from_bin[i]);
+    }
+}
+
+TEST(ResultSink, BinaryReaderDropsTruncatedTailRecord)
+{
+    const std::string bin = tmpPath("truncated.bin");
+    {
+        io::BinarySink bs(bin);
+        bs.write(makeRow(0));
+        bs.write(makeRow(1));
+    }
+    // Simulate a kill mid-append: a partial record after intact ones.
+    {
+        std::FILE *f = std::fopen(bin.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const unsigned char partial[] = {0x53, 0x56, 0x43, 0x31, 0x7F};
+        std::fwrite(partial, 1, sizeof(partial), f);
+        std::fclose(f);
+    }
+    const auto rows = io::readBinaryResults(bin);
+    ASSERT_EQ(rows.size(), 2u);
+    expectRowsEqual(rows[0], makeRow(0));
+    expectRowsEqual(rows[1], makeRow(1));
+}
+
+TEST(ResultSink, MakeSinkForPathSelectsFormatByExtension)
+{
+    const std::string jsonl = tmpPath("rows.jsonl");
+    {
+        auto sink = io::makeSinkForPath(jsonl);
+        sink->write(makeRow(2));
+        sink->flush();
+    }
+    const std::string text = slurp(jsonl);
+    EXPECT_NE(text.find("\"defense\":\"blockhammer\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"blacklist_fraction\":"), std::string::npos);
+
+    const std::string bin = tmpPath("rows.svc");
+    {
+        auto sink = io::makeSinkForPath(bin);
+        sink->write(makeRow(3));
+    }
+    const auto rows = io::readBinaryResults(bin);
+    ASSERT_EQ(rows.size(), 1u);
+    expectRowsEqual(rows[0], makeRow(3));
+}
+
+// -----------------------------------------------------------------
+// AsyncSink
+// -----------------------------------------------------------------
+
+TEST(AsyncSink, DrainsEverythingInOrderThroughATinyQueue)
+{
+    /** Slow consumer: forces the bounded queue to fill and block. */
+    class SlowCollect : public CollectSink
+    {
+      public:
+        void
+        write(const engine::CellResult &row) override
+        {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            CollectSink::write(row);
+        }
+    };
+
+    auto inner = std::make_unique<SlowCollect>();
+    SlowCollect *collected = inner.get();
+    io::AsyncSink sink(std::move(inner), /*queue_capacity=*/2);
+    for (uint32_t i = 0; i < 100; ++i)
+        sink.write(makeRow(i % 6));
+    sink.flush();
+    ASSERT_EQ(collected->rows.size(), 100u);
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(collected->rows[i].seed, makeRow(i % 6).seed) << i;
+    EXPECT_LE(sink.maxDepthSeen(), 2u);
+}
+
+TEST(AsyncSink, WriterThreadErrorsSurfaceOnTheProducer)
+{
+    class FailingSink : public io::ResultSink
+    {
+      public:
+        void
+        write(const engine::CellResult &) override
+        {
+            throw std::runtime_error("disk full");
+        }
+    };
+
+    io::AsyncSink sink(std::make_unique<FailingSink>(), 4);
+    // The failure lands on the writer thread; it must reach the
+    // producer at the next write() or flush() instead of vanishing.
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 64; ++i)
+                sink.write(makeRow(0));
+            sink.flush();
+        },
+        std::runtime_error);
+}
+
+// -----------------------------------------------------------------
+// Sweep cache + checkpoint/resume through the engine
+// -----------------------------------------------------------------
+
+engine::SweepSpec
+ioSpec(unsigned threads)
+{
+    engine::SweepSpec spec;
+    spec.config.cores = 4;
+    spec.defenses = {"para", "hydra"};
+    spec.thresholds = {128.0};
+    spec.providers = {engine::ProviderSpec::uniform(),
+                      engine::ProviderSpec::svard("S3")};
+    spec.mixes = sim::workloadMixes(2, spec.config.cores);
+    spec.requestsPerCore = 800;
+    spec.threads = threads;
+    return spec;
+}
+
+TEST(SweepCache, KilledAndResumedSweepIsBitIdenticalToUninterrupted)
+{
+    const std::string ref_csv = tmpPath("resume_ref.csv");
+    const std::string full_cache = tmpPath("resume_full.cache");
+    const std::string killed_cache = tmpPath("resume_killed.cache");
+    const std::string resumed_csv = tmpPath("resume_out.csv");
+    const std::string hot_csv = tmpPath("resume_hot.csv");
+    std::remove(full_cache.c_str());
+    std::remove(killed_cache.c_str());
+
+    // Reference: uninterrupted single-threaded run, streaming CSV.
+    engine::SweepSpec ref_spec = ioSpec(1);
+    ref_spec.sink = std::make_shared<io::CsvSink>(ref_csv);
+    engine::ExperimentRunner ref(std::move(ref_spec));
+    const auto ref_results = ref.run();
+    ASSERT_EQ(ref_results.size(), 8u);
+    EXPECT_EQ(ref.executedCells(), 8u);
+    EXPECT_EQ(ref.cachedCells(), 0u);
+
+    // Build a complete checkpoint with a sharded run.
+    {
+        engine::SweepSpec spec = ioSpec(2);
+        spec.cache = std::make_shared<io::SweepCache>(full_cache);
+        engine::ExperimentRunner runner(std::move(spec));
+        runner.run();
+        EXPECT_EQ(runner.executedCells(), 8u);
+    }
+
+    // Simulate a sweep killed after 3 cells: keep an arbitrary
+    // 3-record prefix of the checkpoint (completion order) and a
+    // torn partial record where the kill landed.
+    const auto all = io::readBinaryResults(full_cache);
+    ASSERT_EQ(all.size(), 8u);
+    {
+        io::BinarySink trunc(killed_cache);
+        for (size_t i = 0; i < 3; ++i)
+            trunc.write(all[i]);
+    }
+    {
+        std::FILE *f = std::fopen(killed_cache.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const unsigned char torn[] = {0x53, 0x56, 0x43, 0x31, 0x10,
+                                      0x00, 0x00, 0x00, 0xAA};
+        std::fwrite(torn, 1, sizeof(torn), f);
+        std::fclose(f);
+    }
+
+    // Resume from the killed checkpoint at a different thread count:
+    // only the 5 missing cells execute, and the streamed CSV is
+    // byte-identical to the uninterrupted reference.
+    engine::SweepSpec res_spec = ioSpec(4);
+    res_spec.cache = std::make_shared<io::SweepCache>(killed_cache);
+    res_spec.sink = std::make_shared<io::CsvSink>(resumed_csv);
+    engine::ExperimentRunner resumed(std::move(res_spec));
+    const auto res_results = resumed.run();
+    EXPECT_EQ(resumed.executedCells(), 5u);
+    EXPECT_EQ(resumed.cachedCells(), 3u);
+    ASSERT_EQ(res_results.size(), ref_results.size());
+    for (size_t i = 0; i < ref_results.size(); ++i)
+        expectRowsEqual(ref_results[i], res_results[i]);
+    EXPECT_EQ(slurp(ref_csv), slurp(resumed_csv));
+
+    // The resume completed the checkpoint: a re-run is fully cached,
+    // executes zero cells, and still reproduces the table bytes.
+    engine::SweepSpec hot_spec = ioSpec(3);
+    hot_spec.cache = std::make_shared<io::SweepCache>(killed_cache);
+    hot_spec.sink = std::make_shared<io::CsvSink>(hot_csv);
+    engine::ExperimentRunner hot(std::move(hot_spec));
+    hot.run();
+    EXPECT_EQ(hot.executedCells(), 0u);
+    EXPECT_EQ(hot.cachedCells(), 8u);
+    EXPECT_EQ(slurp(ref_csv), slurp(hot_csv));
+}
+
+TEST(SweepCache, HitsSkipExecutionAndSpecEditsInvalidateOnlyChanges)
+{
+    const std::string cache_path = tmpPath("edit.cache");
+    std::remove(cache_path.c_str());
+    auto cache = std::make_shared<io::SweepCache>(cache_path);
+
+    auto base = [&] {
+        engine::SweepSpec spec = ioSpec(2);
+        spec.defenses = {"para"}; // 1 x 1 x 2 x 2 = 4 cells
+        spec.cache = cache;
+        return spec;
+    };
+
+    engine::ExperimentRunner cold(base());
+    const auto cold_results = cold.run();
+    EXPECT_EQ(cold.executedCells(), 4u);
+    EXPECT_EQ(cold.cachedCells(), 0u);
+
+    // Identical spec: pure cache hits, zero executions, same rows,
+    // and the sink still receives the full table in order.
+    engine::SweepSpec hot_spec = base();
+    auto collect = std::make_shared<CollectSink>();
+    hot_spec.sink = collect;
+    engine::ExperimentRunner hot(std::move(hot_spec));
+    const auto hot_results = hot.run();
+    EXPECT_EQ(hot.executedCells(), 0u);
+    EXPECT_EQ(hot.cachedCells(), 4u);
+    ASSERT_EQ(hot_results.size(), cold_results.size());
+    ASSERT_EQ(collect->rows.size(), cold_results.size());
+    for (size_t i = 0; i < cold_results.size(); ++i) {
+        expectRowsEqual(cold_results[i], hot_results[i]);
+        expectRowsEqual(cold_results[i], collect->rows[i]);
+    }
+
+    // Appending a threshold re-executes only the new cells; the
+    // original threshold's cells stay cached.
+    engine::SweepSpec edited = base();
+    edited.thresholds = {128.0, 256.0};
+    engine::ExperimentRunner grown(std::move(edited));
+    const auto grown_results = grown.run();
+    EXPECT_EQ(grown.executedCells(), 4u);
+    EXPECT_EQ(grown.cachedCells(), 4u);
+    ASSERT_EQ(grown_results.size(), 8u);
+    for (size_t i = 0; i < 4; ++i)
+        expectRowsEqual(cold_results[i], grown_results[i]);
+
+    // Editing the defense parameter bag changes every cell's inputs:
+    // nothing may hit the stale cache entries.
+    engine::SweepSpec reparam = base();
+    reparam.defenseParams["blacklist_fraction"] = 0.75;
+    engine::ExperimentRunner changed(std::move(reparam));
+    const auto changed_results = changed.run();
+    EXPECT_EQ(changed.executedCells(), 4u);
+    EXPECT_EQ(changed.cachedCells(), 0u);
+    // The parameter bag is recorded on every result row.
+    ASSERT_EQ(changed_results[0].params.size(), 1u);
+    EXPECT_EQ(changed_results[0].params[0].first,
+              "blacklist_fraction");
+    EXPECT_EQ(changed_results[0].params[0].second, 0.75);
+}
+
+TEST(AdversarialSweep, CacheResumesAndSinkStreamsDefendedCells)
+{
+    const std::string cache_path = tmpPath("adv.cache");
+    std::remove(cache_path.c_str());
+
+    auto make_spec = [] {
+        engine::AdversarialSpec adv;
+        adv.config.cores = 4;
+        adv.requestsPerCore = 600;
+        adv.threads = 2;
+        adv.cases.push_back(
+            {"Hydra-thrash", "hydra",
+             {sim::adversarialHydraTrace(600, 3)}});
+        adv.cases.push_back(
+            {"RRS-swap", "rrs",
+             {sim::adversarialRrsTrace(600, 3, 1537),
+              sim::adversarialRrsTrace(600, 3, 5011)}});
+        adv.providers = {engine::ProviderSpec::uniform(),
+                         engine::ProviderSpec::svard("S3")};
+        return adv;
+    };
+
+    engine::AdversarialSpec cold = make_spec();
+    cold.cache = std::make_shared<io::SweepCache>(cache_path);
+    auto collect = std::make_shared<CollectSink>();
+    cold.sink = collect;
+    engine::SweepIoStats cold_stats;
+    const auto cold_rows = engine::runAdversarialSweep(cold,
+                                                       &cold_stats);
+    // 3 reference runs + {case x provider x trace} = 3 + 6 defended.
+    EXPECT_EQ(cold_stats.executed, 9u);
+    EXPECT_EQ(cold_stats.cached, 0u);
+    EXPECT_EQ(collect->rows.size(), 6u); // defended cells streamed
+
+    engine::AdversarialSpec hot = make_spec();
+    hot.cache = std::make_shared<io::SweepCache>(cache_path);
+    engine::SweepIoStats hot_stats;
+    const auto hot_rows = engine::runAdversarialSweep(hot, &hot_stats);
+    EXPECT_EQ(hot_stats.executed, 0u);
+    EXPECT_EQ(hot_stats.cached, 9u);
+    ASSERT_EQ(hot_rows.size(), cold_rows.size());
+    for (size_t i = 0; i < cold_rows.size(); ++i) {
+        EXPECT_EQ(cold_rows[i].caseName, hot_rows[i].caseName);
+        EXPECT_EQ(cold_rows[i].provider, hot_rows[i].provider);
+        EXPECT_EQ(cold_rows[i].benignWs, hot_rows[i].benignWs);
+        EXPECT_EQ(cold_rows[i].slowdown, hot_rows[i].slowdown);
+        EXPECT_EQ(cold_rows[i].normalizedSlowdown,
+                  hot_rows[i].normalizedSlowdown);
+    }
+}
+
+TEST(SweepCache, SinkFailureSurfacesAsExceptionAndKeepsCheckpoint)
+{
+    // A sink that fails mid-stream: the error is raised on a worker
+    // thread (workers emit as cells finish), and must surface as an
+    // exception from run() rather than terminating the process.
+    class FailAfterOne : public io::ResultSink
+    {
+      public:
+        void
+        write(const engine::CellResult &) override
+        {
+            if (written_++ >= 1)
+                throw std::runtime_error("sink broke");
+        }
+
+      private:
+        int written_ = 0;
+    };
+
+    const std::string cache_path = tmpPath("sinkfail.cache");
+    std::remove(cache_path.c_str());
+    engine::SweepSpec spec = ioSpec(4);
+    auto cache = std::make_shared<io::SweepCache>(cache_path);
+    spec.cache = cache;
+    spec.sink = std::make_shared<FailAfterOne>();
+    engine::ExperimentRunner runner(std::move(spec));
+    EXPECT_THROW(runner.run(), std::runtime_error);
+    // Every cell that finished before the failure stayed
+    // checkpointed, so a retry resumes instead of starting over.
+    EXPECT_GT(cache->size(), 0u);
+}
+
+// -----------------------------------------------------------------
+// Defense parameter bag through the registry
+// -----------------------------------------------------------------
+
+TEST(DefenseParams, BlockhammerBlacklistFractionIsTunableByName)
+{
+    auto provider =
+        std::make_shared<core::UniformThreshold>(64.0, 128 * 1024);
+
+    defense::DefenseContext eager(provider, 1, 16);
+    eager.params["blacklist_fraction"] = 0.05;
+    defense::DefenseContext lax(provider, 1, 16);
+    lax.params["blacklist_fraction"] = 0.95;
+
+    auto d_eager = defense::makeDefenseByName("blockhammer", eager);
+    auto d_lax = defense::makeDefenseByName("blockhammer", lax);
+    auto *bh_eager =
+        dynamic_cast<defense::BlockHammer *>(d_eager.get());
+    auto *bh_lax = dynamic_cast<defense::BlockHammer *>(d_lax.get());
+    ASSERT_NE(bh_eager, nullptr);
+    ASSERT_NE(bh_lax, nullptr);
+
+    std::vector<defense::PreventiveAction> actions;
+    for (int k = 0; k < 20; ++k) {
+        bh_eager->onActivate(0, 100, k * 1000, actions);
+        bh_lax->onActivate(0, 100, k * 1000, actions);
+    }
+    // 20 activations cross 5% of a 64-activation budget but stay far
+    // under 95%: only the eager configuration blacklists the row.
+    EXPECT_TRUE(bh_eager->isBlacklisted(0, 100));
+    EXPECT_FALSE(bh_lax->isBlacklisted(0, 100));
+}
+
+TEST(DefenseParams, UnknownParamsFallBackToDefaults)
+{
+    auto provider =
+        std::make_shared<core::UniformThreshold>(64.0, 128 * 1024);
+    defense::DefenseContext ctx(provider, 1, 16);
+    ctx.params["unrelated_knob"] = 123.0;
+    EXPECT_EQ(ctx.param("blacklist_fraction", 0.5), 0.5);
+    EXPECT_EQ(ctx.param("unrelated_knob", 0.0), 123.0);
+    // Factories must tolerate unknown names (forward compatibility).
+    auto d = defense::makeDefenseByName("blockhammer", ctx);
+    ASSERT_NE(d, nullptr);
+}
+
+} // namespace
+} // namespace svard
