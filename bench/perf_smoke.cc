@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Perf-regression harness: times the two workloads every hot-path
+ * change must not regress — (a) the fig12 tiny grid through the
+ * experiment engine (cells/sec: end-to-end sweep throughput including
+ * profile building and baselines) and (b) a single-cell microsim
+ * (simulated-ticks/sec and ACTs/sec: the controller + defense inner
+ * loop in isolation) — and emits machine-readable BENCH_perf.json so
+ * CI can extend the performance trajectory with every PR.
+ *
+ * Knobs: SVARD_REQS (default 6000), SVARD_MIXES (default 2),
+ * SVARD_THREADS (default 1 — single-threaded numbers are comparable
+ * across hosts), SVARD_PERF_JSON or --json=PATH for the output file
+ * (default ./BENCH_perf.json).
+ *
+ * The numbers are machine-dependent; compare runs from the same host
+ * only. The PR-3 rewrite measured 6.4 -> 11.7 cells/sec (~1.8x) on
+ * the tiny grid against the pre-rewrite tree on the same host.
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "core/vuln_profile.h"
+#include "dram/module_spec.h"
+#include "dram/subarray.h"
+#include "engine/runner.h"
+#include "fault/vuln_model.h"
+#include "sim/system.h"
+
+using namespace svard;
+using namespace svard::bench;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = envStr("SVARD_PERF_JSON", "BENCH_perf.json");
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else
+            SVARD_FATAL("unknown argument \"" + arg +
+                        "\" (expected --json=PATH)");
+    }
+
+    const size_t reqs =
+        static_cast<size_t>(envInt("SVARD_REQS", 6000));
+    const unsigned threads =
+        static_cast<unsigned>(envInt("SVARD_THREADS", 1));
+    const uint32_t n_mixes =
+        static_cast<uint32_t>(envInt("SVARD_MIXES", 2));
+
+    // ---- (a) fig12 tiny grid through the experiment engine -------
+    engine::SweepSpec spec;
+    spec.requestsPerCore = reqs;
+    spec.threads = threads;
+    spec.defenses = {"para", "hydra"};
+    spec.thresholds = {1024, 128};
+    spec.providers = {engine::ProviderSpec::uniform(),
+                      engine::ProviderSpec::svard("S0")};
+    const auto mixes = sim::workloadMixes(120, spec.config.cores);
+    spec.mixes.assign(mixes.begin(),
+                      mixes.begin() +
+                          std::min<size_t>(n_mixes, mixes.size()));
+
+    const auto grid_start = std::chrono::steady_clock::now();
+    engine::ExperimentRunner runner(std::move(spec));
+    const size_t cells = runner.run().size();
+    const double grid_s = secondsSince(grid_start);
+    const double cells_per_sec = cells / std::max(grid_s, 1e-9);
+
+    // ---- (b) single-cell microsim (controller inner loop) --------
+    sim::SimConfig cfg;
+    const auto &module = dram::moduleByLabel("S0");
+    auto sa = std::make_shared<dram::SubarrayMap>(module);
+    fault::VulnerabilityModel model(module, sa);
+    auto provider = std::make_shared<core::Svard>(
+        std::make_shared<core::VulnProfile>(
+            core::VulnProfile::fromModel(model)
+                .resampledTo(cfg.banksPerRank(), cfg.rowsPerBank)
+                .scaledTo(128.0)));
+
+    const auto micro_mixes = sim::workloadMixes(1, cfg.cores);
+    const auto &suite = sim::benchmarkSuite();
+    std::vector<std::vector<sim::TraceEntry>> traces;
+    for (uint32_t c = 0; c < micro_mixes[0].benchIdx.size(); ++c)
+        traces.push_back(sim::generateTrace(
+            suite[micro_mixes[0].benchIdx[c]], reqs, 11,
+            sim::coreTraceOffset(11, c)));
+
+    const auto micro_start = std::chrono::steady_clock::now();
+    sim::System sys(cfg, std::move(traces), reqs, "hydra", provider,
+                    11);
+    const sim::RunResult res = sys.run();
+    const double micro_s = secondsSince(micro_start);
+    const double acts_per_sec =
+        static_cast<double>(res.controller.activations) /
+        std::max(micro_s, 1e-9);
+    const double ticks_per_sec =
+        static_cast<double>(res.endTime) / std::max(micro_s, 1e-9);
+
+    // ---- report --------------------------------------------------
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f)
+        SVARD_FATAL("cannot write \"" + json_path + "\"");
+    const int n = std::fprintf(
+        f,
+        "{\n"
+        "  \"schema\": \"svard-perf-smoke-v1\",\n"
+        "  \"threads\": %u,\n"
+        "  \"requests_per_core\": %zu,\n"
+        "  \"mixes\": %u,\n"
+        "  \"grid\": {\n"
+        "    \"cells\": %zu,\n"
+        "    \"wall_s\": %.6f,\n"
+        "    \"cells_per_sec\": %.6f\n"
+        "  },\n"
+        "  \"microsim\": {\n"
+        "    \"defense\": \"hydra\",\n"
+        "    \"provider\": \"Svard-S0\",\n"
+        "    \"activations\": %llu,\n"
+        "    \"sim_ticks\": %lld,\n"
+        "    \"wall_s\": %.6f,\n"
+        "    \"acts_per_sec\": %.1f,\n"
+        "    \"sim_ticks_per_sec\": %.1f\n"
+        "  }\n"
+        "}\n",
+        threads, reqs, n_mixes, cells, grid_s, cells_per_sec,
+        static_cast<unsigned long long>(res.controller.activations),
+        static_cast<long long>(res.endTime), micro_s, acts_per_sec,
+        ticks_per_sec);
+    if (n < 0 || std::fclose(f) != 0)
+        SVARD_FATAL("write failed on \"" + json_path + "\"");
+
+    std::printf("perf_smoke: grid %zu cells in %.3f s "
+                "(%.2f cells/s); microsim %.3f s "
+                "(%.2fM ACTs/s, %.1fM sim-ticks/s)\n",
+                cells, grid_s, cells_per_sec, micro_s,
+                acts_per_sec / 1e6, ticks_per_sec / 1e6);
+    std::printf("perf_smoke: wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -1,18 +1,28 @@
 /**
  * @file
  * Minimal deterministic work-sharing: run an index-addressed job list
- * across a pool of std::threads. Work items must be independent and
- * write only to their own result slots; the helper guarantees every
- * index runs exactly once, so a run's outputs are identical for any
- * thread count (the properties the experiment engine's sharded sweeps
- * rely on).
+ * across a persistent pool of std::threads. Work items must be
+ * independent and write only to their own result slots; the helper
+ * guarantees every index runs exactly once, so a run's outputs are
+ * identical for any thread count (the properties the experiment
+ * engine's sharded sweeps rely on).
+ *
+ * The pool is created on first use and its threads persist across
+ * parallelFor calls, so sweep cells no longer pay a thread-spawn per
+ * batch (the engine issues one batch per baseline phase plus one per
+ * grid). Workers claim contiguous index chunks from a shared atomic
+ * cursor; chunking only changes which worker runs an index, never
+ * whether it runs, so the exactly-once contract is preserved.
  */
 #ifndef SVARD_COMMON_PARALLEL_H
 #define SVARD_COMMON_PARALLEL_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -28,34 +38,190 @@ resolveThreadCount(unsigned requested)
     return hw == 0 ? 1 : hw;
 }
 
+namespace detail {
+
+/** True on threads owned by the pool (nested parallelFor calls run
+ *  inline rather than deadlocking on the pool's own workers). */
+inline bool &
+inPoolWorker()
+{
+    thread_local bool flag = false;
+    return flag;
+}
+
+/**
+ * Persistent chunk-claiming worker pool behind parallelFor. One job
+ * runs at a time (parallelFor is a blocking call); the calling thread
+ * participates, so a pool of N threads serves jobs asking for up to
+ * N+1 workers. The pool grows on demand when a caller requests more
+ * workers than have ever been needed before.
+ */
+class ParallelPool
+{
+  public:
+    static ParallelPool &
+    instance()
+    {
+        static ParallelPool pool;
+        return pool;
+    }
+
+    ParallelPool(const ParallelPool &) = delete;
+    ParallelPool &operator=(const ParallelPool &) = delete;
+
+    void
+    run(size_t n, unsigned workers,
+        const std::function<void(size_t)> &fn)
+    {
+        // One job at a time: concurrent parallelFor calls from
+        // different caller threads serialize instead of racing on
+        // the shared job slot.
+        std::lock_guard<std::mutex> run_lock(runMu_);
+        size_t chunk = n / (static_cast<size_t>(workers) * 4);
+        if (chunk == 0)
+            chunk = 1;
+        std::unique_lock<std::mutex> lock(mu_);
+        // Grow to the requested width (caller participates too).
+        while (threads_.size() + 1 < workers)
+            spawnLocked();
+        fn_ = &fn;
+        n_ = n;
+        chunk_ = chunk;
+        next_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        const unsigned participants = static_cast<unsigned>(
+            std::min<size_t>(workers - 1, threads_.size()));
+        tickets_ = participants;
+        active_ = participants;
+        ++jobId_;
+        lock.unlock();
+        cv_.notify_all();
+
+        // The caller is a worker too; flag it so a nested parallelFor
+        // from inside fn runs inline instead of re-entering run() and
+        // self-deadlocking on runMu_.
+        const bool was_worker = inPoolWorker();
+        inPoolWorker() = true;
+        workLoop();
+        inPoolWorker() = was_worker;
+
+        lock.lock();
+        doneCv_.wait(lock, [&] { return active_ == 0; });
+        fn_ = nullptr;
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    ParallelPool() = default;
+
+    ~ParallelPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    void
+    spawnLocked()
+    {
+        const uint64_t seen = jobId_;
+        threads_.emplace_back([this, seen] { threadMain(seen); });
+    }
+
+    void
+    threadMain(uint64_t seen)
+    {
+        inPoolWorker() = true;
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            cv_.wait(lock,
+                     [&] { return stop_ || jobId_ != seen; });
+            if (stop_)
+                return;
+            seen = jobId_;
+            if (tickets_ == 0)
+                continue; // job fully staffed; wait for the next
+            --tickets_;
+            lock.unlock();
+            workLoop();
+            lock.lock();
+            if (--active_ == 0)
+                doneCv_.notify_one();
+        }
+    }
+
+    void
+    workLoop()
+    {
+        const size_t n = n_;
+        const size_t chunk = chunk_;
+        for (size_t start =
+                 next_.fetch_add(chunk, std::memory_order_relaxed);
+             start < n;
+             start = next_.fetch_add(chunk,
+                                     std::memory_order_relaxed)) {
+            const size_t end = std::min(n, start + chunk);
+            for (size_t i = start; i < end; ++i) {
+                try {
+                    (*fn_)(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                }
+            }
+        }
+    }
+
+    std::mutex runMu_; ///< serializes whole jobs
+    std::mutex mu_;
+    std::condition_variable cv_;     ///< job-start signal
+    std::condition_variable doneCv_; ///< participants-finished signal
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+    uint64_t jobId_ = 0;
+    unsigned tickets_ = 0; ///< pool participants still to claim the job
+    unsigned active_ = 0;  ///< pool participants inside the job
+
+    // Current job (readable by workers after the cv handshake).
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t n_ = 0;
+    size_t chunk_ = 1;
+    std::atomic<size_t> next_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace detail
+
 /**
  * Invoke `fn(i)` once for every i in [0, n), sharded over `threads`
- * workers (0 = hardware concurrency). With threads == 1 the calls run
- * inline in index order — handy for debugging and for determinism
- * comparisons against sharded runs.
+ * workers (0 = hardware concurrency) from the persistent pool. With
+ * threads == 1 the calls run inline in index order — handy for
+ * debugging and for determinism comparisons against sharded runs.
+ * A worker exception is rethrown on the calling thread after every
+ * index has been claimed (remaining indices still run exactly once).
  */
 inline void
 parallelFor(size_t n, unsigned threads,
             const std::function<void(size_t)> &fn)
 {
-    const unsigned workers =
-        static_cast<unsigned>(std::min<size_t>(resolveThreadCount(threads), n));
-    if (workers <= 1) {
+    const unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(resolveThreadCount(threads), n));
+    if (workers <= 1 || detail::inPoolWorker()) {
         for (size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back([&] {
-            for (size_t i = next.fetch_add(1); i < n;
-                 i = next.fetch_add(1))
-                fn(i);
-        });
-    for (auto &t : pool)
-        t.join();
+    detail::ParallelPool::instance().run(n, workers, fn);
 }
 
 } // namespace svard

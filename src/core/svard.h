@@ -12,6 +12,7 @@
 #define SVARD_CORE_SVARD_H
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 
 #include "core/vuln_profile.h"
@@ -49,6 +50,57 @@ class ThresholdProvider
      * this space before looking thresholds up.
      */
     virtual uint32_t banks() const { return 0; }
+
+    /**
+     * Memoized aggressorBudget: the per-ACT hot path of every counter
+     * defense. The first touch of a (bank,row) pays the two virtual
+     * victimThreshold calls and parks the result in a flat
+     * banks x rowsPerBank array; every later ACT of that aggressor is
+     * one load. The memo is lazily sized on first use and is why
+     * providers must not be shared across concurrently-running sweep
+     * cells (the engine already builds one provider per cell).
+     */
+    double
+    aggressorBudgetMemo(uint32_t bank, uint32_t row) const
+    {
+        if (!memoReady_)
+            initBudgetMemo();
+        if (row >= memoRows_ || !budgetMemo_)
+            return aggressorBudget(bank, row);
+        if (bank >= memoBanks_)
+            bank %= memoBanks_; // bank-agnostic providers memo one bank
+        double &slot =
+            budgetMemo_[static_cast<size_t>(bank) * memoRows_ + row];
+        if (slot == 0.0)
+            slot = aggressorBudget(bank, row);
+        return slot;
+    }
+
+  private:
+    void
+    initBudgetMemo() const
+    {
+        memoBanks_ = banks() == 0 ? 1 : banks();
+        memoRows_ = rowsPerBank();
+        // calloc, not a value-initialized vector: the memo is tens of
+        // megabytes per provider and mostly untouched, so zero-fill
+        // should come from the OS's zero pages, not a memset.
+        budgetMemo_.reset(static_cast<double *>(std::calloc(
+            static_cast<size_t>(memoBanks_) * memoRows_,
+            sizeof(double))));
+        memoReady_ = true;
+    }
+
+    // Zero marks "not yet computed": real budgets are positive, and a
+    // degenerate zero budget merely recomputes (still correct).
+    struct FreeDeleter
+    {
+        void operator()(double *p) const { std::free(p); }
+    };
+    mutable std::unique_ptr<double[], FreeDeleter> budgetMemo_;
+    mutable uint32_t memoBanks_ = 1;
+    mutable uint32_t memoRows_ = 0;
+    mutable bool memoReady_ = false;
 };
 
 /**

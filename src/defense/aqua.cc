@@ -17,8 +17,9 @@ Aqua::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
 {
     ++stats_.activationsObserved;
     const double budget = aggressorBudget(bank, row);
-    const uint32_t count = ++counts_[key(bank, row)];
-    if (static_cast<double>(count) < params_.migrateFraction * budget)
+    uint32_t &count = counts_.refOrInsert(key(bank, row));
+    if (static_cast<double>(++count) <
+        params_.migrateFraction * budget)
         return;
 
     // Quarantine: the aggressor's content moves to the reserved
@@ -27,13 +28,15 @@ Aqua::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
     const uint32_t rows = threshold_->rowsPerBank();
     const uint32_t q_rows = std::max<uint32_t>(
         1, static_cast<uint32_t>(params_.quarantineFraction * rows));
+    if (bank >= nextQuarantine_.size())
+        nextQuarantine_.resize(bank + 1, 0);
     uint32_t &cursor = nextQuarantine_[bank];
     const uint32_t dest = rows - q_rows + (cursor % q_rows);
     ++cursor;
     out.push_back({PreventiveAction::Kind::MigrateRow, bank, row, dest,
                    0});
     ++stats_.migrations;
-    counts_[key(bank, row)] = 0;
+    count = 0;
 }
 
 void

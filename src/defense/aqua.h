@@ -9,8 +9,9 @@
 #ifndef SVARD_DEFENSE_AQUA_H
 #define SVARD_DEFENSE_AQUA_H
 
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_table.h"
 #include "defense/defense.h"
 
 namespace svard::defense {
@@ -46,8 +47,9 @@ class Aqua : public Defense
     }
 
     Params params_;
-    std::unordered_map<uint64_t, uint32_t> counts_;
-    std::unordered_map<uint32_t, uint32_t> nextQuarantine_; ///< per bank
+    /** Per-(bank,row) ACT counts; generation-cleared at epoch end. */
+    FlatTable<uint32_t> counts_;
+    std::vector<uint32_t> nextQuarantine_; ///< per bank, grown on demand
 };
 
 } // namespace svard::defense

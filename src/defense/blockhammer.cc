@@ -80,9 +80,8 @@ BlockHammer::onActivate(uint32_t bank, uint32_t row, dram::Tick now,
         // that spreads the remaining budget over the rest of the
         // window. A denied attempt is throttled *without* counting —
         // the activation has not happened yet.
-        auto it = nextAllowed_.find(k);
-        const dram::Tick earliest =
-            it == nextAllowed_.end() ? now : it->second;
+        const dram::Tick *at = nextAllowed_.find(k);
+        const dram::Tick earliest = at == nullptr ? now : *at;
         if (earliest > now) {
             out.push_back({PreventiveAction::Kind::Throttle, bank, row,
                            0, earliest - now});
@@ -96,7 +95,7 @@ BlockHammer::onActivate(uint32_t bank, uint32_t row, dram::Tick now,
             params_.refreshWindow - (now - lastSwap_), 1);
         const dram::Tick min_interval = static_cast<dram::Tick>(
             static_cast<double>(window_left) / remaining);
-        nextAllowed_[k] = now + min_interval;
+        nextAllowed_.refOrInsert(k) = now + min_interval;
     }
     cbf_[active_].insert(k);
     cbf_[active_ ^ 1].insert(k);

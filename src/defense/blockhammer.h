@@ -12,9 +12,9 @@
 #ifndef SVARD_DEFENSE_BLOCKHAMMER_H
 #define SVARD_DEFENSE_BLOCKHAMMER_H
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "defense/defense.h"
 
 namespace svard::defense {
@@ -81,8 +81,9 @@ class BlockHammer : public Defense
     CountingBloomFilter cbf_[2];
     int active_ = 0;
     dram::Tick lastSwap_ = 0;
-    // Minimum legal next-activation time for throttled rows.
-    std::unordered_map<uint64_t, dram::Tick> nextAllowed_;
+    // Minimum legal next-activation time for throttled rows;
+    // generation-cleared at filter swaps and epoch ends.
+    FlatTable<dram::Tick> nextAllowed_;
 };
 
 } // namespace svard::defense

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/log.h"
 #include "core/svard.h"
 #include "dram/types.h"
 
@@ -43,6 +44,31 @@ struct PreventiveAction
     uint32_t row2 = 0;   ///< migration/swap partner
     dram::Tick delay = 0;///< throttle duration
 };
+
+/**
+ * Reusable buffer for the actions one ACT produces. The controller
+ * owns one per instance and clears (not reallocates) it per
+ * activation, so the observe-act-respond hot path stays allocation
+ * free once the buffer has grown to the largest burst seen.
+ */
+using ActionBuffer = std::vector<PreventiveAction>;
+
+/**
+ * Map a defense-issued action bank onto a controller with
+ * `total_banks` flat banks. Defenses observe controller flat bank
+ * indices and must emit preventive actions in that same space; this
+ * helper is the single agreed fold point (the controller used to
+ * apply a silent `% total_banks`, which would mask a defense emitting
+ * banks from the wrong space instead of failing loudly).
+ */
+inline uint32_t
+resolveActionBank(uint32_t bank, size_t total_banks)
+{
+    SVARD_ASSERT(bank < total_banks,
+                 "defense action bank outside the controller's flat "
+                 "bank space");
+    return bank;
+}
 
 /** Common statistics every defense maintains. */
 struct DefenseStats
@@ -109,11 +135,13 @@ class Defense
         return threshold_->victimThreshold(foldBank(bank), row);
     }
 
-    /** Activation budget of an aggressor row. */
+    /** Activation budget of an aggressor row. Served from the
+     *  provider's flat per-(bank,row) memo: one load per ACT in
+     *  steady state instead of two virtual victimThreshold calls. */
     double
     aggressorBudget(uint32_t bank, uint32_t row) const
     {
-        return threshold_->aggressorBudget(foldBank(bank), row);
+        return threshold_->aggressorBudgetMemo(foldBank(bank), row);
     }
 
     /**

@@ -17,8 +17,9 @@ Graphene::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
 {
     ++stats_.activationsObserved;
     const double budget = aggressorBudget(bank, row);
-    const uint32_t count = ++counts_[key(bank, row)];
-    if (static_cast<double>(count) < params_.refreshFraction * budget)
+    uint32_t &count = counts_.refOrInsert(key(bank, row));
+    if (static_cast<double>(++count) <
+        params_.refreshFraction * budget)
         return;
     const uint32_t rows = threshold_->rowsPerBank();
     for (int d : {-1, +1}) {
@@ -29,7 +30,7 @@ Graphene::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
                        static_cast<uint32_t>(victim), 0, 0});
         ++stats_.preventiveRefreshes;
     }
-    counts_[key(bank, row)] = 0;
+    count = 0;
 }
 
 void

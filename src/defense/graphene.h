@@ -11,8 +11,7 @@
 #ifndef SVARD_DEFENSE_GRAPHENE_H
 #define SVARD_DEFENSE_GRAPHENE_H
 
-#include <unordered_map>
-
+#include "common/flat_table.h"
 #include "defense/defense.h"
 
 namespace svard::defense {
@@ -46,7 +45,8 @@ class Graphene : public Defense
     }
 
     Params params_;
-    std::unordered_map<uint64_t, uint32_t> counts_;
+    /** Per-(bank,row) ACT counts; generation-cleared at epoch end. */
+    FlatTable<uint32_t> counts_;
 };
 
 } // namespace svard::defense

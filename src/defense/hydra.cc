@@ -10,16 +10,50 @@ Hydra::Hydra(std::shared_ptr<const core::ThresholdProvider> thr)
 
 Hydra::Hydra(std::shared_ptr<const core::ThresholdProvider> thr,
              Params params)
-    : Defense(std::move(thr)), params_(params)
+    : Defense(std::move(thr)), params_(params),
+      // 4x headroom keeps the map under its load limit with a full
+      // RCC plus the tombstones evictions leave between rehashes.
+      rccNodes_(params.rccEntries), rccMap_(4 * params.rccEntries)
 {}
+
+void
+Hydra::rccUnlink(uint32_t n)
+{
+    RccNode &node = rccNodes_[n];
+    if (node.prev != kNil)
+        rccNodes_[node.prev].next = node.next;
+    else
+        rccHead_ = node.next;
+    if (node.next != kNil)
+        rccNodes_[node.next].prev = node.prev;
+    else
+        rccTail_ = node.prev;
+}
+
+void
+Hydra::rccLinkFront(uint32_t n)
+{
+    RccNode &node = rccNodes_[n];
+    node.prev = kNil;
+    node.next = rccHead_;
+    if (rccHead_ != kNil)
+        rccNodes_[rccHead_].prev = n;
+    rccHead_ = n;
+    if (rccTail_ == kNil)
+        rccTail_ = n;
+}
 
 bool
 Hydra::rccAccess(uint64_t row_key, uint32_t bank,
                  std::vector<PreventiveAction> &out)
 {
-    auto it = rccMap_.find(row_key);
-    if (it != rccMap_.end()) {
-        rccLru_.splice(rccLru_.begin(), rccLru_, it->second);
+    if (const uint32_t *at = rccMap_.find(row_key)) {
+        // Hit: refresh recency (the list splice of the old LRU).
+        const uint32_t n = *at;
+        if (rccHead_ != n) {
+            rccUnlink(n);
+            rccLinkFront(n);
+        }
         ++rccHits_;
         return true;
     }
@@ -28,18 +62,22 @@ Hydra::rccAccess(uint64_t row_key, uint32_t bank,
     out.push_back({PreventiveAction::Kind::MetadataAccess, bank, 0, 0,
                    0});
     ++stats_.metadataAccesses;
-    if (rccMap_.size() >= params_.rccEntries) {
+    uint32_t n;
+    if (rccUsed_ >= rccNodes_.size()) {
         // Evict LRU; counters are write-back, so eviction writes the
-        // line to DRAM.
-        const uint64_t victim = rccLru_.back();
-        rccLru_.pop_back();
-        rccMap_.erase(victim);
+        // line to DRAM. The tail node is reused for the new entry.
+        n = rccTail_;
+        rccMap_.erase(rccNodes_[n].key);
+        rccUnlink(n);
         out.push_back({PreventiveAction::Kind::MetadataAccess, bank, 0,
                        0, 0});
         ++stats_.metadataAccesses;
+    } else {
+        n = rccUsed_++;
     }
-    rccLru_.push_front(row_key);
-    rccMap_[row_key] = rccLru_.begin();
+    rccNodes_[n].key = row_key;
+    rccLinkFront(n);
+    rccMap_.refOrInsert(row_key) = n;
     return false;
 }
 
@@ -51,25 +89,25 @@ Hydra::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
     const double budget = aggressorBudget(bank, row);
     const uint64_t gk = groupKey(bank, row);
 
-    if (!perRowGroups_.count(gk)) {
-        const uint32_t gcount = ++gct_[gk];
+    if (!perRowGroups_.contains(gk)) {
+        const uint32_t gcount = ++gct_.refOrInsert(gk);
         if (static_cast<double>(gcount) <
             params_.groupFraction * budget)
             return;
         // Group crossed its share of the threshold: switch the whole
         // group to exact per-row tracking, seeded with the group count
         // (conservative: every row inherits the group's count).
-        perRowGroups_.insert(gk);
+        perRowGroups_.refOrInsert(gk) = 1;
         const uint32_t base =
             (row / params_.rowsPerGroup) * params_.rowsPerGroup;
         for (uint32_t r = 0; r < params_.rowsPerGroup; ++r)
-            rct_[rowKey(bank, base + r)] = gcount;
+            rct_.refOrInsert(rowKey(bank, base + r)) = gcount;
     }
 
     const uint64_t rk = rowKey(bank, row);
     rccAccess(rk, bank, out);
-    const uint32_t count = ++rct_[rk];
-    if (static_cast<double>(count) >=
+    uint32_t &count = rct_.refOrInsert(rk);
+    if (static_cast<double>(++count) >=
         params_.refreshFraction * budget) {
         const uint32_t rows = threshold_->rowsPerBank();
         for (int d : {-1, +1}) {
@@ -80,7 +118,7 @@ Hydra::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
                            static_cast<uint32_t>(victim), 0, 0});
             ++stats_.preventiveRefreshes;
         }
-        rct_[rk] = 0;
+        count = 0;
     }
 }
 
@@ -90,8 +128,10 @@ Hydra::onEpochEnd(dram::Tick /* now */)
     gct_.clear();
     perRowGroups_.clear();
     rct_.clear();
-    rccLru_.clear();
     rccMap_.clear();
+    rccHead_ = kNil;
+    rccTail_ = kNil;
+    rccUsed_ = 0;
 }
 
 } // namespace svard::defense

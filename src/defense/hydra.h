@@ -9,14 +9,19 @@
  * notes this off-chip counter traffic, not preventive refreshes,
  * dominates Hydra's overhead, which is why Svärd's benefit on Hydra is
  * modest (Obsv. 14).
+ *
+ * All counter state lives in open-addressing FlatTables, and the RCC
+ * is a fixed-slot intrusive LRU (index links over a preallocated node
+ * array), so the per-ACT path performs no heap allocation and the
+ * epoch reset is O(1) — same externally-visible behaviour as the
+ * std::unordered_map/std::list implementation it replaced, cheaper.
  */
 #ifndef SVARD_DEFENSE_HYDRA_H
 #define SVARD_DEFENSE_HYDRA_H
 
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/flat_table.h"
 #include "defense/defense.h"
 
 namespace svard::defense {
@@ -67,12 +72,29 @@ class Hydra : public Defense
                    std::vector<PreventiveAction> &out);
 
     Params params_;
-    std::unordered_map<uint64_t, uint32_t> gct_;
-    std::unordered_set<uint64_t> perRowGroups_;
-    std::unordered_map<uint64_t, uint32_t> rct_; ///< DRAM-resident counts
-    // RCC: LRU set of row keys currently cached on-chip.
-    std::list<uint64_t> rccLru_;
-    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> rccMap_;
+    FlatTable<uint32_t> gct_;
+    FlatTable<uint8_t> perRowGroups_; ///< membership set
+    FlatTable<uint32_t> rct_; ///< DRAM-resident counts
+
+    // RCC: fixed-capacity LRU of row keys currently cached on-chip.
+    // Nodes are preallocated and linked by index; recency order (MRU
+    // at head, eviction at tail) matches the former std::list exactly.
+    struct RccNode
+    {
+        uint64_t key = 0;
+        uint32_t prev = kNil;
+        uint32_t next = kNil;
+    };
+    static constexpr uint32_t kNil = UINT32_MAX;
+
+    void rccUnlink(uint32_t n);
+    void rccLinkFront(uint32_t n);
+
+    std::vector<RccNode> rccNodes_;
+    FlatTable<uint32_t> rccMap_; ///< row key -> node index
+    uint32_t rccHead_ = kNil;
+    uint32_t rccTail_ = kNil;
+    uint32_t rccUsed_ = 0;
     uint64_t rccMisses_ = 0;
     uint64_t rccHits_ = 0;
 };

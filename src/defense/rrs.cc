@@ -17,7 +17,7 @@ Rrs::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
 {
     ++stats_.activationsObserved;
     const double budget = aggressorBudget(bank, row);
-    const uint32_t count = ++counts_[key(bank, row)];
+    const uint32_t count = ++counts_.refOrInsert(key(bank, row));
     if (static_cast<double>(count) < params_.swapFraction * budget)
         return;
 
@@ -28,8 +28,9 @@ Rrs::onActivate(uint32_t bank, uint32_t row, dram::Tick /* now */,
     out.push_back({PreventiveAction::Kind::SwapRows, bank, row, partner,
                    0});
     ++stats_.swaps;
-    counts_[key(bank, row)] = 0;
-    counts_[key(bank, partner)] = 0;
+    // Two separate inserts (the partner insert may move the table).
+    counts_.refOrInsert(key(bank, row)) = 0;
+    counts_.refOrInsert(key(bank, partner)) = 0;
 }
 
 void

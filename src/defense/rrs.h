@@ -10,8 +10,7 @@
 #ifndef SVARD_DEFENSE_RRS_H
 #define SVARD_DEFENSE_RRS_H
 
-#include <unordered_map>
-
+#include "common/flat_table.h"
 #include "common/rng.h"
 #include "defense/defense.h"
 
@@ -47,7 +46,8 @@ class Rrs : public Defense
 
     Params params_;
     Rng rng_;
-    std::unordered_map<uint64_t, uint32_t> counts_;
+    /** Per-(bank,row) ACT counts; generation-cleared at epoch end. */
+    FlatTable<uint32_t> counts_;
 };
 
 } // namespace svard::defense

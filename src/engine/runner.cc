@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -262,9 +263,63 @@ ExperimentRunner::makeProvider(uint32_t geom, const ProviderSpec &p,
     if (p.moduleLabel.empty())
         return std::make_shared<core::UniformThreshold>(
             threshold, geoms_[geom].rowsPerBank);
+    uint64_t bits = 0;
+    std::memcpy(&bits, &threshold, sizeof(bits));
+    const auto it =
+        scaledProfiles_.find({geom, p.moduleLabel, bits});
+    if (it != scaledProfiles_.end())
+        return std::make_shared<core::Svard>(it->second);
+    // Not prebuilt (direct calls outside run()): fall back to a
+    // private copy.
     return std::make_shared<core::Svard>(
         std::make_shared<core::VulnProfile>(
             baseProfile(geom, p.moduleLabel)->scaledTo(threshold)));
+}
+
+CellResult
+ExperimentRunner::aloneMeta(uint32_t geom, uint32_t bench) const
+{
+    CellResult r;
+    r.cell = {geom, 0, 0, 0, bench};
+    r.seed = hashSeed({spec_.baseSeed, geom, bench, 0xA10EULL});
+    r.defense = "none";
+    r.provider = "(alone)";
+    r.mix = sim::benchmarkSuite()[bench].name;
+    HashStream h;
+    h.mix(std::string("svard-alone-v1"));
+    h.mix(r.seed);
+    hashConfig(h, geoms_[geom]);
+    h.mix(spec_.requestsPerCore);
+    h.mix(static_cast<uint64_t>(bench));
+    r.fingerprint = h.value();
+    return r;
+}
+
+CellResult
+ExperimentRunner::mixBaseMeta(uint32_t geom, uint32_t mix) const
+{
+    const sim::WorkloadMix &m = spec_.mixes[mix];
+    CellResult r;
+    SweepCell base;
+    base.geom = geom;
+    base.mix = mix;
+    r.cell = base;
+    // Keep the seed the baseline *run* already used, so cached and
+    // freshly-simulated baselines are bit-identical by construction.
+    r.seed = cellSeed(base);
+    r.defense = "none";
+    r.provider = "(baseline)";
+    r.mix = m.name;
+    HashStream h;
+    h.mix(std::string("svard-base-v1"));
+    h.mix(r.seed);
+    hashConfig(h, geoms_[geom]);
+    h.mix(spec_.requestsPerCore);
+    h.mix(m.name).mix(m.benchIdx.size());
+    for (uint32_t b : m.benchIdx)
+        h.mix(b);
+    r.fingerprint = h.value();
+    return r;
 }
 
 std::vector<uint32_t>
@@ -313,6 +368,30 @@ ExperimentRunner::computeBaselines()
             buildProfile(wanted[i].second, geoms_[wanted[i].first]);
     });
 
+    // Phase 0b: one shared scaled profile per (geometry, label,
+    // threshold) configuration. Occupancy is refreshed here, on one
+    // thread, so the otherwise-immutable profile is safe to share
+    // across concurrently-running cells.
+    for (uint32_t g = 0; g < geoms_.size(); ++g)
+        for (const auto &p : spec_.providers) {
+            if (p.moduleLabel.empty())
+                continue;
+            for (double threshold : spec_.thresholds) {
+                uint64_t bits = 0;
+                std::memcpy(&bits, &threshold, sizeof(bits));
+                auto &slot =
+                    scaledProfiles_[{g, p.moduleLabel, bits}];
+                if (slot)
+                    continue;
+                auto scaled =
+                    std::make_shared<core::VulnProfile>(
+                        baseProfile(g, p.moduleLabel)
+                            ->scaledTo(threshold));
+                scaled->minThreshold(); // settle the lazy occupancy
+                slot = std::move(scaled);
+            }
+        }
+
     // Phase 1: per-mix traces (seeded by the base seed only, so one
     // generation serves every geometry and defense configuration).
     const auto &suite = sim::benchmarkSuite();
@@ -326,7 +405,11 @@ ExperimentRunner::computeBaselines()
                 sim::coreTraceOffset(spec_.baseSeed, c)));
     });
 
-    // Phase 2: per-(geometry, benchmark) alone IPCs.
+    // Phase 2: per-(geometry, benchmark) alone IPCs. Checkpointed
+    // under the same fingerprint scheme as grid cells, so a partial
+    // resume stops recomputing them. Cache I/O failures are latched
+    // (workers must not throw) and rethrown by the caller.
+    ErrorLatch base_io_errors;
     const auto benches = benchesUsed();
     aloneIpc_.assign(geoms_.size(),
                      std::vector<double>(suite.size(), 0.0));
@@ -334,6 +417,15 @@ ExperimentRunner::computeBaselines()
                 [&](size_t i) {
         const uint32_t g = static_cast<uint32_t>(i / benches.size());
         const uint32_t b = benches[i % benches.size()];
+        CellResult meta = aloneMeta(g, b);
+        CellResult cached;
+        if (spec_.cache &&
+            spec_.cache->lookup(meta.seed, meta.fingerprint,
+                                &cached)) {
+            aloneIpc_[g][b] = cached.metrics.weightedSpeedup;
+            cachedBase_.fetch_add(1);
+            return;
+        }
         std::vector<std::vector<sim::TraceEntry>> traces;
         traces.push_back(sim::generateTrace(
             suite[b], spec_.requestsPerCore, spec_.baseSeed,
@@ -341,9 +433,19 @@ ExperimentRunner::computeBaselines()
         sim::System sys(geoms_[g], std::move(traces),
                         spec_.requestsPerCore, nullptr);
         aloneIpc_[g][b] = std::max(sys.run().ipc[0], 1e-9);
+        executedBase_.fetch_add(1);
+        meta.metrics.weightedSpeedup = aloneIpc_[g][b];
+        try {
+            if (spec_.cache)
+                spec_.cache->store(meta);
+        } catch (...) {
+            base_io_errors.capture();
+        }
     });
+    base_io_errors.rethrow();
 
-    // Phase 3: per-(geometry, mix) no-defense baselines.
+    // Phase 3: per-(geometry, mix) no-defense baselines, cached the
+    // same way.
     mixBase_.assign(geoms_.size(), std::vector<sim::MixMetrics>(
                                        spec_.mixes.size()));
     parallelFor(geoms_.size() * spec_.mixes.size(), spec_.threads,
@@ -352,12 +454,26 @@ ExperimentRunner::computeBaselines()
             static_cast<uint32_t>(i / spec_.mixes.size());
         const uint32_t m =
             static_cast<uint32_t>(i % spec_.mixes.size());
-        SweepCell base;
-        base.geom = g;
-        base.mix = m;
-        mixBase_[g][m] = runMixCell(g, m, "none", nullptr,
-                                    cellSeed(base));
+        CellResult meta = mixBaseMeta(g, m);
+        CellResult cached;
+        if (spec_.cache &&
+            spec_.cache->lookup(meta.seed, meta.fingerprint,
+                                &cached)) {
+            mixBase_[g][m] = cached.metrics;
+            cachedBase_.fetch_add(1);
+            return;
+        }
+        mixBase_[g][m] = runMixCell(g, m, "none", nullptr, meta.seed);
+        executedBase_.fetch_add(1);
+        meta.metrics = mixBase_[g][m];
+        try {
+            if (spec_.cache)
+                spec_.cache->store(meta);
+        } catch (...) {
+            base_io_errors.capture();
+        }
     });
+    base_io_errors.rethrow();
 }
 
 const std::vector<CellResult> &
@@ -368,6 +484,8 @@ ExperimentRunner::run()
     // A retry after a latched sink/cache error re-enters here with
     // ran_ still false; counters restart so they never double-count.
     executed_.store(0);
+    executedBase_.store(0);
+    cachedBase_.store(0);
 
     // Enumerate the grid, axis order fixed by the spec.
     std::vector<SweepCell> cells;
@@ -660,13 +778,34 @@ runAdversarialSweep(const AdversarialSpec &adv,
                 buildProfile(labels[i], cfg);
         });
 
-        // Alone IPCs of the benign benchmarks.
+        // Alone IPCs of the benign benchmarks, checkpointed like the
+        // main sweep's baselines so resumes skip them too.
+        ErrorLatch alone_io_errors;
+        std::atomic<size_t> alone_cached{0};
+        std::atomic<size_t> alone_executed{0};
         const std::set<uint32_t> bench_set(benign.benchIdx.begin(),
                                            benign.benchIdx.end());
         const std::vector<uint32_t> benches(bench_set.begin(),
                                             bench_set.end());
         parallelFor(benches.size(), adv.threads, [&](size_t i) {
             const uint32_t b = benches[i];
+            CellResult meta;
+            meta.cell = {0, 0, 0, 0, b};
+            meta.seed = hashSeed({adv.baseSeed, b, 0xA10FULL});
+            meta.defense = "none";
+            meta.provider = "(alone)";
+            meta.mix = suite[b].name;
+            HashStream h = base_hash("svard-adv-alone-v1");
+            h.mix(meta.seed).mix(static_cast<uint64_t>(b));
+            meta.fingerprint = h.value();
+            CellResult cached;
+            if (adv.cache &&
+                adv.cache->lookup(meta.seed, meta.fingerprint,
+                                  &cached)) {
+                alone[b] = cached.metrics.weightedSpeedup;
+                alone_cached.fetch_add(1);
+                return;
+            }
             std::vector<std::vector<sim::TraceEntry>> traces;
             traces.push_back(sim::generateTrace(
                 suite[b], adv.requestsPerCore, adv.baseSeed,
@@ -674,7 +813,20 @@ runAdversarialSweep(const AdversarialSpec &adv,
             sim::System sys(cfg, std::move(traces),
                             adv.requestsPerCore, nullptr);
             alone[b] = std::max(sys.run().ipc[0], 1e-9);
+            alone_executed.fetch_add(1);
+            meta.metrics.weightedSpeedup = alone[b];
+            try {
+                if (adv.cache)
+                    adv.cache->store(meta);
+            } catch (...) {
+                alone_io_errors.capture();
+            }
         });
+        alone_io_errors.rethrow();
+        // Keep executed/cached symmetric: baseline runs count on
+        // both sides (the main sweep reports baselines separately).
+        stats.cached += alone_cached.load();
+        stats.executed += alone_executed.load();
     }
 
     // One adversarial system run: attacker on core 0 (shared
@@ -690,14 +842,28 @@ runAdversarialSweep(const AdversarialSpec &adv,
             [&](uint32_t b) { return alone[b]; });
     };
 
+    // One shared scaled profile per label, built serially with its
+    // lazy occupancy settled: scaledTo/minThreshold touch mutable
+    // profile state, so calling them from concurrent workers (the old
+    // make_provider) raced. Svard instances remain per cell.
+    std::map<std::string, std::shared_ptr<const core::VulnProfile>>
+        scaled_profiles;
+    for (const auto &[label, profile] : profiles) {
+        if (!profile)
+            continue;
+        auto scaled = std::make_shared<core::VulnProfile>(
+            profile->scaledTo(adv.threshold));
+        scaled->minThreshold(); // settle the lazy occupancy
+        scaled_profiles[label] = std::move(scaled);
+    }
+
     auto make_provider = [&](const ProviderSpec &p)
         -> std::shared_ptr<const core::ThresholdProvider> {
         if (p.moduleLabel.empty())
             return std::make_shared<core::UniformThreshold>(
                 adv.threshold, cfg.rowsPerBank);
         return std::make_shared<core::Svard>(
-            std::make_shared<core::VulnProfile>(
-                profiles.at(p.moduleLabel)->scaledTo(adv.threshold)));
+            scaled_profiles.at(p.moduleLabel));
     };
 
     ErrorLatch io_errors;

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "common/table.h"
@@ -58,6 +59,13 @@ class ExperimentRunner
 
     /** Cells satisfied from the sweep cache without execution. */
     size_t cachedCells() const { return cachedHits_; }
+
+    /** Baseline runs (alone-IPC + no-defense mixes) simulated. */
+    size_t executedBaselines() const { return executedBase_.load(); }
+
+    /** Baseline runs satisfied from the sweep cache — a partial
+     *  resume stops recomputing them. */
+    size_t cachedBaselines() const { return cachedBase_.load(); }
 
     /** Mean normalized metrics per configuration, axis order. */
     std::vector<SummaryRow> summarize();
@@ -124,6 +132,15 @@ class ExperimentRunner
              std::shared_ptr<const core::VulnProfile>>
         profiles_; ///< built before sharding; read-only afterwards
 
+    /** Scaled (geom, label, threshold) profiles, also prebuilt: the
+     *  cells sharing a provider configuration share one immutable
+     *  profile (occupancy pre-refreshed) instead of each copying and
+     *  rescaling megabytes of bin data. Svard instances stay
+     *  per-cell — their lookup counters and budget memos mutate. */
+    std::map<std::tuple<uint32_t, std::string, uint64_t>,
+             std::shared_ptr<const core::VulnProfile>>
+        scaledProfiles_;
+
     /** Per-mix core traces, generated once and copied into each cell
      *  (traces depend only on the base seed, not the geometry).
      *  Providers, by contrast, stay per-cell: Svard and VulnProfile
@@ -132,10 +149,19 @@ class ExperimentRunner
     std::vector<std::vector<std::vector<sim::TraceEntry>>> mixTraces_;
     std::vector<std::vector<double>> aloneIpc_;         ///< [geom][bench]
     std::vector<std::vector<sim::MixMetrics>> mixBase_; ///< [geom][mix]
+    /** Cache record metadata of an alone-IPC baseline (stored under
+     *  the same fingerprint scheme as grid cells). */
+    CellResult aloneMeta(uint32_t geom, uint32_t bench) const;
+
+    /** Cache record metadata of a (geometry, mix) no-defense run. */
+    CellResult mixBaseMeta(uint32_t geom, uint32_t mix) const;
+
     std::vector<CellResult> results_;
     bool ran_ = false;
     std::atomic<size_t> executed_{0};
     size_t cachedHits_ = 0;
+    std::atomic<size_t> executedBase_{0};
+    std::atomic<size_t> cachedBase_{0};
 };
 
 } // namespace svard::engine

@@ -1,5 +1,6 @@
 #include "io/result_sink.h"
 
+#include <bit>
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
@@ -13,8 +14,10 @@ namespace svard::io {
 
 namespace {
 
-/** Record framing magic ("SVC1" little-endian on disk). */
-constexpr uint32_t kRecordMagic = 0x31435653u;
+/** Record framing magic ("SVC2" on disk). v2 fixed the on-disk
+ *  convention to little-endian regardless of host (v1 records were
+ *  host-endian and are treated as a torn tail on load). */
+constexpr uint32_t kRecordMagic = 0x32435653u;
 /** Defensive cap: no serialized cell is remotely this large. */
 constexpr uint32_t kMaxPayload = 1u << 20;
 
@@ -60,17 +63,36 @@ payloadChecksum(const std::string &payload)
     return HashStream(0xC0DEC0DEC0DEC0DEULL).mix(payload).value();
 }
 
-// --- binary payload primitives (host-endian; caches are local) ----
+// --- binary payload primitives --------------------------------------
+// The on-disk convention is explicitly little-endian: big-endian
+// hosts byte-swap on both paths, so caches and checkpoints can move
+// between machines. On little-endian hosts the swaps compile away.
+
+constexpr bool kHostBig = std::endian::native == std::endian::big;
+
+inline uint32_t
+toLe32(uint32_t v)
+{
+    return kHostBig ? __builtin_bswap32(v) : v;
+}
+
+inline uint64_t
+toLe64(uint64_t v)
+{
+    return kHostBig ? __builtin_bswap64(v) : v;
+}
 
 void
 putU32(std::string &b, uint32_t v)
 {
+    v = toLe32(v);
     b.append(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
 void
 putU64(std::string &b, uint64_t v)
 {
+    v = toLe64(v);
     b.append(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
@@ -101,6 +123,7 @@ struct Cursor
         if (pos + sizeof(*v) > buf.size())
             return false;
         std::memcpy(v, buf.data() + pos, sizeof(*v));
+        *v = toLe32(*v); // on-disk little-endian -> host
         pos += sizeof(*v);
         return true;
     }
@@ -111,6 +134,7 @@ struct Cursor
         if (pos + sizeof(*v) > buf.size())
             return false;
         std::memcpy(v, buf.data() + pos, sizeof(*v));
+        *v = toLe64(*v); // on-disk little-endian -> host
         pos += sizeof(*v);
         return true;
     }
@@ -474,6 +498,10 @@ readRecords(std::FILE *f, uint64_t *valid_bytes)
         std::memcpy(&size, header + 4, 4);
         std::memcpy(&key, header + 8, 8);
         std::memcpy(&fingerprint, header + 16, 8);
+        magic = toLe32(magic);
+        size = toLe32(size);
+        key = toLe64(key);
+        fingerprint = toLe64(fingerprint);
         if (magic != kRecordMagic || size > kMaxPayload)
             break; // corrupt tail
         std::string payload(size, '\0');
@@ -482,7 +510,7 @@ readRecords(std::FILE *f, uint64_t *valid_bytes)
         uint64_t checksum = 0;
         if (std::fread(&checksum, 1, sizeof(checksum), f) !=
                 sizeof(checksum) ||
-            checksum != payloadChecksum(payload))
+            toLe64(checksum) != payloadChecksum(payload))
             break;
         engine::CellResult r;
         if (!decodeCellResult(payload, &r) || r.seed != key ||

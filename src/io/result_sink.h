@@ -103,7 +103,10 @@ class BinarySink : public ResultSink
     std::FILE *file_ = nullptr;
 };
 
-/** Serialize one CellResult into the binary payload (host-endian). */
+/** Serialize one CellResult into the binary payload. The on-disk
+ *  layout is explicitly little-endian (format "SVC2"); big-endian
+ *  hosts byte-swap on encode/decode, so cache and checkpoint files
+ *  are portable between machines. */
 std::string encodeCellResult(const engine::CellResult &row);
 
 /** Inverse of encodeCellResult; false on malformed payload. */

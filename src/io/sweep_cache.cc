@@ -14,6 +14,18 @@ SweepCache::SweepCache(const std::string &path)
     // Load whatever a previous (possibly killed) run left behind.
     uint64_t valid_bytes = 0;
     if (std::FILE *f = std::fopen(path_.c_str(), "rb")) {
+        // A v1 ("SVC1", host-endian) checkpoint would otherwise be
+        // mistaken for a torn tail and truncated to nothing; fail
+        // loudly instead so the user can delete or regenerate it
+        // deliberately.
+        char magic[4] = {0, 0, 0, 0};
+        if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+            magic[0] == 'S' && magic[1] == 'V' && magic[2] == 'C' &&
+            magic[3] == '1')
+            SVARD_FATAL("sweep cache \"" + path_ +
+                        "\" uses the retired v1 (host-endian) "
+                        "format; delete it to recompute");
+        std::rewind(f);
         for (auto &r : readRecords(f, &valid_bytes)) {
             const std::pair<uint64_t, uint64_t> key{r.seed,
                                                     r.fingerprint};

@@ -15,10 +15,17 @@ MemController::MemController(const SimConfig &cfg,
                              Completion on_complete)
     : cfg_(cfg), mapper_(cfg), defense_(defense),
       onComplete_(std::move(on_complete)), banks_(cfg.totalBanks()),
-      ranks_(cfg.ranks)
+      ranks_(cfg.ranks), readQ_(cfg.readQueue), writeQ_(cfg.writeQueue),
+      pendingPerBank_(cfg.totalBanks(), 0),
+      pendingPos_(cfg.totalBanks(), 0)
 {
+    pendingBanks_.reserve(cfg.totalBanks());
     for (uint32_t r = 0; r < cfg_.ranks; ++r)
         ranks_[r].refreshDue = cfg_.timing.tREFI;
+    // Largest per-ACT burst: a defense may emit a handful of refresh,
+    // migration, and metadata actions for one activation; reserve so
+    // the buffer stops growing after the first few ACTs.
+    actionBuf_.reserve(8);
 }
 
 bool
@@ -35,6 +42,47 @@ MemController::enqueue(const MemRequest &req)
             return false;
         readQ_.push_back(r);
     }
+    if (pendingPerBank_[r.flatBank]++ == 0) {
+        pendingPos_[r.flatBank] =
+            static_cast<uint32_t>(pendingBanks_.size());
+        pendingBanks_.push_back(r.flatBank);
+    }
+    if (r.notBefore != 0)
+        ++throttledQueued_;
+    if (scanCacheValid_ && r.write == scanCacheDrained_) {
+        // Incremental verdict update: the new request joins the
+        // cached (scanned) queue, so fold its earliest-serviceable
+        // time into the blocked-until bound instead of discarding
+        // the whole verdict. A request landing in the *other* queue
+        // conservatively drops the verdict (the else below), even
+        // though that queue is not the one being scanned — cheap
+        // safety on a determinism-critical path.
+        const Bank &bank = banks_[r.flatBank];
+        dram::Tick e;
+        if (bank.open && bank.row == r.addr.row) {
+            e = std::max(bank.readyColumn,
+                         busReady_ - cfg_.timing.tCL);
+        } else if (bank.open) {
+            e = bank.readyPre;
+        } else {
+            const Rank &rank = ranks_[rankOf(r.flatBank)];
+            e = std::max(bank.readyAct,
+                         rank.lastAct + cfg_.timing.tRRD_S);
+            if (rank.actCount == 4)
+                e = std::max(e, rank.oldestAct() + cfg_.timing.tFAW);
+        }
+        e = std::max(e, r.notBefore);
+        if (e < scanBlockedUntil_) {
+            scanBlockedUntil_ = e;
+            scanBlockedByBus_ =
+                bank.open && bank.row == r.addr.row &&
+                busReady_ - cfg_.timing.tCL > bank.readyColumn;
+        }
+    } else {
+        scanCacheValid_ = false;
+    }
+    quietValid_ = false; // new work may be issuable immediately
+    quietUntil_ = 0;     // stale jump target must not be revalidated
     return true;
 }
 
@@ -51,9 +99,7 @@ MemController::doActivate(uint32_t flat_bank, uint32_t row,
     bank.readyColumn = now_ + cfg_.timing.tRCD;
     bank.readyPre = now_ + cfg_.timing.tRAS;
     rank.lastAct = now_;
-    rank.actHistory.push_back(now_);
-    if (rank.actHistory.size() > 4)
-        rank.actHistory.erase(rank.actHistory.begin());
+    rank.pushAct(now_);
     ++stats_.activations;
     (void)maintenance;
 }
@@ -68,10 +114,9 @@ MemController::doPrecharge(uint32_t flat_bank)
 }
 
 void
-MemController::applyActions(
-    const std::vector<defense::PreventiveAction> &acts,
-    uint32_t /* flat_bank */, uint32_t /* row */,
-    dram::Tick *throttle_out)
+MemController::applyActions(const defense::ActionBuffer &acts,
+                            uint32_t /* flat_bank */, uint32_t /* row */,
+                            dram::Tick *throttle_out)
 {
     using Kind = defense::PreventiveAction::Kind;
     const auto &t = cfg_.timing;
@@ -81,7 +126,11 @@ MemController::applyActions(
     const dram::Tick row_burst =
         static_cast<dram::Tick>(cfg_.blocksPerRow()) * t.tBL;
     for (const auto &a : acts) {
-        Bank &bank = banks_[a.bank % banks_.size()];
+        // The defense emits actions in the controller's own flat bank
+        // space; the shared helper asserts that instead of folding
+        // mismatches away with a modulo.
+        Bank &bank =
+            banks_[defense::resolveActionBank(a.bank, banks_.size())];
         // Row-content moves go through the memory controller, so they
         // occupy the shared channel data bus as well as the bank.
         auto occupy = [&](dram::Tick bank_dur, dram::Tick bus_dur) {
@@ -131,6 +180,11 @@ MemController::applyActions(
 void
 MemController::refreshIfDue()
 {
+    // One compare covers the common case: nothing (rank refresh or
+    // defense epoch) is due yet. maintenanceDue_ caches the earliest
+    // due time and is refreshed whenever either source advances.
+    if (now_ < maintenanceDue_)
+        return;
     for (uint32_t r = 0; r < cfg_.ranks; ++r) {
         Rank &rank = ranks_[r];
         if (now_ < rank.refreshDue)
@@ -150,16 +204,26 @@ MemController::refreshIfDue()
         }
         rank.refreshDue += cfg_.timing.tREFI;
         ++stats_.refreshes;
+        quietValid_ = false; // bank ready times moved
+        scanCacheValid_ = false;
     }
     // Refresh-window epoch for the defense's counter structures.
     if (defense_ && now_ - epochStart_ >= cfg_.timing.tREFW) {
         defense_->onEpochEnd(now_);
         epochStart_ = now_;
+        quietValid_ = false;
+        scanCacheValid_ = false;
     }
+    maintenanceDue_ = kInf;
+    for (const Rank &rank : ranks_)
+        maintenanceDue_ = std::min(maintenanceDue_, rank.refreshDue);
+    if (defense_)
+        maintenanceDue_ = std::min(maintenanceDue_,
+                                   epochStart_ + cfg_.timing.tREFW);
 }
 
 bool
-MemController::tryIssue()
+MemController::updateDrainMode()
 {
     // Write drain hysteresis.
     if (draining_) {
@@ -170,10 +234,38 @@ MemController::tryIssue()
             (readQ_.empty() && !writeQ_.empty()))
             draining_ = true;
     }
-    std::deque<MemRequest> &q =
-        (draining_ && !writeQ_.empty()) ? writeQ_ : readQ_;
-    if (q.empty())
+    return draining_ && !writeQ_.empty();
+}
+
+bool
+MemController::tryIssue()
+{
+    const bool drained = updateDrainMode();
+
+    // A failed scan records the minimum earliest-serviceable time of
+    // the scanned queue; until something mutates scheduler state
+    // (enqueue, issue, refresh, epoch end) or the drain mode picks
+    // the other queue, a repeat scan before that time fails by
+    // construction — the dominant case at wakeups that crossed a
+    // candidate for a still-blocked request. lastFailCached_ tells
+    // run() the cached jump target survived too.
+    if (scanCacheValid_ && scanCacheDrained_ == drained &&
+        now_ < scanBlockedUntil_) {
+        lastFailCached_ = true;
         return false;
+    }
+    lastFailCached_ = false;
+
+    RequestQueue &q = drained ? writeQ_ : readQ_;
+    if (q.empty()) {
+        // An empty chosen queue stays unissuable until an enqueue or
+        // a drain-mode flip (cache key mismatch) changes the picture.
+        scanCacheValid_ = true;
+        scanCacheDrained_ = drained;
+        scanBlockedUntil_ = kInf;
+        scanBlockedByBus_ = false;
+        return false;
+    }
 
     const auto &t = cfg_.timing;
 
@@ -181,14 +273,14 @@ MemController::tryIssue()
         const Rank &rank = ranks_[rankOf(flat_bank)];
         if (now_ < rank.lastAct + t.tRRD_S)
             return false;
-        if (rank.actHistory.size() == 4 &&
-            now_ < rank.actHistory.front() + t.tFAW)
+        if (rank.actCount == 4 &&
+            now_ < rank.oldestAct() + t.tFAW)
             return false;
         return true;
     };
 
-    auto issue_column = [&](std::deque<MemRequest>::iterator it) {
-        MemRequest r = *it;
+    auto issue_column = [&](size_t i) {
+        MemRequest r = q[i];
         Bank &bank = banks_[r.flatBank];
         const dram::Tick cas = r.write ? t.tCWL : t.tCL;
         const dram::Tick data = std::max(now_ + cas, busReady_);
@@ -204,99 +296,193 @@ MemController::tryIssue()
             if (onComplete_)
                 onComplete_(r, data + t.tBL);
         }
-        q.erase(it);
+        if (--pendingPerBank_[r.flatBank] == 0) {
+            // Swap-erase from the compact list (order is irrelevant:
+            // every consumer computes order-independent minima).
+            const uint32_t last = pendingBanks_.back();
+            pendingBanks_[pendingPos_[r.flatBank]] = last;
+            pendingPos_[last] = pendingPos_[r.flatBank];
+            pendingBanks_.pop_back();
+        }
+        if (r.notBefore != 0)
+            --throttledQueued_;
+        q.erase(i);
     };
 
-    // Pass 1 (FR): oldest row hit under the column cap.
-    for (auto it = q.begin(); it != q.end(); ++it) {
-        if (it->notBefore > now_)
-            continue;
-        Bank &bank = banks_[it->flatBank];
-        if (bank.open && bank.row == it->addr.row &&
-            bank.hitStreak < cfg_.columnCap &&
-            bank.readyColumn <= now_ && busReady_ <= now_ + t.tCL) {
-            stats_.rowHits += bank.hitStreak > 0 ? 1 : 0;
-            issue_column(it);
-            return true;
+    // Bus availability for a column issue is the same for every
+    // candidate this cycle — hoisted out of both passes.
+    const bool bus_ok = busReady_ <= now_ + t.tCL;
+
+    // One fused read-only scan replaces the former two passes: it
+    // finds the pass-1 winner (oldest under-cap row hit — breaks
+    // immediately, nothing later can beat it) and remembers the
+    // pass-2 winner (oldest serviceable request of any kind) for the
+    // case no pass-1 hit exists. Selection is identical to running
+    // the passes separately; failures pay one queue walk, not two.
+    constexpr size_t kNone = SIZE_MAX;
+    size_t hit_idx = kNone;
+    size_t p2_idx = kNone;
+    // Earliest time any scanned request could become serviceable
+    // given unchanged state (only meaningful when the scan fails —
+    // then every request took a blocked path and contributed).
+    dram::Tick blocked_until = kInf;
+    bool blocked_by_bus = false;
+    auto blocked_at = [&](dram::Tick e, bool from_bus) {
+        if (e < blocked_until) {
+            blocked_until = e;
+            blocked_by_bus = from_bus;
         }
+    };
+    for (size_t i = 0, n = q.size(); i < n; ++i) {
+        const MemRequest &r = q[i];
+        if (r.notBefore > now_) {
+            blocked_at(r.notBefore, false);
+            continue;
+        }
+        const Bank &bank = banks_[r.flatBank];
+        if (bank.open && bank.row == r.addr.row) {
+            if (bus_ok && bank.readyColumn <= now_) {
+                if (bank.hitStreak < cfg_.columnCap) {
+                    hit_idx = i;
+                    break;
+                }
+                if (p2_idx == kNone)
+                    p2_idx = i; // capped hit: plain pass-2 column
+            } else {
+                const dram::Tick bus_at = busReady_ - t.tCL;
+                blocked_at(std::max(bank.readyColumn, bus_at),
+                           bus_at > bank.readyColumn);
+            }
+            continue;
+        }
+        if (p2_idx != kNone)
+            continue; // pass-2 winner known; still hunting a hit
+        if (bank.open) {
+            if (bank.readyPre <= now_)
+                p2_idx = i; // row conflict: precharge
+            else
+                blocked_at(bank.readyPre, false);
+            continue;
+        }
+        if (bank.readyAct <= now_ && rank_can_act(r.flatBank)) {
+            p2_idx = i; // closed bank: activate
+        } else {
+            const Rank &rank = ranks_[rankOf(r.flatBank)];
+            dram::Tick e =
+                std::max(bank.readyAct, rank.lastAct + t.tRRD_S);
+            if (rank.actCount == 4)
+                e = std::max(e, rank.oldestAct() + t.tFAW);
+            blocked_at(e, false);
+        }
+    }
+
+    if (p2_idx == kNone && hit_idx == kNone) {
+        scanCacheValid_ = true;
+        scanCacheDrained_ = drained;
+        scanBlockedUntil_ = blocked_until;
+        scanBlockedByBus_ = blocked_by_bus;
+        return false;
+    }
+    scanCacheValid_ = false; // about to issue: state changes
+
+    if (hit_idx != kNone) {
+        // Pass 1 (FR): oldest row hit under the column cap.
+        stats_.rowHits += banks_[q[hit_idx].flatBank].hitStreak > 0
+                              ? 1
+                              : 0;
+        issue_column(hit_idx);
+        return true;
     }
 
     // Pass 2 (FCFS): progress the oldest serviceable request.
-    for (auto it = q.begin(); it != q.end(); ++it) {
-        if (it->notBefore > now_)
-            continue;
-        Bank &bank = banks_[it->flatBank];
-        if (bank.open && bank.row == it->addr.row) {
-            if (bank.readyColumn <= now_ && busReady_ <= now_ + t.tCL) {
-                issue_column(it);
-                return true;
-            }
-            continue;
+    MemRequest &r = q[p2_idx];
+    Bank &bank = banks_[r.flatBank];
+    if (bank.open && bank.row == r.addr.row) {
+        issue_column(p2_idx);
+        return true;
+    }
+    if (bank.open) {
+        // Row conflict: close the row once tRAS allows.
+        ++stats_.rowConflicts;
+        doPrecharge(r.flatBank);
+        return true;
+    }
+    // Bank closed: activate (defense may throttle instead).
+    dram::Tick throttle = 0;
+    if (defense_ && !r.defenseCleared) {
+        actionBuf_.clear();
+        defense_->onActivate(r.flatBank, r.addr.row, now_, actionBuf_);
+        applyActions(actionBuf_, r.flatBank, r.addr.row, &throttle);
+        if (throttle > 0) {
+            if (r.notBefore == 0)
+                ++throttledQueued_;
+            r.notBefore = now_ + throttle;
+            return true; // state changed; rescan
         }
-        if (bank.open) {
-            // Row conflict: close the row once tRAS allows.
-            if (bank.readyPre <= now_) {
-                ++stats_.rowConflicts;
-                doPrecharge(it->flatBank);
-                return true;
-            }
-            continue;
-        }
-        // Bank closed: activate (defense may throttle instead).
-        if (bank.readyAct <= now_ && rank_can_act(it->flatBank)) {
-            dram::Tick throttle = 0;
-            if (defense_ && !it->defenseCleared) {
-                std::vector<defense::PreventiveAction> acts;
-                defense_->onActivate(it->flatBank, it->addr.row, now_,
-                                     acts);
-                applyActions(acts, it->flatBank, it->addr.row,
-                             &throttle);
-                if (throttle > 0) {
-                    it->notBefore = now_ + throttle;
-                    return true; // state changed; rescan
-                }
-                it->defenseCleared = true;
-                if (bank.readyAct > now_) {
-                    // Preventive actions (victim refresh, migration,
-                    // counter transfer) occupy this bank first; the
-                    // admitted activation waits behind them and is
-                    // not re-submitted to the defense.
-                    return true;
-                }
-            }
-            doActivate(it->flatBank, it->addr.row, false);
+        r.defenseCleared = true;
+        if (bank.readyAct > now_) {
+            // Preventive actions (victim refresh, migration, counter
+            // transfer) occupy this bank first; the admitted
+            // activation waits behind them and is not re-submitted
+            // to the defense.
             return true;
         }
     }
-    return false;
+    doActivate(r.flatBank, r.addr.row, false);
+    return true;
 }
 
 dram::Tick
-MemController::nextWakeup() const
+MemController::nextWakeup(dram::Tick from) const
 {
     dram::Tick next = kInf;
     auto consider = [&](dram::Tick t) {
-        if (t > now_ && t < next)
+        if (t > now_ && t >= from && t < next)
             next = t;
     };
-    auto scan = [&](const std::deque<MemRequest> &q) {
-        for (const auto &r : q) {
-            const Bank &bank = banks_[r.flatBank];
-            consider(r.notBefore);
-            consider(bank.readyAct);
-            consider(bank.readyColumn);
-            consider(bank.readyPre);
-            const Rank &rank = ranks_[rankOf(r.flatBank)];
+    // Bank and rank readiness only gates banks with queued work; the
+    // pending-bank list gives the same candidate set the old
+    // full-queue scan produced, one bank at a time instead of one
+    // request. Rank candidates are hoisted: one pass marks the ranks
+    // with pending work, then each contributes its two times once.
+    uint64_t ranks_seen = 0; // bitmask (falls back past 64 ranks)
+    const bool few_ranks = ranks_.size() <= 64;
+    for (uint32_t b : pendingBanks_) {
+        const Bank &bank = banks_[b];
+        consider(bank.readyAct);
+        consider(bank.readyColumn);
+        consider(bank.readyPre);
+        if (few_ranks) {
+            ranks_seen |= uint64_t{1} << rankOf(b);
+        } else {
+            const Rank &rank = ranks_[rankOf(b)];
             consider(rank.lastAct + cfg_.timing.tRRD_S);
-            if (rank.actHistory.size() == 4)
-                consider(rank.actHistory.front() + cfg_.timing.tFAW);
+            if (rank.actCount == 4)
+                consider(rank.oldestAct() + cfg_.timing.tFAW);
         }
-    };
-    scan(readQ_);
-    scan(writeQ_);
+    }
+    for (uint32_t r = 0; few_ranks && r < ranks_.size(); ++r) {
+        if (!(ranks_seen & (uint64_t{1} << r)))
+            continue;
+        const Rank &rank = ranks_[r];
+        consider(rank.lastAct + cfg_.timing.tRRD_S);
+        if (rank.actCount == 4)
+            consider(rank.oldestAct() + cfg_.timing.tFAW);
+    }
+    // Throttle release times exist only while a defense is actively
+    // throttling; skip the queue walk entirely otherwise.
+    if (throttledQueued_ > 0) {
+        for (size_t i = 0, n = readQ_.size(); i < n; ++i)
+            consider(readQ_[i].notBefore);
+        for (size_t i = 0, n = writeQ_.size(); i < n; ++i)
+            consider(writeQ_[i].notBefore);
+    }
     consider(busReady_);
+    // Refresh processing times must always be visited, however far
+    // past them the caller's interest lies.
     for (const auto &rank : ranks_)
-        consider(rank.refreshDue);
+        if (rank.refreshDue > now_ && rank.refreshDue < next)
+            next = rank.refreshDue;
     return next;
 }
 
@@ -305,9 +491,73 @@ MemController::run(dram::Tick until)
 {
     while (now_ < until) {
         refreshIfDue();
-        if (tryIssue())
-            continue;
-        const dram::Tick next = nextWakeup();
+        if (quietValid_) {
+            if (now_ >= quietUntil_ || now_ >= quietBusFlip_) {
+                quietValid_ = false; // wakeup reached: rescan
+            } else {
+                // Provably nothing can issue before quietUntil_, so
+                // the tryIssue scan is skipped — but its drain-mode
+                // hysteresis must still tick once per iteration (its
+                // state depends on how often it is evaluated).
+                updateDrainMode();
+            }
+        }
+        if (!quietValid_) {
+            if (tryIssue())
+                continue;
+            // The drain hysteresis oscillates when reads are empty
+            // but writes sit below the exit watermark: the scanned
+            // queue then alternates per evaluation, so a failed scan
+            // does not prove the *other* queue stays unissuable.
+            // Keep full per-candidate scans in that state.
+            const bool stable =
+                !(readQ_.empty() && !writeQ_.empty());
+            if (lastFailCached_ && now_ < quietUntil_ && stable) {
+                // The failed scan was served from its unchanged-state
+                // cache, so the previously computed jump target still
+                // stands; the bus lookahead that forced this rescan
+                // is verified blocked and stays blocked (busReady_ is
+                // static while no command issues).
+                quietBusFlip_ = kInf;
+                quietValid_ = true;
+            } else {
+                // Jump straight to the next *observable* time: while
+                // state is unchanged nothing can issue before the
+                // failed scan's blocked-until bound and no epoch
+                // boundary may be overjumped, so wakeup candidates
+                // below both are provably eventless (refresh times
+                // are always honored inside nextWakeup, and run()-
+                // boundary entries keep evaluating refreshIfDue
+                // exactly as before).
+                dram::Tick interest = 0;
+                if (stable && scanCacheValid_) {
+                    interest = scanBlockedUntil_;
+                    if (defense_)
+                        interest = std::min(
+                            interest,
+                            epochStart_ + cfg_.timing.tREFW);
+                }
+                if (stable && scanCacheValid_ &&
+                    !scanBlockedByBus_ &&
+                    scanBlockedUntil_ <= maintenanceDue_) {
+                    // The blocking minimum is a max of candidate
+                    // times, hence itself the first candidate at or
+                    // after it, and no refresh/epoch comes earlier:
+                    // it IS the next observable time — no bank pass.
+                    quietUntil_ = scanBlockedUntil_;
+                } else {
+                    quietUntil_ = nextWakeup(interest);
+                }
+                // If the bus is the blocker, its issue condition
+                // becomes true tCL *before* busReady_ — rescan from
+                // that point on.
+                quietBusFlip_ = busReady_ <= now_ + cfg_.timing.tCL
+                                    ? kInf
+                                    : busReady_ - cfg_.timing.tCL;
+                quietValid_ = stable;
+            }
+        }
+        const dram::Tick next = quietUntil_;
         if (next >= until) {
             if (idle())
                 now_ = until;

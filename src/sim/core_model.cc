@@ -1,14 +1,8 @@
 #include "sim/core_model.h"
 
-#include <algorithm>
-
 #include "common/log.h"
 
 namespace svard::sim {
-
-namespace {
-constexpr dram::Tick kFar = std::numeric_limits<dram::Tick>::max() / 4;
-} // anonymous namespace
 
 CoreModel::CoreModel(const SimConfig &cfg, uint32_t id,
                      std::vector<TraceEntry> trace, size_t primary)
@@ -17,97 +11,12 @@ CoreModel::CoreModel(const SimConfig &cfg, uint32_t id,
 {
     SVARD_ASSERT(!trace_.empty(), "core needs a trace");
     primary_ = std::min(primary_, trace_.size());
+    outstanding_.reserve(256);
     for (size_t i = 0; i < primary_; ++i) {
         primaryInsts_ += trace_[i].gap;
         if (!trace_[i].write)
             ++primaryReads_;
     }
-}
-
-bool
-CoreModel::canRelease(dram::Tick now) const
-{
-    if (now < stallUntil_ || now < frontendReady_)
-        return false;
-    // Instruction-window constraint: the next entry cannot dispatch
-    // while an outstanding read is more than `window` instructions
-    // older.
-    if (!outstanding_.empty()) {
-        const uint64_t next_inst =
-            instsDispatched_ + entryAt(nextIdx_).gap;
-        // outstanding_ values are the cumulative instruction indices
-        // of in-flight reads; map order is token order = age order.
-        const uint64_t oldest = outstanding_.begin()->second;
-        if (next_inst - oldest > cfg_.instrWindow)
-            return false;
-    }
-    return true;
-}
-
-dram::Tick
-CoreModel::nextReleaseTime() const
-{
-    if (!outstanding_.empty()) {
-        const uint64_t next_inst =
-            instsDispatched_ + entryAt(nextIdx_).gap;
-        const uint64_t oldest = outstanding_.begin()->second;
-        if (next_inst - oldest > cfg_.instrWindow)
-            return kFar; // unblocked only by a completion
-    }
-    return std::max(stallUntil_, frontendReady_);
-}
-
-TraceEntry
-CoreModel::release(dram::Tick now, uint64_t *token_out)
-{
-    const TraceEntry &e = entryAt(nextIdx_);
-    instsDispatched_ += e.gap;
-    // Dispatch cost of the gap's instructions at the issue width.
-    const dram::Tick dispatch =
-        static_cast<dram::Tick>(e.gap) * cfg_.cpuTick() /
-        cfg_.issueWidth;
-    frontendReady_ = std::max(frontendReady_, now) + dispatch;
-    lastEventTime_ = std::max(lastEventTime_, frontendReady_);
-
-    const uint64_t token = nextToken_++;
-    if (!e.write)
-        outstanding_[token] = instsDispatched_;
-    if (token_out)
-        *token_out = token;
-    ++nextIdx_;
-
-    if (nextIdx_ == primary_ && primaryReads_ == 0) {
-        finishTime_ = frontendReady_;
-    }
-    return e;
-}
-
-void
-CoreModel::onReadComplete(uint64_t token, dram::Tick when)
-{
-    auto it = outstanding_.find(token);
-    if (it == outstanding_.end())
-        return;
-    const bool primary_read = it->second <= primaryInsts_;
-    outstanding_.erase(it);
-    lastEventTime_ = std::max(lastEventTime_, when);
-    if (primary_read && primaryCompleted_ < primaryReads_) {
-        ++primaryCompleted_;
-        if (primaryCompleted_ == primaryReads_)
-            finishTime_ = std::max(when, frontendReady_);
-    }
-}
-
-void
-CoreModel::stallUntil(dram::Tick t)
-{
-    stallUntil_ = std::max(stallUntil_, t);
-}
-
-bool
-CoreModel::primaryDone() const
-{
-    return nextIdx_ >= primary_ && primaryCompleted_ >= primaryReads_;
 }
 
 double

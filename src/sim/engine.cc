@@ -48,50 +48,6 @@ SimEngine::SimEngine(const SimConfig &cfg, defense::Defense *defense,
     }
 }
 
-bool
-SimEngine::queueFull(uint32_t channel) const
-{
-    const MemController &mc = *controllers_[channel % channels()];
-    return mc.readQueueFull() || mc.writeQueueFull();
-}
-
-bool
-SimEngine::enqueue(const MemRequest &req)
-{
-    SVARD_ASSERT(req.addr.channel < channels(),
-                 "request channel out of range");
-    return controllers_[req.addr.channel]->enqueue(req);
-}
-
-dram::Tick
-SimEngine::run(dram::Tick until)
-{
-    dram::Tick reached = 0;
-    for (auto &mc : controllers_)
-        reached = std::max(reached, mc->run(until));
-    return reached;
-}
-
-dram::Tick
-SimEngine::now() const
-{
-    // Channels advance in lockstep; report the slowest clock so the
-    // caller never skips time a channel has not yet simulated.
-    dram::Tick t = controllers_[0]->now();
-    for (const auto &mc : controllers_)
-        t = std::min(t, mc->now());
-    return t;
-}
-
-bool
-SimEngine::idle() const
-{
-    for (const auto &mc : controllers_)
-        if (!mc->idle())
-            return false;
-    return true;
-}
-
 ControllerStats
 SimEngine::stats() const
 {

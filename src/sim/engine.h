@@ -11,10 +11,12 @@
 #ifndef SVARD_SIM_ENGINE_H
 #define SVARD_SIM_ENGINE_H
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "defense/registry.h"
 #include "sim/controller.h"
 
@@ -54,17 +56,56 @@ class SimEngine
         return static_cast<uint32_t>(controllers_.size());
     }
 
+    // The per-request engine entry points below are inline: the
+    // system loop calls them tens of millions of times per sweep
+    // cell, and a cross-TU call per poll costs as much as the poll.
+
     /** Either queue of `channel` is full (core must stall). */
-    bool queueFull(uint32_t channel) const;
+    bool
+    queueFull(uint32_t channel) const
+    {
+        const MemController &mc = *controllers_[channel % channels()];
+        return mc.readQueueFull() || mc.writeQueueFull();
+    }
 
     /** Route a request to its channel; returns false if full. */
-    bool enqueue(const MemRequest &req);
+    bool
+    enqueue(const MemRequest &req)
+    {
+        SVARD_ASSERT(req.addr.channel < channels(),
+                     "request channel out of range");
+        return controllers_[req.addr.channel]->enqueue(req);
+    }
 
     /** Advance every channel to `until` in lockstep. */
-    dram::Tick run(dram::Tick until);
+    dram::Tick
+    run(dram::Tick until)
+    {
+        dram::Tick reached = 0;
+        for (auto &mc : controllers_)
+            reached = std::max(reached, mc->run(until));
+        return reached;
+    }
 
-    dram::Tick now() const;
-    bool idle() const;
+    dram::Tick
+    now() const
+    {
+        // Channels advance in lockstep; report the slowest clock so
+        // the caller never skips time a channel has not simulated.
+        dram::Tick t = controllers_[0]->now();
+        for (const auto &mc : controllers_)
+            t = std::min(t, mc->now());
+        return t;
+    }
+
+    bool
+    idle() const
+    {
+        for (const auto &mc : controllers_)
+            if (!mc->idle())
+                return false;
+        return true;
+    }
 
     /** Stats summed over channels. */
     ControllerStats stats() const;

@@ -21,10 +21,12 @@ System::System(const SimConfig &cfg,
     for (uint32_t c = 0; c < traces.size(); ++c)
         cores_.push_back(std::make_unique<CoreModel>(
             cfg_, c, std::move(traces[c]), primary));
+    releaseDirty_.assign(cores_.size(), 1);
 
     engine_ = std::make_unique<SimEngine>(
         cfg_, defense, [this](const MemRequest &req, dram::Tick when) {
             cores_[req.core]->onReadComplete(req.token, when);
+            releaseDirty_[req.core] = 1;
         });
 }
 
@@ -39,11 +41,13 @@ System::System(const SimConfig &cfg,
     for (uint32_t c = 0; c < traces.size(); ++c)
         cores_.push_back(std::make_unique<CoreModel>(
             cfg_, c, std::move(traces[c]), primary));
+    releaseDirty_.assign(cores_.size(), 1);
 
     engine_ = std::make_unique<SimEngine>(
         cfg_, defense_name, std::move(provider), seed,
         [this](const MemRequest &req, dram::Tick when) {
             cores_[req.core]->onReadComplete(req.token, when);
+            releaseDirty_[req.core] = 1;
         },
         params);
 }
@@ -53,31 +57,50 @@ System::run()
 {
     const MopMapper &mapper = engine_->mapper();
     const dram::Tick hard_stop = 30000 * dram::kPsPerMs; // 30 s walltime
+    // primaryDone is monotonic, so finished cores are checked once
+    // and dropped instead of being re-polled every loop iteration.
+    std::vector<char> done(cores_.size(), 0);
+    size_t done_count = 0;
     auto all_done = [&] {
-        for (const auto &core : cores_)
-            if (!core->primaryDone())
+        for (size_t c = 0; c < cores_.size(); ++c) {
+            if (done[c])
+                continue;
+            if (!cores_[c]->primaryDone())
                 return false;
-        return true;
+            done[c] = 1;
+            ++done_count;
+        }
+        return done_count == cores_.size();
     };
+
+    // Cached per-core release gates: canRelease(now) is exactly
+    // nextReleaseTime() <= now, and a core's release time moves only
+    // through its own releases/stalls (refreshed below) or a read
+    // completion (releaseDirty_, set by the completion callback), so
+    // blocked cores are skipped without re-polling them.
+    std::vector<dram::Tick> next_rel(cores_.size(), 0);
 
     while (!all_done() && engine_->now() < hard_stop) {
         const dram::Tick now = engine_->now();
         bool released = false;
-        for (auto &core : cores_) {
-            while (core->canRelease(now)) {
+        for (size_t c = 0; c < cores_.size(); ++c) {
+            if (!releaseDirty_[c] && next_rel[c] > now)
+                continue;
+            CoreModel &core = *cores_[c];
+            while (core.canRelease(now)) {
                 // Route by channel before releasing: backpressure is
                 // per-channel, and enqueue is irreversible for the
                 // core's state.
                 const dram::Address addr =
-                    mapper.map(core->peek().address);
+                    mapper.map(core.peek().address);
                 if (engine_->queueFull(addr.channel)) {
-                    core->stallUntil(now + 20 * dram::kPsPerNs);
+                    core.stallUntil(now + 20 * dram::kPsPerNs);
                     break;
                 }
                 uint64_t token = 0;
-                const TraceEntry e = core->release(now, &token);
+                const TraceEntry e = core.release(now, &token);
                 MemRequest req;
-                req.core = core->id();
+                req.core = core.id();
                 req.write = e.write;
                 req.addr = addr;
                 req.arrive = now;
@@ -86,13 +109,15 @@ System::run()
                 SVARD_ASSERT(ok, "enqueue failed after capacity check");
                 released = true;
             }
+            next_rel[c] = core.nextReleaseTime();
+            releaseDirty_[c] = 0;
         }
         if (released)
             continue;
 
         dram::Tick next_core = kFar;
-        for (const auto &core : cores_)
-            next_core = std::min(next_core, core->nextReleaseTime());
+        for (size_t c = 0; c < cores_.size(); ++c)
+            next_core = std::min(next_core, next_rel[c]);
         dram::Tick until = std::min(next_core, now + kQuantum);
         if (until <= now)
             until = now + kQuantum;

@@ -71,6 +71,9 @@ class System
     const SimConfig &cfg_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     std::unique_ptr<SimEngine> engine_;
+    /** Set by the completion callback: core c's release gate may have
+     *  opened, so its cached next-release time must be recomputed. */
+    std::vector<char> releaseDirty_;
 };
 
 // ------------------------------------------------------------------

@@ -5,8 +5,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
+#include "common/flat_table.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -176,6 +181,120 @@ TEST(Table, RowsAndFormat)
 TEST(Table, EnvIntFallback)
 {
     EXPECT_EQ(envInt("SVARD_SURELY_UNSET_ENV_VAR", 123), 123);
+}
+
+// -----------------------------------------------------------------
+// FlatTable (the defenses' hot-path counter store)
+// -----------------------------------------------------------------
+
+TEST(FlatTable, InsertFindAndGrowthKeepEveryEntry)
+{
+    FlatTable<uint32_t> t(16);
+    // Push far past the initial capacity so several growths happen.
+    for (uint64_t k = 0; k < 10000; ++k)
+        t.refOrInsert(k * 0x9E3779B97F4A7C15ULL) =
+            static_cast<uint32_t>(k);
+    EXPECT_EQ(t.size(), 10000u);
+    EXPECT_GT(t.capacity(), 10000u);
+    for (uint64_t k = 0; k < 10000; ++k) {
+        const uint32_t *v = t.find(k * 0x9E3779B97F4A7C15ULL);
+        ASSERT_NE(v, nullptr) << k;
+        EXPECT_EQ(*v, static_cast<uint32_t>(k));
+    }
+    EXPECT_EQ(t.find(0xDEADBEEFULL), nullptr);
+}
+
+TEST(FlatTable, GenerationClearIsO1AndResurrectsNothing)
+{
+    FlatTable<uint32_t> t;
+    for (uint64_t k = 0; k < 500; ++k)
+        t.refOrInsert(k) = 7;
+    const size_t cap = t.capacity();
+    t.clear(); // generation bump, no slot wipe
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.capacity(), cap);
+    for (uint64_t k = 0; k < 500; ++k)
+        EXPECT_EQ(t.find(k), nullptr) << k;
+    // Re-inserting after a clear default-constructs fresh values.
+    EXPECT_EQ(t.refOrInsert(3), 0u);
+    t.refOrInsert(3) = 9;
+    EXPECT_EQ(*t.find(3), 9u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable, CollidingKeysChainAndEraseTombstonesCorrectly)
+{
+    // Many keys landing in a small table force probe chains; erase
+    // must tombstone (keeping later chain members reachable), and a
+    // reinsert may reuse the tombstone.
+    FlatTable<uint64_t> t(16);
+    constexpr uint64_t kKeys = 11; // under the growth watermark of 16
+    for (uint64_t k = 0; k < kKeys; ++k)
+        t.refOrInsert(k) = k + 100;
+    ASSERT_EQ(t.capacity(), 16u);
+    // Erase a middle element: everything else stays reachable.
+    EXPECT_TRUE(t.erase(5));
+    EXPECT_FALSE(t.erase(5));
+    EXPECT_EQ(t.size(), kKeys - 1);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        if (k == 5)
+            EXPECT_EQ(t.find(k), nullptr);
+        else
+            EXPECT_EQ(*t.find(k), k + 100) << k;
+    }
+    t.refOrInsert(5) = 205;
+    EXPECT_EQ(*t.find(5), 205u);
+    EXPECT_EQ(t.size(), kKeys);
+}
+
+TEST(FlatTable, EraseInsertChurnStaysConsistentAcrossRehashes)
+{
+    // LRU-style churn (the Hydra RCC pattern): erase + insert pairs
+    // accumulate tombstones until in-place rehashes purge them.
+    FlatTable<uint32_t> t(32);
+    for (uint64_t k = 0; k < 20; ++k)
+        t.refOrInsert(k) = static_cast<uint32_t>(k);
+    for (uint64_t round = 0; round < 2000; ++round) {
+        const uint64_t evict = round;
+        const uint64_t insert = round + 20;
+        ASSERT_TRUE(t.erase(evict)) << round;
+        t.refOrInsert(insert) = static_cast<uint32_t>(insert);
+        ASSERT_EQ(t.size(), 20u);
+    }
+    for (uint64_t k = 2000; k < 2020; ++k)
+        EXPECT_EQ(*t.find(k), static_cast<uint32_t>(k));
+}
+
+// -----------------------------------------------------------------
+// parallelFor (persistent pool)
+// -----------------------------------------------------------------
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnceAtAnyWidth)
+{
+    for (unsigned threads : {1u, 2u, 5u}) {
+        std::vector<std::atomic<int>> hits(1000);
+        for (auto &h : hits)
+            h.store(0);
+        parallelFor(hits.size(), threads,
+                    [&](size_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(ParallelFor, WorkerExceptionsPropagateToTheCaller)
+{
+    EXPECT_THROW(
+        parallelFor(64, 4,
+                    [&](size_t i) {
+                        if (i == 13)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool survives a throwing job and runs the next one.
+    std::atomic<int> total{0};
+    parallelFor(64, 4, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 64);
 }
 
 } // namespace

@@ -151,7 +151,7 @@ TEST(ResultSink, BinaryReaderDropsTruncatedTailRecord)
     {
         std::FILE *f = std::fopen(bin.c_str(), "ab");
         ASSERT_NE(f, nullptr);
-        const unsigned char partial[] = {0x53, 0x56, 0x43, 0x31, 0x7F};
+        const unsigned char partial[] = {0x53, 0x56, 0x43, 0x32, 0x7F};
         std::fwrite(partial, 1, sizeof(partial), f);
         std::fclose(f);
     }
@@ -287,9 +287,17 @@ TEST(SweepCache, KilledAndResumedSweepIsBitIdenticalToUninterrupted)
 
     // Simulate a sweep killed after 3 cells: keep an arbitrary
     // 3-record prefix of the checkpoint (completion order) and a
-    // torn partial record where the kill landed.
-    const auto all = io::readBinaryResults(full_cache);
+    // torn partial record where the kill landed. The checkpoint also
+    // holds baseline records (alone-IPC and no-defense runs, cached
+    // since PR 3); the kill keeps only grid cells, so the resume
+    // recomputes baselines but not the checkpointed cells.
+    const auto everything = io::readBinaryResults(full_cache);
+    std::vector<engine::CellResult> all;
+    for (const auto &r : everything)
+        if (r.provider != "(alone)" && r.provider != "(baseline)")
+            all.push_back(r);
     ASSERT_EQ(all.size(), 8u);
+    ASSERT_GT(everything.size(), all.size()); // baselines cached too
     {
         io::BinarySink trunc(killed_cache);
         for (size_t i = 0; i < 3; ++i)
@@ -298,7 +306,7 @@ TEST(SweepCache, KilledAndResumedSweepIsBitIdenticalToUninterrupted)
     {
         std::FILE *f = std::fopen(killed_cache.c_str(), "ab");
         ASSERT_NE(f, nullptr);
-        const unsigned char torn[] = {0x53, 0x56, 0x43, 0x31, 0x10,
+        const unsigned char torn[] = {0x53, 0x56, 0x43, 0x32, 0x10,
                                       0x00, 0x00, 0x00, 0xAA};
         std::fwrite(torn, 1, sizeof(torn), f);
         std::fclose(f);
@@ -329,6 +337,43 @@ TEST(SweepCache, KilledAndResumedSweepIsBitIdenticalToUninterrupted)
     EXPECT_EQ(hot.executedCells(), 0u);
     EXPECT_EQ(hot.cachedCells(), 8u);
     EXPECT_EQ(slurp(ref_csv), slurp(hot_csv));
+}
+
+TEST(SweepCache, BaselinesAreCachedSoPartialResumesSkipThem)
+{
+    const std::string cache_path = tmpPath("baseline.cache");
+    std::remove(cache_path.c_str());
+    auto cache = std::make_shared<io::SweepCache>(cache_path);
+
+    engine::SweepSpec cold_spec = ioSpec(2);
+    cold_spec.cache = cache;
+    engine::ExperimentRunner cold(std::move(cold_spec));
+    cold.run();
+    EXPECT_EQ(cold.executedCells(), 8u);
+    EXPECT_GT(cold.executedBaselines(), 0u);
+    EXPECT_EQ(cold.cachedBaselines(), 0u);
+
+    // Partial resume: one more threshold doubles the grid; only the
+    // new cells execute and every baseline comes from the cache.
+    engine::SweepSpec grown_spec = ioSpec(2);
+    grown_spec.thresholds = {128.0, 256.0};
+    grown_spec.cache = cache;
+    engine::ExperimentRunner grown(std::move(grown_spec));
+    const auto &rows = grown.run();
+    EXPECT_EQ(grown.executedCells(), 8u); // the new threshold only
+    EXPECT_EQ(grown.cachedCells(), 8u);
+    EXPECT_EQ(grown.executedBaselines(), 0u);
+    EXPECT_EQ(grown.cachedBaselines(), cold.executedBaselines());
+
+    // Cached baselines must normalize the old cells to the exact
+    // same values a from-scratch run of the grown grid produces.
+    engine::SweepSpec fresh_spec = ioSpec(1);
+    fresh_spec.thresholds = {128.0, 256.0};
+    engine::ExperimentRunner fresh(std::move(fresh_spec));
+    const auto &fresh_rows = fresh.run();
+    ASSERT_EQ(rows.size(), fresh_rows.size());
+    for (size_t i = 0; i < rows.size(); ++i)
+        expectRowsEqual(rows[i], fresh_rows[i]);
 }
 
 TEST(SweepCache, HitsSkipExecutionAndSpecEditsInvalidateOnlyChanges)
@@ -421,8 +466,10 @@ TEST(AdversarialSweep, CacheResumesAndSinkStreamsDefendedCells)
     engine::SweepIoStats cold_stats;
     const auto cold_rows = engine::runAdversarialSweep(cold,
                                                        &cold_stats);
-    // 3 reference runs + {case x provider x trace} = 3 + 6 defended.
-    EXPECT_EQ(cold_stats.executed, 9u);
+    // 3 reference runs + {case x provider x trace} = 3 + 6 defended,
+    // plus the benign alone-IPC baselines (3 distinct benchmarks),
+    // which are checkpointed and counted like reference runs.
+    EXPECT_EQ(cold_stats.executed, 12u);
     EXPECT_EQ(cold_stats.cached, 0u);
     EXPECT_EQ(collect->rows.size(), 6u); // defended cells streamed
 
