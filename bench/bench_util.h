@@ -62,6 +62,10 @@ benchCharzOptions(const dram::ModuleSpec &spec, bool quick_wcdp = true)
 {
     charz::CharzOptions opt;
     opt.quickWcdp = quick_wcdp;
+    // Per-row results are bit-identical at any worker count, so the
+    // figures are free to use the same thread knob as the sweeps.
+    opt.threads =
+        static_cast<unsigned>(envInt("SVARD_THREADS", 1));
     if (fullScale()) {
         opt.rowStep = 1;
         return opt;

@@ -1,28 +1,33 @@
 /**
  * @file
- * Perf-regression harness: times the two workloads every hot-path
+ * Perf-regression harness: times the three workloads every hot-path
  * change must not regress — (a) the fig12 tiny grid through the
  * experiment engine (cells/sec: end-to-end sweep throughput including
- * profile building and baselines) and (b) a single-cell microsim
+ * profile building and baselines), (b) a single-cell microsim
  * (simulated-ticks/sec and ACTs/sec: the controller + defense inner
- * loop in isolation) — and emits machine-readable BENCH_perf.json so
+ * loop in isolation), and (c) a fig05-style full-pattern
+ * characterizeBank (rows/sec and BER measurements/sec: the Alg. 1
+ * measurement stack) — and emits machine-readable BENCH_perf.json so
  * CI can extend the performance trajectory with every PR.
  *
  * Knobs: SVARD_REQS (default 6000), SVARD_MIXES (default 2),
  * SVARD_THREADS (default 1 — single-threaded numbers are comparable
- * across hosts), SVARD_PERF_JSON or --json=PATH for the output file
+ * across hosts), SVARD_CHARZ_ROWS (default 256 sampled rows for the
+ * charz section), SVARD_PERF_JSON or --json=PATH for the output file
  * (default ./BENCH_perf.json).
  *
  * The numbers are machine-dependent; compare runs from the same host
  * only. The PR-3 rewrite measured 6.4 -> 11.7 cells/sec (~1.8x) on
  * the tiny grid against the pre-rewrite tree on the same host.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "bench_util.h"
+#include "charz/characterizer.h"
 #include "core/vuln_profile.h"
 #include "dram/module_spec.h"
 #include "dram/subarray.h"
@@ -114,6 +119,31 @@ main(int argc, char **argv)
     const double ticks_per_sec =
         static_cast<double>(res.endTime) / std::max(micro_s, 1e-9);
 
+    // ---- (c) fig05-style full-pattern bank characterization ------
+    const int64_t charz_target = envInt("SVARD_CHARZ_ROWS", 256);
+    charz::CharzOptions copt;
+    copt.quickWcdp = false; // all six data patterns, as Fig. 5 runs
+    copt.iterations = 2;
+    copt.threads = threads;
+    uint32_t step = static_cast<uint32_t>(std::max<int64_t>(
+        1, module.rowsPerBank / std::max<int64_t>(charz_target, 1)));
+    if (step % 2 == 0)
+        ++step; // subarray-coprime stride (see benchCharzOptions)
+    copt.rowStep = step;
+
+    auto charz_model =
+        std::make_shared<fault::VulnerabilityModel>(module, sa);
+    dram::DramDevice charz_dev(module, sa, charz_model);
+    charz::Characterizer charz(charz_dev);
+
+    const auto charz_start = std::chrono::steady_clock::now();
+    const auto rows = charz.characterizeBank(1, copt);
+    const double charz_s = secondsSince(charz_start);
+    const uint64_t ber_measurements = charz.berMeasurements();
+    const double rows_per_sec = rows.size() / std::max(charz_s, 1e-9);
+    const double meas_per_sec =
+        static_cast<double>(ber_measurements) / std::max(charz_s, 1e-9);
+
     // ---- report --------------------------------------------------
     std::FILE *f = std::fopen(json_path.c_str(), "w");
     if (!f)
@@ -121,7 +151,7 @@ main(int argc, char **argv)
     const int n = std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"svard-perf-smoke-v1\",\n"
+        "  \"schema\": \"svard-perf-smoke-v2\",\n"
         "  \"threads\": %u,\n"
         "  \"requests_per_core\": %zu,\n"
         "  \"mixes\": %u,\n"
@@ -138,20 +168,37 @@ main(int argc, char **argv)
         "    \"wall_s\": %.6f,\n"
         "    \"acts_per_sec\": %.1f,\n"
         "    \"sim_ticks_per_sec\": %.1f\n"
+        "  },\n"
+        "  \"charz\": {\n"
+        "    \"module\": \"S0\",\n"
+        "    \"bank\": 1,\n"
+        "    \"rows\": %zu,\n"
+        "    \"row_step\": %u,\n"
+        "    \"iterations\": %d,\n"
+        "    \"quick_wcdp\": false,\n"
+        "    \"ber_measurements\": %llu,\n"
+        "    \"wall_s\": %.6f,\n"
+        "    \"rows_per_sec\": %.3f,\n"
+        "    \"ber_measurements_per_sec\": %.3f\n"
         "  }\n"
         "}\n",
         threads, reqs, n_mixes, cells, grid_s, cells_per_sec,
         static_cast<unsigned long long>(res.controller.activations),
         static_cast<long long>(res.endTime), micro_s, acts_per_sec,
-        ticks_per_sec);
+        ticks_per_sec, rows.size(), copt.rowStep, copt.iterations,
+        static_cast<unsigned long long>(ber_measurements), charz_s,
+        rows_per_sec, meas_per_sec);
     if (n < 0 || std::fclose(f) != 0)
         SVARD_FATAL("write failed on \"" + json_path + "\"");
 
     std::printf("perf_smoke: grid %zu cells in %.3f s "
                 "(%.2f cells/s); microsim %.3f s "
-                "(%.2fM ACTs/s, %.1fM sim-ticks/s)\n",
+                "(%.2fM ACTs/s, %.1fM sim-ticks/s); "
+                "charz %zu rows in %.3f s "
+                "(%.1f rows/s, %.1f measureBER/s)\n",
                 cells, grid_s, cells_per_sec, micro_s,
-                acts_per_sec / 1e6, ticks_per_sec / 1e6);
+                acts_per_sec / 1e6, ticks_per_sec / 1e6, rows.size(),
+                charz_s, rows_per_sec, meas_per_sec);
     std::printf("perf_smoke: wrote %s\n", json_path.c_str());
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/log.h"
 #include "fault/vuln_model.h"
 
 namespace svard::charz {
@@ -46,13 +47,22 @@ agingExperiment(const dram::ModuleSpec &spec, const CharzOptions &opt)
     Characterizer fresh(fresh_dev);
     Characterizer aged(aged_dev);
 
+    // The transition matrix is defined over the strided sample only;
+    // characterizeBank would also append opt.extraRows, so drop them.
+    CharzOptions bank_opt = opt;
+    bank_opt.extraRows.clear();
+
     AgingResult out;
     for (uint32_t bank : opt.banks) {
-        for (uint32_t r = 0; r < spec.rowsPerBank; r += opt.rowStep) {
-            const auto before = fresh.characterizeRow(bank, r, opt);
-            const auto after = aged.characterizeRow(bank, r, opt);
-            ++out.transitions[{before.hcFirst, after.hcFirst}];
-            ++out.beforeTotals[before.hcFirst];
+        // Both sweeps enumerate the same rows in the same order (and
+        // shard them over bank_opt.threads), so pairing is positional.
+        const auto before = fresh.characterizeBank(bank, bank_opt);
+        const auto after = aged.characterizeBank(bank, bank_opt);
+        SVARD_ASSERT(before.size() == after.size(),
+                     "aging sweeps disagree on row sampling");
+        for (size_t i = 0; i < before.size(); ++i) {
+            ++out.transitions[{before[i].hcFirst, after[i].hcFirst}];
+            ++out.beforeTotals[before[i].hcFirst];
         }
     }
     return out;

@@ -3,51 +3,79 @@
 #include <algorithm>
 #include <map>
 
+#include "bender/test_session.h"
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace svard::charz {
 
-Characterizer::Characterizer(dram::DramDevice &device)
-    : device_(device), session_(device)
-{}
+namespace {
 
+// Stream tag of the per-row workspace RNG seeds (the device folds the
+// module seed in itself, so a workspace stream is effectively
+// hash(module seed, bank, row)).
+constexpr uint64_t kRowWorkspaceTag = 0xC4A312ULL;
+
+/**
+ * Alg. 1 for one victim row, executed against `session`'s device. The
+ * caller hands in a freshly-seeded isolated workspace, so the result
+ * is a pure function of (module, bank, victim, options).
+ *
+ * The HC_first sweep bisects the tested-hammer-count list instead of
+ * scanning it linearly: whether a measurement at count c flips is
+ * monotone in c (flips appear exactly when c times the data-pattern
+ * severity crosses the row's threshold), so the smallest flipping
+ * tested count is found in ceil(log2(14)) = 4 measurements instead of
+ * up to 14. Rows with no flip at the maximum count skip the sweep
+ * entirely — by the same monotonicity no smaller count can flip.
+ */
 RowResult
-Characterizer::characterizeRow(uint32_t bank, uint32_t victim,
-                               const CharzOptions &opt)
+characterizeRowOn(bender::TestSession &session, uint32_t bank,
+                  uint32_t victim, const CharzOptions &opt,
+                  uint64_t &measurements)
 {
+    auto &device = session.device();
     const auto &labels = dram::testedHammerCounts();
     const int64_t max_hc = labels.back();
 
     RowResult out;
     out.bank = bank;
     out.logicalRow = victim;
-    out.physRow = device_.mapping().toPhysical(victim);
+    out.physRow = device.mapping().toPhysical(victim);
     out.relativeLocation =
         static_cast<double>(out.physRow) /
-        static_cast<double>(device_.spec().rowsPerBank);
+        static_cast<double>(device.spec().rowsPerBank);
 
-    const auto aggressors = session_.aggressorRowsOf(victim);
+    const auto aggressors = session.aggressorRowsOf(victim);
     out.numAggressors = static_cast<uint32_t>(aggressors.size());
 
+    auto measure = [&](fault::DataPattern dp, int64_t hc) {
+        ++measurements;
+        return session.measureBer(bank, victim, aggressors, dp,
+                                  static_cast<uint64_t>(hc),
+                                  opt.tAggOn);
+    };
+
+    const std::vector<fault::DataPattern> patterns =
+        opt.quickWcdp
+            ? std::vector<fault::DataPattern>{
+                  fault::DataPattern::RowStripe,
+                  fault::DataPattern::RowStripeInv,
+              }
+            : std::vector<fault::DataPattern>(
+                  fault::allDataPatterns.begin(),
+                  fault::allDataPatterns.end());
+
     out.hcFirst = max_hc;
+    // Index of out.hcFirst in the tested-count list; the recorded
+    // worst case can only move left (Sec. 4.1).
+    size_t hc_idx = labels.size() - 1;
     for (int iter = 0; iter < std::max(opt.iterations, 1); ++iter) {
         // --- WCDP discovery at the maximum tested hammer count ---
         double best_ber = -1.0;
         fault::DataPattern wcdp = fault::DataPattern::RowStripe;
-        const std::vector<fault::DataPattern> quick = {
-            fault::DataPattern::RowStripe,
-            fault::DataPattern::RowStripeInv,
-        };
-        const auto &patterns =
-            opt.quickWcdp
-                ? quick
-                : std::vector<fault::DataPattern>(
-                      fault::allDataPatterns.begin(),
-                      fault::allDataPatterns.end());
         for (auto dp : patterns) {
-            const auto m = session_.measureBer(
-                bank, victim, aggressors, dp,
-                static_cast<uint64_t>(max_hc), opt.tAggOn);
+            const auto m = measure(dp, max_hc);
             if (m.ber() > best_ber) {
                 best_ber = m.ber();
                 wcdp = dp;
@@ -57,24 +85,83 @@ Characterizer::characterizeRow(uint32_t bank, uint32_t victim,
             out.ber128k = best_ber;
             out.wcdp = wcdp;
         }
-        if (best_ber > 0.0)
-            out.flippedAtMaxCount = true;
-
-        // --- ascending hammer-count sweep at the WCDP ---
-        int64_t hc_first = max_hc;
-        for (int64_t hc : labels) {
-            if (hc >= out.hcFirst && iter > 0)
-                break; // cannot improve the recorded worst case
-            const auto m = session_.measureBer(
-                bank, victim, aggressors, wcdp,
-                static_cast<uint64_t>(hc), opt.tAggOn);
-            if (m.flippedBits > 0) {
-                hc_first = hc;
-                break;
-            }
+        if (best_ber <= 0.0) {
+            // No flip even at the maximum count under this iteration's
+            // WCDP: no smaller count can flip either. The recorded
+            // HC_first (max for iteration 0) stands.
+            continue;
         }
-        out.hcFirst = std::min(out.hcFirst, hc_first);
+        out.flippedAtMaxCount = true;
+
+        // --- bisect for the smallest flipping tested count ---
+        // Search [0, hc_idx) at this iteration's WCDP; counts at or
+        // beyond the recorded worst case cannot improve it (and for
+        // iteration 0, labels[hc_idx] = 128K is already known to
+        // flip from the WCDP discovery above).
+        size_t lo = 0, hi = hc_idx;
+        while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            const auto m = measure(wcdp, labels[mid]);
+            if (m.flippedBits > 0)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        if (lo < hc_idx) {
+            hc_idx = lo;
+            out.hcFirst = labels[lo];
+        }
     }
+    return out;
+}
+
+} // anonymous namespace
+
+Characterizer::Characterizer(dram::DramDevice &device) : device_(device)
+{}
+
+RowResult
+Characterizer::characterizeRow(uint32_t bank, uint32_t victim,
+                               const CharzOptions &opt)
+{
+    // Isolated per-row workspace: a sibling device over the shared
+    // (immutable) module spec, subarray map, and fault model, with a
+    // deterministic per-(bank,row) RNG stream. Mutable row/pending
+    // state starts empty, so no cross-row contamination and no shared
+    // mutation between worker threads.
+    dram::DramDevice workspace(
+        device_.spec(), device_.subarraysShared(), device_.modelShared(),
+        hashSeed({kRowWorkspaceTag, bank, victim}));
+    workspace.setDisturbanceEnabled(device_.disturbanceEnabled());
+    bender::TestSession session(workspace);
+    uint64_t measurements = 0;
+    RowResult out =
+        characterizeRowOn(session, bank, victim, opt, measurements);
+    berMeasurements_.fetch_add(measurements,
+                               std::memory_order_relaxed);
+    return out;
+}
+
+void
+Characterizer::collectBankRows(uint32_t bank, uint32_t rows_per_bank,
+                               const CharzOptions &opt,
+                               std::vector<RowTask> &out)
+{
+    for (uint32_t r = 0; r < rows_per_bank; r += opt.rowStep)
+        out.push_back({bank, r});
+    for (uint32_t r : opt.extraRows)
+        if (r % opt.rowStep != 0)
+            out.push_back({bank, r});
+}
+
+std::vector<RowResult>
+Characterizer::runTasks(const std::vector<RowTask> &tasks,
+                        const CharzOptions &opt)
+{
+    std::vector<RowResult> out(tasks.size());
+    parallelFor(tasks.size(), opt.threads, [&](size_t i) {
+        out[i] = characterizeRow(tasks[i].bank, tasks[i].victim, opt);
+    });
     return out;
 }
 
@@ -82,25 +169,22 @@ std::vector<RowResult>
 Characterizer::characterizeBank(uint32_t bank, const CharzOptions &opt)
 {
     SVARD_ASSERT(opt.rowStep >= 1, "rowStep must be >= 1");
-    std::vector<RowResult> out;
-    const uint32_t rows = device_.spec().rowsPerBank;
-    for (uint32_t r = 0; r < rows; r += opt.rowStep)
-        out.push_back(characterizeRow(bank, r, opt));
-    for (uint32_t r : opt.extraRows)
-        if (r % opt.rowStep != 0)
-            out.push_back(characterizeRow(bank, r, opt));
-    return out;
+    std::vector<RowTask> tasks;
+    collectBankRows(bank, device_.spec().rowsPerBank, opt, tasks);
+    return runTasks(tasks, opt);
 }
 
 std::vector<RowResult>
 Characterizer::characterizeModule(const CharzOptions &opt)
 {
-    std::vector<RowResult> out;
-    for (uint32_t bank : opt.banks) {
-        auto bank_results = characterizeBank(bank, opt);
-        out.insert(out.end(), bank_results.begin(), bank_results.end());
-    }
-    return out;
+    SVARD_ASSERT(opt.rowStep >= 1, "rowStep must be >= 1");
+    // One flat task pool across all banks: row order (and thus result
+    // order) matches the per-bank loops, but a straggler bank no
+    // longer idles the other workers.
+    std::vector<RowTask> tasks;
+    for (uint32_t bank : opt.banks)
+        collectBankRows(bank, device_.spec().rowsPerBank, opt, tasks);
+    return runTasks(tasks, opt);
 }
 
 core::VulnProfile
@@ -137,11 +221,15 @@ buildProfile(const dram::ModuleSpec &spec,
             }
         }
     }
+    // The tested-count list is sorted, so HC_first -> index is one
+    // binary search (the per-row linear scan this replaces was O(rows
+    // x labels) across a characterized module).
     auto label_index = [&](int64_t hc) {
-        for (size_t i = 0; i < labels.size(); ++i)
-            if (labels[i] == hc)
-                return i;
-        SVARD_PANIC("HC_first not a tested hammer count");
+        const auto it =
+            std::lower_bound(labels.begin(), labels.end(), hc);
+        if (it == labels.end() || *it != hc)
+            SVARD_PANIC("HC_first not a tested hammer count");
+        return static_cast<size_t>(it - labels.begin());
     };
 
     core::VulnProfile prof(spec.label + "-measured", spec.banks,

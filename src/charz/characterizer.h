@@ -4,16 +4,26 @@
  * data pattern discovery at 128K hammers, the 14-point hammer-count
  * sweep that yields HC_first, tAggOn sweeps for RowPress, and the
  * bank/row iteration with worst-case-over-iterations recording.
+ *
+ * Rows are characterized on *isolated per-row workspaces*: each row
+ * gets a fresh sibling device (same module spec / subarray map / fault
+ * model) whose RNG stream is seeded by hash(module seed, bank, row).
+ * That makes every RowResult a pure function of its coordinates —
+ * independent of which rows were measured before it and of how many
+ * threads the sweep uses — which is what lets characterizeBank /
+ * characterizeModule shard rows across the common/parallel.h pool
+ * while staying bit-identical at any thread count.
  */
 #ifndef SVARD_CHARZ_CHARACTERIZER_H
 #define SVARD_CHARZ_CHARACTERIZER_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
-#include "bender/test_session.h"
 #include "core/vuln_profile.h"
 #include "dram/device.h"
+#include "fault/patterns.h"
 
 namespace svard::charz {
 
@@ -43,6 +53,13 @@ struct CharzOptions
      * of all six patterns (fast mode; stripes dominate WCDP).
      */
     bool quickWcdp = false;
+
+    /**
+     * Worker threads for characterizeBank/characterizeModule (0 =
+     * hardware concurrency). Results are bit-identical at any value:
+     * every row runs on its own deterministically-seeded workspace.
+     */
+    unsigned threads = 1;
 };
 
 /** Per-victim-row characterization result. */
@@ -70,22 +87,49 @@ class Characterizer
   public:
     explicit Characterizer(dram::DramDevice &device);
 
-    /** Characterize one victim row (WCDP + HC_first sweep). */
+    /**
+     * Characterize one victim row (WCDP + HC_first sweep) on an
+     * isolated workspace. The result depends only on (module, bank,
+     * victim, options) — repeated calls return identical results.
+     */
     RowResult characterizeRow(uint32_t bank, uint32_t victim,
                               const CharzOptions &opt);
 
-    /** Characterize a bank per the options' row sampling. */
+    /** Characterize a bank per the options' row sampling, sharding
+     *  rows over opt.threads workers. */
     std::vector<RowResult> characterizeBank(uint32_t bank,
                                             const CharzOptions &opt);
 
-    /** Full module sweep: all banks in the options. */
+    /** Full module sweep: all banks in the options, one shared row
+     *  pool across banks (better load balance than per-bank batches). */
     std::vector<RowResult> characterizeModule(const CharzOptions &opt);
 
-    bender::TestSession &session() { return session_; }
+    /**
+     * Total measure_BER invocations issued by this characterizer so
+     * far, across all workspaces and threads (perf instrumentation;
+     * the HC_first bisection exists to push this down).
+     */
+    uint64_t berMeasurements() const
+    {
+        return berMeasurements_.load(std::memory_order_relaxed);
+    }
 
   private:
+    /** One (bank, victim) work item of a sharded sweep. */
+    struct RowTask
+    {
+        uint32_t bank;
+        uint32_t victim;
+    };
+
+    std::vector<RowResult> runTasks(const std::vector<RowTask> &tasks,
+                                    const CharzOptions &opt);
+    static void collectBankRows(uint32_t bank, uint32_t rows_per_bank,
+                                const CharzOptions &opt,
+                                std::vector<RowTask> &out);
+
     dram::DramDevice &device_;
-    bender::TestSession session_;
+    std::atomic<uint64_t> berMeasurements_{0};
 };
 
 /**

@@ -33,7 +33,9 @@ class FlatTable
         size_t cap = 16;
         while (cap < initial_capacity)
             cap <<= 1;
-        slots_.resize(cap);
+        initialCap_ = cap;
+        // The slot array is allocated on first insert: empty tables are
+        // free, which matters now that every RowData embeds one.
     }
 
     size_t size() const { return size_; }
@@ -48,6 +50,8 @@ class FlatTable
     V &
     refOrInsert(uint64_t key)
     {
+        if (slots_.empty())
+            slots_.resize(initialCap_);
         // Grow on the *used* count (live + tombstones): tombstones
         // lengthen probe chains just like live entries do.
         if ((used_ + 1) * 10 >= slots_.size() * 7)
@@ -84,6 +88,8 @@ class FlatTable
     V *
     find(uint64_t key)
     {
+        if (slots_.empty())
+            return nullptr;
         const size_t mask = slots_.size() - 1;
         size_t i = hashOf(key) & mask;
         for (;;) {
@@ -108,6 +114,8 @@ class FlatTable
     bool
     erase(uint64_t key)
     {
+        if (slots_.empty())
+            return false;
         const size_t mask = slots_.size() - 1;
         size_t i = hashOf(key) & mask;
         for (;;) {
@@ -121,6 +129,22 @@ class FlatTable
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /**
+     * Visit every live entry as fn(key, value). Order is the slot
+     * order — deterministic for a given insertion/erase history, but
+     * not sorted and not stable across rehashes. The callback must not
+     * insert into or clear the table (erasing the visited key through
+     * a separate erase() call after the sweep is fine).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.gen == gen_ && s.state == kFull)
+                fn(s.key, s.value);
     }
 
     /**
@@ -206,6 +230,7 @@ class FlatTable
     }
 
     std::vector<Slot> slots_;
+    size_t initialCap_ = 16;
     uint32_t gen_ = 1;
     size_t size_ = 0; ///< live entries
     size_t used_ = 0; ///< live + tombstoned slots this generation

@@ -7,6 +7,15 @@
 
 namespace svard::dram {
 
+namespace {
+
+// ModelMemo::flags bits: which lazily-computed fields are valid.
+constexpr uint8_t kMemoHc = 1;
+constexpr uint8_t kMemoCells = 2;    ///< trueCellFrac + sameCoupling
+constexpr uint8_t kMemoWorst = 4;
+
+} // anonymous namespace
+
 DramDevice::DramDevice(const ModuleSpec &spec,
                        std::shared_ptr<const SubarrayMap> subarrays,
                        std::shared_ptr<const DisturbanceModel> model,
@@ -56,8 +65,12 @@ DramDevice::precharge(uint32_t bank, Tick now)
     SVARD_ASSERT(bs.open, "PRE to a closed bank");
     const Tick t_on = std::max<Tick>(now - bs.actTime, 0);
     if (disturbanceEnabled_) {
-        for (uint32_t n : subarrays_->disturbedNeighbors(bs.physRow))
-            pending_[key(bank, n)] += model_->actWeight(bank, n, t_on);
+        uint32_t neigh[2];
+        const uint32_t n = subarrays_->disturbedNeighbors(bs.physRow,
+                                                          neigh);
+        for (uint32_t i = 0; i < n; ++i)
+            pending_.refOrInsert(key(bank, neigh[i])) +=
+                memoActWeight(bank, neigh[i], t_on);
     }
     bs.open = false;
     ++stats_.precharges;
@@ -76,14 +89,19 @@ DramDevice::refreshAllRows(Tick /* now */)
 {
     // Realize + reset every row with pending disturbance; rows with no
     // pending disturbance are unaffected by a refresh in this model.
-    std::vector<uint64_t> keys;
-    keys.reserve(pending_.size());
-    for (const auto &[k, v] : pending_)
+    // The key snapshot (realize erases from pending_ as it goes) lives
+    // in a member buffer reused across refreshes.
+    refreshKeys_.clear();
+    pending_.forEach([&](uint64_t k, const double &v) {
         if (v > 0.0)
-            keys.push_back(k);
-    for (uint64_t k : keys)
+            refreshKeys_.push_back(k);
+    });
+    for (uint64_t k : refreshKeys_)
         realize(static_cast<uint32_t>(k >> 32),
                 static_cast<uint32_t>(k & 0xffffffffu));
+    // Everything left is zero/negative accumulation, behaviorally
+    // absent; the O(1) clear also purges the erase tombstones.
+    pending_.clear();
     ++stats_.refreshes;
 }
 
@@ -106,10 +124,12 @@ DramDevice::hammer(uint32_t bank, uint32_t row, uint64_t count,
     // activations of the same row keep it restored throughout.
     realize(bank, phys);
     if (disturbanceEnabled_) {
-        for (uint32_t n : subarrays_->disturbedNeighbors(phys))
-            pending_[key(bank, n)] +=
-                static_cast<double>(count) * model_->actWeight(bank, n,
-                                                               t_on);
+        uint32_t neigh[2];
+        const uint32_t n = subarrays_->disturbedNeighbors(phys, neigh);
+        for (uint32_t i = 0; i < n; ++i)
+            pending_.refOrInsert(key(bank, neigh[i])) +=
+                static_cast<double>(count) *
+                memoActWeight(bank, neigh[i], t_on);
     }
     stats_.activates += count;
     stats_.precharges += count;
@@ -174,7 +194,7 @@ DramDevice::rowClone(uint32_t bank, uint32_t src_row, uint32_t dst_row,
     const bool margin_ok = (h % 1000) < 930;
     if (same_sa && margin_ok) {
         RowData copy = rowRef(bank, src);
-        rows_.insert_or_assign(key(bank, dst), std::move(copy));
+        rowRef(bank, dst) = std::move(copy);
         pending_.erase(key(bank, dst));
         return true;
     }
@@ -200,24 +220,57 @@ DramDevice::openRow(uint32_t bank) const
 double
 DramDevice::pendingHammers(uint32_t bank, uint32_t row) const
 {
-    auto it = pending_.find(key(bank, mapping_.toPhysical(row)));
-    return it == pending_.end() ? 0.0 : it->second;
+    const double *p = pending_.find(key(bank, mapping_.toPhysical(row)));
+    return p == nullptr ? 0.0 : *p;
 }
 
 RowData &
 DramDevice::rowRef(uint32_t bank, uint32_t phys_row)
 {
-    auto [it, inserted] =
-        rows_.try_emplace(key(bank, phys_row), spec_.rowBytes, uint8_t(0));
-    return it->second;
+    RowData &rd = rows_.refOrInsert(key(bank, phys_row));
+    if (rd.sizeBytes() == 0)
+        rd = RowData(spec_.rowBytes, uint8_t(0));
+    return rd;
+}
+
+DramDevice::ModelMemo &
+DramDevice::memoRef(uint32_t bank, uint32_t phys_row)
+{
+    return memo_.refOrInsert(key(bank, phys_row));
+}
+
+double
+DramDevice::memoHcFirst(uint32_t bank, uint32_t phys_row)
+{
+    ModelMemo &m = memoRef(bank, phys_row);
+    if (!(m.flags & kMemoHc)) {
+        m.hcFirst = model_->hcFirst(bank, phys_row);
+        m.flags |= kMemoHc;
+    }
+    return m.hcFirst;
+}
+
+double
+DramDevice::memoActWeight(uint32_t bank, uint32_t phys_row, Tick t_on)
+{
+    // Caches the weight of the most recent on-time per row: hammer
+    // sweeps and attack loops use one constant t_agg_on, so the common
+    // case is a hit; an on-time sweep (Fig. 7) refreshes the entry.
+    ModelMemo &m = memoRef(bank, phys_row);
+    if (m.actWeightTon != t_on) {
+        m.actWeight = model_->actWeight(bank, phys_row, t_on);
+        m.actWeightTon = t_on;
+    }
+    return m.actWeight;
 }
 
 double
 DramDevice::severityRaw(uint32_t bank, uint32_t phys_row,
-                        uint8_t victim_fill, uint8_t aggr_fill)
+                        const ModelMemo &memo, uint8_t victim_fill,
+                        uint8_t aggr_fill)
 {
-    const double tf = model_->trueCellFraction(bank, phys_row);
-    const double same = model_->sameDataCoupling(bank, phys_row);
+    const double tf = memo.trueCellFrac;
+    const double same = memo.sameCoupling;
     double sum = 0.0;
     for (int b = 0; b < 8; ++b) {
         const int vbit = (victim_fill >> b) & 1;
@@ -234,7 +287,8 @@ DramDevice::severityRaw(uint32_t bank, uint32_t phys_row,
 }
 
 double
-DramDevice::worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row)
+DramDevice::worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row,
+                                 const ModelMemo &memo)
 {
     // Canonical (aggressor, victim) fills of Table 2: RS, RSI, CS, CSI,
     // CB, CBI.
@@ -244,29 +298,58 @@ DramDevice::worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row)
     };
     double worst = 0.0;
     for (const auto &p : kPatterns)
-        worst = std::max(worst, severityRaw(bank, phys_row, p[1], p[0]));
+        worst = std::max(worst,
+                         severityRaw(bank, phys_row, memo, p[1], p[0]));
     return worst;
 }
 
 double
-DramDevice::patternSeverity(uint32_t bank, uint32_t phys_row)
+DramDevice::severityRawCached(uint32_t bank, uint32_t phys_row,
+                              ModelMemo &memo, uint8_t victim_fill,
+                              uint8_t aggr_fill)
 {
-    const double worst = worstCaseSeverityRaw(bank, phys_row);
+    const uint32_t fills =
+        (static_cast<uint32_t>(victim_fill) << 8) | aggr_fill;
+    if (memo.sevFills != fills) {
+        memo.sevRaw = severityRaw(bank, phys_row, memo, victim_fill,
+                                  aggr_fill);
+        memo.sevFills = fills;
+    }
+    return memo.sevRaw;
+}
+
+double
+DramDevice::patternSeverity(uint32_t bank, uint32_t phys_row,
+                            ModelMemo &memo)
+{
+    if (!(memo.flags & kMemoCells)) {
+        memo.trueCellFrac = model_->trueCellFraction(bank, phys_row);
+        memo.sameCoupling = model_->sameDataCoupling(bank, phys_row);
+        memo.flags |= kMemoCells;
+    }
+    if (!(memo.flags & kMemoWorst)) {
+        memo.worstSeverity =
+            worstCaseSeverityRaw(bank, phys_row, memo);
+        memo.flags |= kMemoWorst;
+    }
+    const double worst = memo.worstSeverity;
     if (worst <= 0.0)
         return 0.0;
 
     auto fill_of = [&](uint32_t pr) -> uint8_t {
-        auto it = rows_.find(key(bank, pr));
-        return it == rows_.end() ? uint8_t(0) : it->second.fill();
+        const RowData *rd = rows_.find(key(bank, pr));
+        return rd == nullptr ? uint8_t(0) : rd->fill();
     };
 
     const uint8_t victim_fill = fill_of(phys_row);
-    const auto neighbors = subarrays_->disturbedNeighbors(phys_row);
+    uint32_t neigh[2];
+    const uint32_t n = subarrays_->disturbedNeighbors(phys_row, neigh);
     double raw = 0.0;
-    for (uint32_t n : neighbors)
-        raw += severityRaw(bank, phys_row, victim_fill, fill_of(n));
-    if (!neighbors.empty())
-        raw /= static_cast<double>(neighbors.size());
+    for (uint32_t i = 0; i < n; ++i)
+        raw += severityRawCached(bank, phys_row, memo, victim_fill,
+                                 fill_of(neigh[i]));
+    if (n > 0)
+        raw /= static_cast<double>(n);
     const double sev = raw / worst;
     return std::clamp(sev, 0.0, 1.0);
 }
@@ -274,21 +357,22 @@ DramDevice::patternSeverity(uint32_t bank, uint32_t phys_row)
 void
 DramDevice::realize(uint32_t bank, uint32_t phys_row)
 {
-    auto it = pending_.find(key(bank, phys_row));
-    if (it == pending_.end())
+    double *slot = pending_.find(key(bank, phys_row));
+    if (slot == nullptr)
         return;
-    const double hammers = it->second;
-    pending_.erase(it);
+    const double hammers = *slot;
+    pending_.erase(key(bank, phys_row));
     if (!disturbanceEnabled_ || hammers <= 0.0)
         return;
 
     // Fast path: even at worst-case severity the row is below its
     // threshold, so the recharge wipes the disturbance with no flips.
-    const double hcf = model_->hcFirst(bank, phys_row);
+    const double hcf = memoHcFirst(bank, phys_row);
     if (hammers < hcf)
         return;
 
-    const double sev = patternSeverity(bank, phys_row);
+    ModelMemo &memo = memoRef(bank, phys_row);
+    const double sev = patternSeverity(bank, phys_row, memo);
     if (sev <= 0.0)
         return;
     const double eff = hammers * sev;
@@ -309,19 +393,33 @@ DramDevice::realize(uint32_t bank, uint32_t phys_row)
     // guarantees at least one flipped bit by definition.
     uint64_t n_flips = 1 + rng_.binomial(bits - 1, p);
 
+    const double tf = memo.trueCellFrac;
     RowData &rd = rowRef(bank, phys_row);
-    const double tf = model_->trueCellFraction(bank, phys_row);
+    // Per-bit orientation hash = hashSeed({seed, bank, row, bit, tag});
+    // the (seed, bank, row) prefix is loop-invariant, so fold it once
+    // (HashStream's fold is hashSeed's fold) and finish with the two
+    // per-attempt words inside the loop.
+    HashStream orientation_prefix;
+    orientation_prefix.mix(spec_.seed).mix(bank).mix(phys_row);
     uint64_t applied = 0;
     for (uint64_t i = 0; i < n_flips; ++i) {
         // Flip a charged cell: stored value must match orientation.
-        for (int attempt = 0; attempt < 8; ++attempt) {
+        // The first flip must land (see above: crossing the threshold
+        // implies a flipped bit), so its placement retries until a
+        // charged cell is hit — with tf in (0.35, 0.65) each attempt
+        // succeeds with >= ~35% probability, so the 256-attempt bound
+        // is unreachable in practice (~1e-50); it exists so a
+        // pathological model cannot hang the device. Subsequent flips
+        // keep the short rejection loop: dropping one of many draws
+        // only dents the flip count, which is noise-dominated anyway.
+        const int max_attempts = (i == 0) ? 256 : 8;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
             const uint32_t bit = static_cast<uint32_t>(rng_.below(bits));
-            uint64_t oh = hashSeed({spec_.seed, bank, phys_row, bit,
-                                    0x0B17ULL});
+            HashStream oh = orientation_prefix;
+            oh.mix(bit).mix(0x0B17ULL);
             const bool true_cell =
-                (oh >> 11) * (1.0 / 9007199254740992.0) < tf;
-            if (rd.bitAt(bit) == true_cell) {
-                rd.flipBit(bit);
+                (oh.value() >> 11) * (1.0 / 9007199254740992.0) < tf;
+            if (rd.flipBitIf(bit, true_cell)) {
                 ++applied;
                 break;
             }

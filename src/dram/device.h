@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/rng.h"
 #include "dram/disturbance.h"
 #include "dram/module_spec.h"
@@ -147,6 +147,17 @@ class DramDevice
     const DeviceStats &stats() const { return stats_; }
     const TimingParams &timing() const { return timing_; }
 
+    /** Shared handles, for spawning sibling devices of the same module
+     *  (the characterizer's per-row isolated workspaces). */
+    std::shared_ptr<const SubarrayMap> subarraysShared() const
+    {
+        return subarrays_;
+    }
+    std::shared_ptr<const DisturbanceModel> modelShared() const
+    {
+        return model_;
+    }
+
     /** Open row of a bank, if any (logical address). */
     std::optional<uint32_t> openRow(uint32_t bank) const;
 
@@ -155,6 +166,7 @@ class DramDevice
 
     /** Disable/enable disturbance injection (interference control). */
     void setDisturbanceEnabled(bool on) { disturbanceEnabled_ = on; }
+    bool disturbanceEnabled() const { return disturbanceEnabled_; }
 
   private:
     struct BankState
@@ -173,6 +185,30 @@ class DramDevice
     RowData &rowRef(uint32_t bank, uint32_t phys_row);
 
     /**
+     * Lazily-memoized per-row model quantities. The disturbance model
+     * derives each from seeded hashes (exp/log/trig per query), and
+     * realize() needs the same values for every ACT of a row during a
+     * hammer sweep — so the device caches them per (bank, phys row) in
+     * a flat table the first time each row is touched.
+     */
+    struct ModelMemo
+    {
+        double hcFirst = 0.0;
+        double trueCellFrac = 0.0;
+        double sameCoupling = 0.0;
+        double worstSeverity = 0.0;
+        Tick actWeightTon = -1;   ///< on-time the cached weight is for
+        double actWeight = 0.0;
+        uint32_t sevFills = ~0u;  ///< (victim<<8|aggr) fills of sevRaw
+        double sevRaw = 0.0;
+        uint8_t flags = 0;
+    };
+
+    ModelMemo &memoRef(uint32_t bank, uint32_t phys_row);
+    double memoHcFirst(uint32_t bank, uint32_t phys_row);
+    double memoActWeight(uint32_t bank, uint32_t phys_row, Tick t_on);
+
+    /**
      * Apply any pending disturbance to a physical row's stored data
      * (called when the row's charge is restored: ACT or REF of that
      * row) and reset its accumulator.
@@ -180,13 +216,23 @@ class DramDevice
     void realize(uint32_t bank, uint32_t phys_row);
 
     /** Severity in (0,1] of the current data pattern around a victim. */
-    double patternSeverity(uint32_t bank, uint32_t phys_row);
+    double patternSeverity(uint32_t bank, uint32_t phys_row,
+                           ModelMemo &memo);
+
+    /** severityRaw with a one-entry per-row (fills -> value) cache:
+     *  a hammer sweep realizes its victim with the same data pattern
+     *  over and over, so the repeat lookup skips the jitter RNG. */
+    double severityRawCached(uint32_t bank, uint32_t phys_row,
+                             ModelMemo &memo, uint8_t victim_fill,
+                             uint8_t aggr_fill);
 
     /** Worst-case severity over the canonical pattern set (Table 2). */
-    double worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row);
+    double worstCaseSeverityRaw(uint32_t bank, uint32_t phys_row,
+                                const ModelMemo &memo);
 
     double severityRaw(uint32_t bank, uint32_t phys_row,
-                       uint8_t victim_fill, uint8_t aggr_fill);
+                       const ModelMemo &memo, uint8_t victim_fill,
+                       uint8_t aggr_fill);
 
     const ModuleSpec &spec_;
     std::shared_ptr<const SubarrayMap> subarrays_;
@@ -197,8 +243,10 @@ class DramDevice
     bool disturbanceEnabled_ = true;
 
     std::vector<BankState> bankState_;
-    std::unordered_map<uint64_t, RowData> rows_;
-    std::unordered_map<uint64_t, double> pending_;
+    FlatTable<RowData> rows_;
+    FlatTable<double> pending_;
+    FlatTable<ModelMemo> memo_;
+    std::vector<uint64_t> refreshKeys_; ///< reused refreshAllRows buffer
     DeviceStats stats_;
 };
 

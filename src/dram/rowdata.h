@@ -3,23 +3,35 @@
  * Sparse content store for a DRAM row. Characterization initializes
  * whole rows to repeating data-pattern bytes (Table 2) and then counts
  * bit errors, so a row is represented as a fill byte plus an exception
- * map for the few bytes that differ (bitflips, partial writes). This
+ * store for the places that differ (bitflips, partial writes). This
  * keeps a 128K-row x 8KB bank affordable while staying bit-exact.
+ *
+ * Exceptions are kept at uint64 *word* granularity as XOR-deltas
+ * against the repeating fill word in a flat open-addressing table
+ * (`FlatTable<uint64_t>`, word index -> delta). A delta of zero means
+ * "equals the fill", which is exactly the table's default value, so
+ * probes and inserts share one code path; bit flips are a single XOR
+ * on the delta, and mismatchedBits() is popcount-batched over the
+ * handful of delta words instead of walking a per-byte map.
  */
 #ifndef SVARD_DRAM_ROWDATA_H
 #define SVARD_DRAM_ROWDATA_H
 
 #include <bit>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_table.h"
 
 namespace svard::dram {
 
-/** Content of one DRAM row: fill byte + sparse byte exceptions. */
+/** Content of one DRAM row: fill byte + sparse word-level exceptions. */
 class RowData
 {
   public:
+    /** Empty placeholder (what a FlatTable slot default-constructs). */
+    RowData() = default;
+
     explicit RowData(uint32_t bytes, uint8_t fill = 0x00)
         : bytes_(bytes), fill_(fill)
     {}
@@ -33,64 +45,122 @@ class RowData
     setFill(uint8_t fill)
     {
         fill_ = fill;
-        exceptions_.clear();
+        deltas_.clear();
     }
 
     uint8_t
     readByte(uint32_t index) const
     {
-        auto it = exceptions_.find(index);
-        return it == exceptions_.end() ? fill_ : it->second;
+        const uint64_t *d = deltas_.find(index >> 3);
+        if (d == nullptr)
+            return fill_;
+        return fill_ ^ static_cast<uint8_t>(*d >> ((index & 7) * 8));
     }
 
     void
     writeByte(uint32_t index, uint8_t value)
     {
-        if (value == fill_)
-            exceptions_.erase(index);
-        else
-            exceptions_[index] = value;
+        const int shift = static_cast<int>(index & 7) * 8;
+        const uint64_t byte_mask = 0xFFull << shift;
+        const uint64_t delta_byte =
+            static_cast<uint64_t>(uint8_t(value ^ fill_)) << shift;
+        uint64_t &d = deltas_.refOrInsert(index >> 3);
+        d = (d & ~byte_mask) | delta_byte;
+        if (d == 0)
+            deltas_.erase(index >> 3);
     }
 
     bool
     bitAt(uint32_t bit_index) const
     {
-        return (readByte(bit_index >> 3) >> (bit_index & 7)) & 1;
+        const uint64_t *d = deltas_.find(bit_index >> 6);
+        const uint64_t word =
+            fillWord() ^ (d == nullptr ? uint64_t(0) : *d);
+        return (word >> (bit_index & 63)) & 1;
     }
 
     void
     flipBit(uint32_t bit_index)
     {
-        const uint32_t byte = bit_index >> 3;
-        writeByte(byte, readByte(byte) ^ (1u << (bit_index & 7)));
+        uint64_t &d = deltas_.refOrInsert(bit_index >> 6);
+        d ^= uint64_t(1) << (bit_index & 63);
+        if (d == 0)
+            deltas_.erase(bit_index >> 6);
+    }
+
+    /**
+     * Flip the bit only if it currently stores `expected`; returns
+     * whether it flipped. One table probe instead of the bitAt +
+     * flipBit pair the fault-injection loop would otherwise do.
+     */
+    bool
+    flipBitIf(uint32_t bit_index, bool expected)
+    {
+        const uint64_t mask = uint64_t(1) << (bit_index & 63);
+        uint64_t *d = deltas_.find(bit_index >> 6);
+        const uint64_t delta = d == nullptr ? 0 : *d;
+        const bool bit = ((fillWord() ^ delta) & mask) != 0;
+        if (bit != expected)
+            return false;
+        if (d == nullptr) {
+            deltas_.refOrInsert(bit_index >> 6) = mask;
+        } else {
+            *d ^= mask;
+            if (*d == 0)
+                deltas_.erase(bit_index >> 6);
+        }
+        return true;
     }
 
     /** Number of bits that differ from a repeating expected fill byte. */
     uint64_t
     mismatchedBits(uint8_t expected_fill) const
     {
-        uint64_t count = 0;
-        if (fill_ != expected_fill) {
-            // All non-exception bytes mismatch in popcount(fill ^ exp).
-            count += static_cast<uint64_t>(
-                         std::popcount(uint8_t(fill_ ^ expected_fill))) *
-                     (bytes_ - exceptions_.size());
-        }
-        for (const auto &[idx, val] : exceptions_)
-            count += std::popcount(uint8_t(val ^ expected_fill));
+        // Whole-word popcounts: every word mismatches in
+        // popcount(base ^ delta) bits, where base = fill ^ expected
+        // repeated and delta is zero outside the exception store. The
+        // final word of a non-multiple-of-8 row is masked to length.
+        const uint64_t base =
+            fillWord() ^ repeatByte(expected_fill);
+        const uint32_t n_words = numWords();
+        const uint64_t tail = tailMask();
+        uint64_t count =
+            static_cast<uint64_t>(std::popcount(base)) *
+            (n_words - (tail == ~uint64_t(0) ? 0 : 1));
+        if (tail != ~uint64_t(0))
+            count += std::popcount(base & tail);
+        deltas_.forEach([&](uint64_t w, const uint64_t &d) {
+            const uint64_t m =
+                (w + 1 == n_words) ? tail : ~uint64_t(0);
+            count += std::popcount((base ^ d) & m);
+            count -= std::popcount(base & m);
+        });
         return count;
     }
 
     /** Number of bytes currently differing from the fill byte. */
-    size_t exceptionCount() const { return exceptions_.size(); }
+    size_t
+    exceptionCount() const
+    {
+        size_t bytes = 0;
+        deltas_.forEach([&](uint64_t, const uint64_t &d) {
+            for (int b = 0; b < 8; ++b)
+                if ((d >> (b * 8)) & 0xFF)
+                    ++bytes;
+        });
+        return bytes;
+    }
 
     /** Copy full content into a byte vector (tests, RowClone). */
     std::vector<uint8_t>
     toBytes() const
     {
         std::vector<uint8_t> out(bytes_, fill_);
-        for (const auto &[idx, val] : exceptions_)
-            out[idx] = val;
+        deltas_.forEach([&](uint64_t w, const uint64_t &d) {
+            const uint32_t base = static_cast<uint32_t>(w) * 8;
+            for (uint32_t b = 0; b < 8 && base + b < bytes_; ++b)
+                out[base + b] ^= static_cast<uint8_t>(d >> (b * 8));
+        });
         return out;
     }
 
@@ -106,9 +176,28 @@ class RowData
     }
 
   private:
-    uint32_t bytes_;
-    uint8_t fill_;
-    std::unordered_map<uint32_t, uint8_t> exceptions_;
+    static uint64_t
+    repeatByte(uint8_t b)
+    {
+        return uint64_t(b) * 0x0101010101010101ULL;
+    }
+
+    uint64_t fillWord() const { return repeatByte(fill_); }
+
+    uint32_t numWords() const { return (bytes_ + 7) / 8; }
+
+    /** Valid-bit mask of the final word (all-ones for full words). */
+    uint64_t
+    tailMask() const
+    {
+        const uint32_t rem = bytes_ & 7;
+        return rem == 0 ? ~uint64_t(0)
+                        : (uint64_t(1) << (rem * 8)) - 1;
+    }
+
+    uint32_t bytes_ = 0;
+    uint8_t fill_ = 0;
+    FlatTable<uint64_t> deltas_{16};
 };
 
 } // namespace svard::dram

@@ -55,13 +55,21 @@ SubarrayMap::sameSubarray(uint32_t row_a, uint32_t row_b) const
 std::vector<uint32_t>
 SubarrayMap::disturbedNeighbors(uint32_t phys_row) const
 {
+    uint32_t buf[2];
+    const uint32_t n = disturbedNeighbors(phys_row, buf);
+    return std::vector<uint32_t>(buf, buf + n);
+}
+
+uint32_t
+SubarrayMap::disturbedNeighbors(uint32_t phys_row, uint32_t out[2]) const
+{
     const SubarrayLocation loc = locate(phys_row);
-    std::vector<uint32_t> out;
+    uint32_t n = 0;
     if (!loc.isLowEdge())
-        out.push_back(phys_row - 1);
+        out[n++] = phys_row - 1;
     if (!loc.isHighEdge())
-        out.push_back(phys_row + 1);
-    return out;
+        out[n++] = phys_row + 1;
+    return n;
 }
 
 } // namespace svard::dram

@@ -69,6 +69,13 @@ class SubarrayMap
      */
     std::vector<uint32_t> disturbedNeighbors(uint32_t phys_row) const;
 
+    /**
+     * Allocation-free variant for per-activation hot paths: writes the
+     * neighbors into `out` and returns how many there are (0..2).
+     */
+    uint32_t disturbedNeighbors(uint32_t phys_row,
+                                uint32_t out[2]) const;
+
   private:
     uint32_t rows_;
     std::vector<uint32_t> sizes_;

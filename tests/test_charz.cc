@@ -139,6 +139,77 @@ TEST(Characterizer, BuildProfileInterpolatesAndStaysOrdered)
     EXPECT_LT(bin_of, prof.numBins());
 }
 
+namespace {
+
+/** Field-exact RowResult comparison (doubles compared bit-for-bit). */
+void
+expectIdentical(const std::vector<RowResult> &a,
+                const std::vector<RowResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].bank, b[i].bank) << i;
+        EXPECT_EQ(a[i].logicalRow, b[i].logicalRow) << i;
+        EXPECT_EQ(a[i].physRow, b[i].physRow) << i;
+        EXPECT_EQ(a[i].relativeLocation, b[i].relativeLocation) << i;
+        EXPECT_EQ(a[i].wcdp, b[i].wcdp) << i;
+        EXPECT_EQ(a[i].ber128k, b[i].ber128k) << i;
+        EXPECT_EQ(a[i].hcFirst, b[i].hcFirst) << i;
+        EXPECT_EQ(a[i].flippedAtMaxCount, b[i].flippedAtMaxCount) << i;
+        EXPECT_EQ(a[i].numAggressors, b[i].numAggressors) << i;
+    }
+}
+
+} // anonymous namespace
+
+TEST(Characterizer, ModuleSweepBitIdenticalAcrossThreadCounts)
+{
+    // Every row runs on its own hash(seed, bank, row)-seeded
+    // workspace, so sharding rows over threads must not change a
+    // single output bit.
+    Rig rig("S3");
+    CharzOptions opt;
+    opt.rowStep = 449;
+    opt.quickWcdp = true;
+    opt.iterations = 2;
+    opt.banks = {1, 4};
+    opt.extraRows = {7};
+
+    opt.threads = 1;
+    const auto serial = rig.charz.characterizeModule(opt);
+    opt.threads = 4;
+    const auto sharded = rig.charz.characterizeModule(opt);
+    expectIdentical(serial, sharded);
+}
+
+TEST(Characterizer, RowResultsAreHistoryIndependent)
+{
+    // PR 4 moved characterization onto isolated per-row workspaces:
+    // before it, repeated measurements shared one device, so leftover
+    // pending disturbance and RNG state from earlier rows could bleed
+    // into later results (and results depended on sweep order, which
+    // no real Alg. 1 run exhibits — the paper re-initializes every
+    // tested row). This pins the new contract: a RowResult is a pure
+    // function of (module, bank, row, options).
+    Rig rig("S2");
+    CharzOptions opt;
+    opt.quickWcdp = true;
+    const auto first = rig.charz.characterizeRow(1, 300, opt);
+    rig.charz.characterizeRow(1, 301, opt); // interleaved history
+    rig.charz.characterizeRow(4, 300, opt);
+    const auto again = rig.charz.characterizeRow(1, 300, opt);
+    expectIdentical({first}, {again});
+
+    // And the bank sweep returns exactly what per-row calls return.
+    CharzOptions sweep = opt;
+    sweep.rowStep = rig.spec.rowsPerBank / 4;
+    const auto bank_results = rig.charz.characterizeBank(1, sweep);
+    for (const auto &r : bank_results) {
+        const auto lone = rig.charz.characterizeRow(1, r.logicalRow, opt);
+        expectIdentical({r}, {lone});
+    }
+}
+
 TEST(RevEng, IdentifiesRowMappingScheme)
 {
     for (const char *label : {"H0", "M0", "S0"}) {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -263,6 +264,67 @@ TEST(FlatTable, EraseInsertChurnStaysConsistentAcrossRehashes)
     }
     for (uint64_t k = 2000; k < 2020; ++k)
         EXPECT_EQ(*t.find(k), static_cast<uint32_t>(k));
+}
+
+TEST(HashStream, WordFoldsMatchHashSeed)
+{
+    // The device's fault-injection loop folds the loop-invariant
+    // (seed, bank, row) prefix of its per-bit orientation hash once
+    // and finishes it per attempt — valid only while HashStream's
+    // fold IS hashSeed's fold. Pin that equivalence.
+    const uint64_t parts[] = {0xC0FFEE, 3, 77777, 129, 0x0B17};
+    HashStream h;
+    for (uint64_t p : parts)
+        h.mix(p);
+    EXPECT_EQ(h.value(),
+              hashSeed({0xC0FFEEULL, 3ULL, 77777ULL, 129ULL, 0x0B17ULL}));
+
+    HashStream prefix;
+    prefix.mix(uint64_t(0xC0FFEE)).mix(uint32_t(3)).mix(uint32_t(77777));
+    HashStream resumed = prefix;
+    resumed.mix(uint32_t(129)).mix(0x0B17ULL);
+    EXPECT_EQ(resumed.value(), h.value());
+}
+
+TEST(FlatTable, EmptyTableAllocatesNothingUntilFirstInsert)
+{
+    // RowData embeds a FlatTable per DRAM row; an untouched row must
+    // cost no slot-array allocation.
+    FlatTable<uint64_t> t(64);
+    EXPECT_EQ(t.capacity(), 0u);
+    EXPECT_EQ(t.find(42), nullptr);
+    EXPECT_FALSE(t.erase(42));
+    t.clear(); // clear of a never-allocated table is a no-op
+    EXPECT_EQ(t.capacity(), 0u);
+    t.refOrInsert(42) = 7;
+    EXPECT_EQ(t.capacity(), 64u);
+    EXPECT_EQ(*t.find(42), 7u);
+}
+
+TEST(FlatTable, ForEachVisitsExactlyTheLiveEntries)
+{
+    FlatTable<uint32_t> t(16);
+    for (uint64_t k = 0; k < 300; ++k)
+        t.refOrInsert(k) = static_cast<uint32_t>(k * 3);
+    EXPECT_TRUE(t.erase(7));
+    EXPECT_TRUE(t.erase(250));
+    std::map<uint64_t, uint32_t> seen;
+    t.forEach([&](uint64_t k, const uint32_t &v) {
+        EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate " << k;
+    });
+    EXPECT_EQ(seen.size(), t.size());
+    for (uint64_t k = 0; k < 300; ++k) {
+        if (k == 7 || k == 250) {
+            EXPECT_FALSE(seen.count(k));
+        } else {
+            ASSERT_TRUE(seen.count(k)) << k;
+            EXPECT_EQ(seen[k], static_cast<uint32_t>(k * 3));
+        }
+    }
+    t.clear();
+    size_t visited = 0;
+    t.forEach([&](uint64_t, const uint32_t &) { ++visited; });
+    EXPECT_EQ(visited, 0u);
 }
 
 // -----------------------------------------------------------------

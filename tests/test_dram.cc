@@ -6,9 +6,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <memory>
 #include <set>
 
+#include "common/rng.h"
 #include "dram/device.h"
 #include "dram/module_spec.h"
 #include "dram/rowdata.h"
@@ -197,6 +200,112 @@ TEST(RowData, BitAccess)
     EXPECT_TRUE(rd.bitAt(17));
     rd.flipBit(17);
     EXPECT_FALSE(rd.bitAt(17));
+}
+
+/**
+ * Dense byte-vector oracle for RowData: every operation applied to
+ * both, every observable compared. Guards the word-level (uint64)
+ * exception store against off-by-one/masking bugs, including rows
+ * whose byte count is not a multiple of the word size.
+ */
+class RowDataOracle
+{
+  public:
+    RowDataOracle(uint32_t bytes, uint8_t fill)
+        : rd_(bytes, fill), dense_(bytes, fill)
+    {}
+
+    void
+    setFill(uint8_t fill)
+    {
+        rd_.setFill(fill);
+        std::fill(dense_.begin(), dense_.end(), fill);
+    }
+
+    void
+    writeByte(uint32_t i, uint8_t v)
+    {
+        rd_.writeByte(i, v);
+        dense_[i] = v;
+    }
+
+    void
+    flipBit(uint32_t bit)
+    {
+        rd_.flipBit(bit);
+        dense_[bit >> 3] ^= uint8_t(1u << (bit & 7));
+    }
+
+    void
+    check(uint8_t expected_fill) const
+    {
+        uint64_t mismatched = 0;
+        size_t exceptions = 0;
+        const uint8_t fill = rd_.fill();
+        for (uint32_t i = 0; i < dense_.size(); ++i) {
+            ASSERT_EQ(rd_.readByte(i), dense_[i]) << "byte " << i;
+            mismatched += std::popcount(
+                uint8_t(dense_[i] ^ expected_fill));
+            if (dense_[i] != fill)
+                ++exceptions;
+        }
+        for (uint32_t b = 0; b < dense_.size() * 8; b += 3)
+            ASSERT_EQ(rd_.bitAt(b),
+                      bool((dense_[b >> 3] >> (b & 7)) & 1))
+                << "bit " << b;
+        EXPECT_EQ(rd_.mismatchedBits(expected_fill), mismatched);
+        EXPECT_EQ(rd_.exceptionCount(), exceptions);
+        EXPECT_EQ(rd_.toBytes(), dense_);
+    }
+
+  private:
+    RowData rd_;
+    std::vector<uint8_t> dense_;
+};
+
+TEST(RowData, WordStoreMatchesDenseOracleUnderRandomOps)
+{
+    // 20 and 131 exercise partial tail words; 64 and 8192 full words.
+    for (uint32_t bytes : {20u, 64u, 131u, 8192u}) {
+        RowDataOracle o(bytes, 0xAA);
+        Rng rng(hashSeed({0x20DA7A, bytes}));
+        uint8_t fill = 0xAA;
+        for (int op = 0; op < 4000; ++op) {
+            switch (rng.below(20)) {
+              case 0: // occasional refill (pattern re-init)
+                fill = static_cast<uint8_t>(rng.below(256));
+                o.setFill(fill);
+                break;
+              case 1:
+              case 2:
+                o.writeByte(static_cast<uint32_t>(rng.below(bytes)),
+                            static_cast<uint8_t>(rng.below(256)));
+                break;
+              default: // bit flips dominate, as in fault injection
+                o.flipBit(
+                    static_cast<uint32_t>(rng.below(bytes * 8)));
+                break;
+            }
+        }
+        o.check(fill);
+        o.check(0x00);
+        o.check(0xFF);
+        o.check(uint8_t(fill ^ 0x55));
+    }
+}
+
+TEST(RowData, FlipBitIfOnlyFlipsMatchingBits)
+{
+    RowData rd(32, 0x00);
+    EXPECT_FALSE(rd.flipBitIf(100, true));  // bit holds 0
+    EXPECT_FALSE(rd.bitAt(100));
+    EXPECT_TRUE(rd.flipBitIf(100, false));  // 0 -> 1
+    EXPECT_TRUE(rd.bitAt(100));
+    EXPECT_FALSE(rd.flipBitIf(100, false)); // now holds 1
+    EXPECT_TRUE(rd.flipBitIf(100, true));   // 1 -> back to 0
+    EXPECT_FALSE(rd.bitAt(100));
+    EXPECT_EQ(rd.mismatchedBits(0x00), 0u);
+    EXPECT_EQ(rd.exceptionCount(), 0u);
 }
 
 // ---------------------------------------------------------------
