@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "io/async_sink.h"
 #include "io/result_sink.h"
 #include "io/sweep_cache.h"
+#include "sim/presets.h"
 
 namespace svard::bench {
 
@@ -86,6 +88,61 @@ envStr(const char *name, const std::string &fallback)
 {
     const char *raw = std::getenv(name);
     return raw && *raw ? raw : fallback;
+}
+
+/**
+ * SVARD_GEOMETRY: comma-separated geometry preset names
+ * (sim/presets.h — "ddr4-table4", "ddr5-4800-32bank",
+ * "hbm2-pc-16ch"). Empty means the default Table 4 system. Unknown
+ * names die with the known list — a typo must not silently sweep the
+ * default geometry.
+ */
+inline std::vector<std::string>
+geometryEnv()
+{
+    const std::string raw = envStr("SVARD_GEOMETRY", "");
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start < raw.size()) {
+        size_t at = raw.find(',', start);
+        if (at == std::string::npos)
+            at = raw.size();
+        std::string name = raw.substr(start, at - start);
+        // Accept the natural "a, b" spelling.
+        while (!name.empty() && name.front() == ' ')
+            name.erase(name.begin());
+        while (!name.empty() && name.back() == ' ')
+            name.pop_back();
+        if (!name.empty()) {
+            try {
+                // presets::get is the one validator; its message
+                // already lists the known names.
+                (void)sim::presets::get(name);
+            } catch (const std::invalid_argument &e) {
+                SVARD_FATAL(std::string("SVARD_GEOMETRY: ") +
+                            e.what());
+            }
+            out.push_back(std::move(name));
+        }
+        start = at + 1;
+    }
+    return out;
+}
+
+/** Single-geometry variant (fig13, perf_smoke): the config of the
+ *  named preset, or `fallback` when SVARD_GEOMETRY is unset. Dies if
+ *  more than one preset is named. */
+inline sim::SimConfig
+geometryEnvConfig(const sim::SimConfig &fallback)
+{
+    const auto names = geometryEnv();
+    if (names.empty())
+        return fallback;
+    if (names.size() > 1)
+        SVARD_FATAL("SVARD_GEOMETRY: this bench runs one geometry "
+                    "at a time (got \"" +
+                    envStr("SVARD_GEOMETRY", "") + "\")");
+    return sim::presets::get(names[0]);
 }
 
 /**

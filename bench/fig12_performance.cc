@@ -21,7 +21,10 @@
  * SVARD_FULL=1), SVARD_REQS requests per core (default 6000),
  * SVARD_THREADS worker threads (default: hardware concurrency),
  * SVARD_TINY=1 shrinks the grid to {PARA, Hydra} x {1K, 128} x
- * {NoSvard, Svard-S0} for smoke tests and the CI cache check.
+ * {NoSvard, Svard-S0} for smoke tests and the CI cache check,
+ * SVARD_GEOMETRY a comma-separated list of geometry presets
+ * (sim/presets.h) swept as the grid's geometry axis — each preset's
+ * name lands in the sink's geometry column and cache fingerprints.
  * Expected shape: overheads grow as HC_first shrinks; ordering
  * Hydra < AQUA < PARA < RRS < BlockHammer; every Svärd configuration
  * is at or above No-Svärd, with S0's profile best.
@@ -66,6 +69,7 @@ main(int argc, char **argv)
     const auto mixes = sim::workloadMixes(120, spec.config.cores);
     const size_t take = std::min<size_t>(n_mixes, mixes.size());
     spec.mixes.assign(mixes.begin(), mixes.begin() + take);
+    spec.geometryNames = geometryEnv();
 
     spec.sink = sio.sink;
     spec.cache = sio.cache;
@@ -83,11 +87,13 @@ main(int argc, char **argv)
     Table t("Fig. 12: defense performance with and without Svärd "
             "(normalized to no-defense baseline, mean over " +
                 std::to_string(take) + " mixes)",
-            {"Defense", "HCfirst", "Config", "WeightedSpeedup",
-             "HarmonicSpeedup", "MaxSlowdown"});
+            {"Geometry", "Defense", "HCfirst", "Config",
+             "WeightedSpeedup", "HarmonicSpeedup", "MaxSlowdown"});
 
+    const auto &geoms = runner.geometries();
     for (const auto &row : runner.summarize())
-        t.addRow({row.defense, Table::fmtHc(int64_t(row.threshold)),
+        t.addRow({geoms[row.geom].geometry, row.defense,
+                  Table::fmtHc(int64_t(row.threshold)),
                   row.provider,
                   Table::fmt(row.meanNormalized.weightedSpeedup, 4),
                   Table::fmt(row.meanNormalized.harmonicSpeedup, 4),

@@ -29,6 +29,9 @@ main(int argc, char **argv)
     const SweepIo sio = parseSweepIo(argc, argv);
 
     engine::AdversarialSpec adv;
+    // SVARD_GEOMETRY runs the adversarial grid on a named preset
+    // (one at a time; the default is the paper's Table 4 system).
+    adv.config = geometryEnvConfig(adv.config);
     adv.threshold = 64.0;
     adv.requestsPerCore =
         static_cast<size_t>(envInt("SVARD_REQS", 6000));
@@ -37,18 +40,22 @@ main(int argc, char **argv)
     adv.cache = sio.cache;
     const size_t requests = adv.requestsPerCore;
 
+    // Traces are generated for the geometry under attack: the row
+    // stride that keeps bank bits fixed depends on the MOP layout,
+    // so a Table-4 trace would stop being adversarial on a preset.
     adv.cases.push_back(
         {"Hydra-thrash", "hydra",
-         {sim::adversarialHydraTrace(requests, 3)}});
+         {sim::adversarialHydraTrace(requests, 3, adv.config)}});
     // The RRS attacker hammers a fixed row pair; its vulnerability bin
     // decides Svärd's headroom, so average over several target rows
     // (the expected-case attacker does not know the profile).
     adv.cases.push_back(
         {"RRS-swap", "rrs",
-         {sim::adversarialRrsTrace(requests, 3, 1537),
-          sim::adversarialRrsTrace(requests, 3, 5011),
-          sim::adversarialRrsTrace(requests, 3, 9973),
-          sim::adversarialRrsTrace(requests, 3, 20011)}});
+         {sim::adversarialRrsTrace(requests, 3, 1537, adv.config),
+          sim::adversarialRrsTrace(requests, 3, 5011, adv.config),
+          sim::adversarialRrsTrace(requests, 3, 9973, adv.config),
+          sim::adversarialRrsTrace(requests, 3, 20011,
+                                   adv.config)}});
     adv.providers = {engine::ProviderSpec::uniform(),
                      engine::ProviderSpec::svard("S0"),
                      engine::ProviderSpec::svard("M0"),

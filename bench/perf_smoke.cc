@@ -13,8 +13,9 @@
  * Knobs: SVARD_REQS (default 6000), SVARD_MIXES (default 2),
  * SVARD_THREADS (default 1 — single-threaded numbers are comparable
  * across hosts), SVARD_CHARZ_ROWS (default 256 sampled rows for the
- * charz section), SVARD_PERF_JSON or --json=PATH for the output file
- * (default ./BENCH_perf.json).
+ * charz section), SVARD_GEOMETRY (a single preset name from
+ * sim/presets.h retargeting the grid and microsim), SVARD_PERF_JSON
+ * or --json=PATH for the output file (default ./BENCH_perf.json).
  *
  * The numbers are machine-dependent; compare runs from the same host
  * only. The PR-3 rewrite measured 6.4 -> 11.7 cells/sec (~1.8x) on
@@ -71,7 +72,10 @@ main(int argc, char **argv)
         static_cast<uint32_t>(envInt("SVARD_MIXES", 2));
 
     // ---- (a) fig12 tiny grid through the experiment engine -------
+    // SVARD_GEOMETRY (one preset at a time) retargets both the grid
+    // and the microsim below, so perf points exist per geometry.
     engine::SweepSpec spec;
+    spec.config = geometryEnvConfig(spec.config);
     spec.requestsPerCore = reqs;
     spec.threads = threads;
     spec.defenses = {"para", "hydra"};
@@ -90,7 +94,7 @@ main(int argc, char **argv)
     const double cells_per_sec = cells / std::max(grid_s, 1e-9);
 
     // ---- (b) single-cell microsim (controller inner loop) --------
-    sim::SimConfig cfg;
+    const sim::SimConfig cfg = geometryEnvConfig(sim::SimConfig{});
     const auto &module = dram::moduleByLabel("S0");
     auto sa = std::make_shared<dram::SubarrayMap>(module);
     fault::VulnerabilityModel model(module, sa);

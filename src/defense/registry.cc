@@ -32,6 +32,14 @@ DefenseFactory
 geometryAware(Make make)
 {
     return [make](const DefenseContext &ctx) -> std::unique_ptr<Defense> {
+        // A zero bank count means the caller never derived the
+        // geometry (the old hardcoded-16 default hid exactly that
+        // for every non-Table-4 system); refuse instead of folding
+        // banks wrongly.
+        SVARD_ASSERT(ctx.banksPerRank > 0,
+                     "DefenseContext::banksPerRank is unset; derive "
+                     "it from the SimConfig (or module spec) under "
+                     "test");
         std::unique_ptr<Defense> d = make(ctx);
         if (d)
             d->setBanksPerRank(ctx.banksPerRank);

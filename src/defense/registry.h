@@ -34,9 +34,16 @@ using DefenseParams = std::map<std::string, double>;
 /** Everything a defense factory needs to stand up an instance. */
 struct DefenseContext
 {
+    /**
+     * Bare construction: `banks_per_rank` MUST be set to the
+     * simulated geometry's bank count before the context reaches a
+     * factory (the registry asserts it). The old hardcoded default of
+     * 16 silently mis-folded banks for every non-Table-4 geometry;
+     * prefer the SimConfig overload below, which derives it.
+     */
     explicit DefenseContext(
         std::shared_ptr<const core::ThresholdProvider> thr,
-        uint64_t rng_seed = 1, uint32_t banks_per_rank = 16)
+        uint64_t rng_seed = 1, uint32_t banks_per_rank = 0)
         : provider(std::move(thr)), seed(rng_seed),
           banksPerRank(banks_per_rank)
     {}
@@ -64,7 +71,9 @@ struct DefenseContext
 
     std::shared_ptr<const core::ThresholdProvider> provider;
     uint64_t seed = 1;
-    uint32_t banksPerRank = 16;
+    /** Banks per rank of the simulated geometry; 0 = not yet set
+     *  (construction must fill it in before factory use). */
+    uint32_t banksPerRank = 0;
     DefenseParams params;
 };
 

@@ -14,6 +14,7 @@
 #include "fault/vuln_model.h"
 #include "io/result_sink.h"
 #include "io/sweep_cache.h"
+#include "sim/presets.h"
 
 namespace svard::engine {
 
@@ -113,6 +114,10 @@ class OrderedEmitter
 void
 hashConfig(HashStream &h, const sim::SimConfig &g)
 {
+    // The geometry label and standard are part of the cell identity:
+    // a cached DDR4 cell must never be attributed to an HBM2 or DDR5
+    // preset even if an (unlikely) field-for-field collision existed.
+    h.mix(g.geometry).mix(static_cast<uint32_t>(g.standard));
     h.mix(g.cores).mix(g.cpuGhz).mix(g.issueWidth).mix(g.instrWindow);
     h.mix(g.channels).mix(g.ranks).mix(g.bankGroups);
     h.mix(g.banksPerGroup).mix(g.rowsPerBank).mix(g.rowBytes);
@@ -165,6 +170,45 @@ validateProviderLabels(const std::vector<ProviderSpec> &providers)
     }
 }
 
+/** Organization-derived geometry label ("2ch-16b-128Kr"). */
+std::string
+derivedGeometryLabel(const sim::SimConfig &g)
+{
+    return std::to_string(g.channels) + "ch-" +
+           std::to_string(g.banksPerRank()) + "b-" +
+           std::to_string(g.rowsPerBank / 1024) + "Kr";
+}
+
+/** Does the config's DRAM system still match the preset its label
+ *  claims — organization AND timing table (a preset name promises
+ *  both; CPU-side fields are not geometry)? Hand-built geometries
+ *  start from a preset (usually the default SimConfig) and mutate
+ *  fields, which would leave two different systems reported under
+ *  one label. */
+bool
+labelMatchesOrganization(const sim::SimConfig &g)
+{
+    if (!sim::presets::contains(g.geometry))
+        return true; // custom label: the caller's to keep
+    const sim::SimConfig p = sim::presets::get(g.geometry);
+    const dram::TimingParams &a = g.timing;
+    const dram::TimingParams &b = p.timing;
+    return g.standard == p.standard && g.channels == p.channels &&
+           g.ranks == p.ranks && g.bankGroups == p.bankGroups &&
+           g.banksPerGroup == p.banksPerGroup &&
+           g.rowsPerBank == p.rowsPerBank &&
+           g.rowBytes == p.rowBytes && a.tCK == b.tCK &&
+           a.tRCD == b.tRCD && a.tRP == b.tRP && a.tRAS == b.tRAS &&
+           a.tRC == b.tRC && a.tCL == b.tCL && a.tCWL == b.tCWL &&
+           a.tBL == b.tBL && a.tCCD_S == b.tCCD_S &&
+           a.tCCD_L == b.tCCD_L && a.tRRD_S == b.tRRD_S &&
+           a.tRRD_L == b.tRRD_L && a.tFAW == b.tFAW &&
+           a.tWR == b.tWR && a.tRTP == b.tRTP &&
+           a.tWTR_S == b.tWTR_S && a.tWTR_L == b.tWTR_L &&
+           a.tRFC == b.tRFC && a.tREFI == b.tREFI &&
+           a.tREFW == b.tREFW;
+}
+
 /** Build a module's profile resampled onto a geometry. */
 std::shared_ptr<const core::VulnProfile>
 buildProfile(const std::string &label, const sim::SimConfig &cfg)
@@ -182,9 +226,21 @@ buildProfile(const std::string &label, const sim::SimConfig &cfg)
 ExperimentRunner::ExperimentRunner(SweepSpec spec)
     : spec_(std::move(spec))
 {
-    geoms_ = spec_.geometries.empty()
-                 ? std::vector<sim::SimConfig>{spec_.config}
-                 : spec_.geometries;
+    // Geometry axis: explicit configs, then named presets (resolved
+    // here so a typo throws on the caller's thread). Both empty means
+    // the base config alone.
+    geoms_ = spec_.geometries;
+    for (const auto &name : spec_.geometryNames)
+        geoms_.push_back(sim::presets::get(name));
+    if (geoms_.empty())
+        geoms_.push_back(spec_.config);
+    // A hand-built config that mutated organization fields but kept
+    // its source preset's label would report two organizations under
+    // one name; relabel those from their actual shape. (Fingerprints
+    // hash every field regardless — this is about honest columns.)
+    for (sim::SimConfig &g : geoms_)
+        if (!labelMatchesOrganization(g))
+            g.geometry = derivedGeometryLabel(g);
     // Validate names up front: a typo must throw here on the caller's
     // thread, not inside a sharded worker.
     for (const auto &name : spec_.defenses)
@@ -237,6 +293,7 @@ ExperimentRunner::resolveCellMeta(const SweepCell &c,
 {
     out->cell = c;
     out->seed = cellSeed(c);
+    out->geometry = geoms_[c.geom].geometry;
     out->defense = spec_.defenses[c.defense];
     out->threshold = spec_.thresholds[c.threshold];
     out->provider = spec_.providers[c.provider].name;
@@ -282,6 +339,7 @@ ExperimentRunner::aloneMeta(uint32_t geom, uint32_t bench) const
     CellResult r;
     r.cell = {geom, 0, 0, 0, bench};
     r.seed = hashSeed({spec_.baseSeed, geom, bench, 0xA10EULL});
+    r.geometry = geoms_[geom].geometry;
     r.defense = "none";
     r.provider = "(alone)";
     r.mix = sim::benchmarkSuite()[bench].name;
@@ -307,6 +365,7 @@ ExperimentRunner::mixBaseMeta(uint32_t geom, uint32_t mix) const
     // Keep the seed the baseline *run* already used, so cached and
     // freshly-simulated baselines are bit-identical by construction.
     r.seed = cellSeed(base);
+    r.geometry = geoms_[geom].geometry;
     r.defense = "none";
     r.provider = "(baseline)";
     r.mix = m.name;
@@ -611,14 +670,11 @@ ExperimentRunner::cellTable()
              "Params", "WS", "HS", "MaxSd", "NormWS", "NormHS",
              "NormMaxSd"});
     for (const auto &r : results_) {
-        const sim::SimConfig &g = geoms_[r.cell.geom];
         std::string params;
         for (const auto &[name, value] : r.params)
             params += (params.empty() ? "" : "|") + name + "=" +
                       Table::fmt(value, 3);
-        t.addRow({std::to_string(g.channels) + "ch-" +
-                      std::to_string(g.banksPerRank()) + "b-" +
-                      std::to_string(g.rowsPerBank / 1024) + "Kr",
+        t.addRow({r.geometry,
                   r.defense, Table::fmtHc(int64_t(r.threshold)),
                   r.provider, r.mix, params.empty() ? "-" : params,
                   Table::fmt(r.metrics.weightedSpeedup, 4),
@@ -697,6 +753,7 @@ runAdversarialSweep(const AdversarialSpec &adv,
         CellResult r;
         r.cell = {0, c, 0, 0, t};
         r.seed = hashSeed({adv.baseSeed, c, t, 0xADF0ULL});
+        r.geometry = cfg.geometry;
         r.defense = "none";
         r.provider = "(reference)";
         r.mix = adv.cases[c].name + "#" + std::to_string(t);
@@ -740,6 +797,7 @@ runAdversarialSweep(const AdversarialSpec &adv,
         out.cell = {0, cell.c, 0, cell.p, cell.t};
         out.seed = hashSeed(
             {adv.baseSeed, cell.c, cell.p, cell.t, 0xADF1ULL});
+        out.geometry = cfg.geometry;
         out.defense = adv.cases[cell.c].defense;
         out.threshold = adv.threshold;
         out.provider = prov.name;
@@ -792,6 +850,7 @@ runAdversarialSweep(const AdversarialSpec &adv,
             CellResult meta;
             meta.cell = {0, 0, 0, 0, b};
             meta.seed = hashSeed({adv.baseSeed, b, 0xA10FULL});
+            meta.geometry = cfg.geometry;
             meta.defense = "none";
             meta.provider = "(alone)";
             meta.mix = suite[b].name;

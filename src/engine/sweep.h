@@ -63,10 +63,21 @@ struct SweepSpec
     sim::SimConfig config;
 
     /**
-     * Optional geometry axis. Empty means {config}; otherwise every
-     * entry is swept as its own (channels/ranks/banks/rows) system.
+     * Optional geometry axis. Every entry is swept as its own
+     * (channels/ranks/banks/rows) system; each entry's `geometry`
+     * label lands in the sink's geometry column and in cache
+     * fingerprints. When both this and `geometryNames` are empty the
+     * axis defaults to {config}.
      */
     std::vector<sim::SimConfig> geometries;
+
+    /**
+     * Geometry axis by preset name (sim/presets.h): resolved through
+     * sim::presets::get and appended after `geometries`. Unknown
+     * names throw std::invalid_argument at construction — a typoed
+     * preset must never silently sweep the default system.
+     */
+    std::vector<std::string> geometryNames;
 
     std::vector<std::string> defenses;  ///< registry names; "none" ok
     std::vector<double> thresholds;     ///< worst-case HC_first sweep
@@ -128,6 +139,7 @@ struct CellResult
     SweepCell cell;
     uint64_t seed = 0;          ///< deterministic per-cell seed
     uint64_t fingerprint = 0;   ///< hash of the cell's resolved inputs
+    std::string geometry;       ///< geometry label (preset name)
     std::string defense;        ///< resolved axis values for reporting
     double threshold = 0.0;
     std::string provider;

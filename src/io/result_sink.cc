@@ -14,10 +14,12 @@ namespace svard::io {
 
 namespace {
 
-/** Record framing magic ("SVC2" on disk). v2 fixed the on-disk
+/** Record framing magic ("SVC3" on disk). v2 fixed the on-disk
  *  convention to little-endian regardless of host (v1 records were
- *  host-endian and are treated as a torn tail on load). */
-constexpr uint32_t kRecordMagic = 0x32435653u;
+ *  host-endian); v3 added the geometry label to every record so
+ *  multi-geometry sweeps are attributable. Older records are treated
+ *  as a torn tail on load. */
+constexpr uint32_t kRecordMagic = 0x33435653u;
 /** Defensive cap: no serialized cell is remotely this large. */
 constexpr uint32_t kMaxPayload = 1u << 20;
 
@@ -237,9 +239,9 @@ formatParams(
 const char *
 CsvSink::header()
 {
-    return "coords,seed,fingerprint,defense,threshold,provider,mix,"
-           "weighted_speedup,harmonic_speedup,max_slowdown,"
-           "norm_weighted_speedup,norm_harmonic_speedup,"
+    return "coords,seed,fingerprint,geometry,defense,threshold,"
+           "provider,mix,weighted_speedup,harmonic_speedup,"
+           "max_slowdown,norm_weighted_speedup,norm_harmonic_speedup,"
            "norm_max_slowdown,params";
 }
 
@@ -259,14 +261,16 @@ CsvSink::~CsvSink()
 void
 CsvSink::write(const engine::CellResult &r)
 {
+    checkFieldClean(r.geometry);
     checkFieldClean(r.defense);
     checkFieldClean(r.provider);
     checkFieldClean(r.mix);
     const int n = std::fprintf(
         file_, "%u.%u.%u.%u.%u,%" PRIu64 ",%" PRIu64 ",%s,%s,%s,%s,"
-               "%s,%s,%s,%s,%s,%s,%s\n",
+               "%s,%s,%s,%s,%s,%s,%s,%s\n",
         r.cell.geom, r.cell.defense, r.cell.threshold, r.cell.provider,
-        r.cell.mix, r.seed, r.fingerprint, r.defense.c_str(),
+        r.cell.mix, r.seed, r.fingerprint, r.geometry.c_str(),
+        r.defense.c_str(),
         formatDouble(r.threshold).c_str(), r.provider.c_str(),
         r.mix.c_str(), formatDouble(r.metrics.weightedSpeedup).c_str(),
         formatDouble(r.metrics.harmonicSpeedup).c_str(),
@@ -309,7 +313,7 @@ readCsvResults(const std::string &path)
         if (s.empty())
             continue;
         const auto fields = splitOn(s, ',');
-        if (fields.size() != 14)
+        if (fields.size() != 15)
             throw std::runtime_error("malformed CSV row in \"" + path +
                                      "\": " + s);
         engine::CellResult r;
@@ -321,18 +325,19 @@ readCsvResults(const std::string &path)
                                      "\": " + fields[0]);
         r.seed = parseU64(fields[1]);
         r.fingerprint = parseU64(fields[2]);
-        r.defense = fields[3];
-        r.threshold = parseDouble(fields[4]);
-        r.provider = fields[5];
-        r.mix = fields[6];
-        r.metrics.weightedSpeedup = parseDouble(fields[7]);
-        r.metrics.harmonicSpeedup = parseDouble(fields[8]);
-        r.metrics.maxSlowdown = parseDouble(fields[9]);
-        r.normalized.weightedSpeedup = parseDouble(fields[10]);
-        r.normalized.harmonicSpeedup = parseDouble(fields[11]);
-        r.normalized.maxSlowdown = parseDouble(fields[12]);
-        if (!fields[13].empty())
-            for (const auto &kv : splitOn(fields[13], '|')) {
+        r.geometry = fields[3];
+        r.defense = fields[4];
+        r.threshold = parseDouble(fields[5]);
+        r.provider = fields[6];
+        r.mix = fields[7];
+        r.metrics.weightedSpeedup = parseDouble(fields[8]);
+        r.metrics.harmonicSpeedup = parseDouble(fields[9]);
+        r.metrics.maxSlowdown = parseDouble(fields[10]);
+        r.normalized.weightedSpeedup = parseDouble(fields[11]);
+        r.normalized.harmonicSpeedup = parseDouble(fields[12]);
+        r.normalized.maxSlowdown = parseDouble(fields[13]);
+        if (!fields[14].empty())
+            for (const auto &kv : splitOn(fields[14], '|')) {
                 const size_t eq = kv.find('=');
                 if (eq == std::string::npos)
                     throw std::runtime_error("malformed params in \"" +
@@ -374,12 +379,14 @@ JsonlSink::write(const engine::CellResult &r)
         file_,
         "{\"coords\":[%u,%u,%u,%u,%u],\"seed\":%" PRIu64
         ",\"fingerprint\":%" PRIu64
+        ",\"geometry\":\"%s\""
         ",\"defense\":\"%s\",\"threshold\":%s,\"provider\":\"%s\","
         "\"mix\":\"%s\",\"ws\":%s,\"hs\":%s,\"max_slowdown\":%s,"
         "\"norm_ws\":%s,\"norm_hs\":%s,\"norm_max_slowdown\":%s,"
         "\"params\":%s}\n",
         r.cell.geom, r.cell.defense, r.cell.threshold, r.cell.provider,
         r.cell.mix, r.seed, r.fingerprint,
+        jsonEscape(r.geometry).c_str(),
         jsonEscape(r.defense).c_str(),
         formatDouble(r.threshold).c_str(),
         jsonEscape(r.provider).c_str(), jsonEscape(r.mix).c_str(),
@@ -415,6 +422,7 @@ encodeCellResult(const engine::CellResult &r)
     putU32(b, r.cell.mix);
     putU64(b, r.seed);
     putU64(b, r.fingerprint);
+    putStr(b, r.geometry);
     putStr(b, r.defense);
     putF64(b, r.threshold);
     putStr(b, r.provider);
@@ -442,7 +450,8 @@ decodeCellResult(const std::string &payload, engine::CellResult *out)
     if (!c.getU32(&r.cell.geom) || !c.getU32(&r.cell.defense) ||
         !c.getU32(&r.cell.threshold) || !c.getU32(&r.cell.provider) ||
         !c.getU32(&r.cell.mix) || !c.getU64(&r.seed) ||
-        !c.getU64(&r.fingerprint) || !c.getStr(&r.defense) ||
+        !c.getU64(&r.fingerprint) || !c.getStr(&r.geometry) ||
+        !c.getStr(&r.defense) ||
         !c.getF64(&r.threshold) || !c.getStr(&r.provider) ||
         !c.getStr(&r.mix) || !c.getU32(&nparams))
         return false;

@@ -14,17 +14,20 @@ SweepCache::SweepCache(const std::string &path)
     // Load whatever a previous (possibly killed) run left behind.
     uint64_t valid_bytes = 0;
     if (std::FILE *f = std::fopen(path_.c_str(), "rb")) {
-        // A v1 ("SVC1", host-endian) checkpoint would otherwise be
-        // mistaken for a torn tail and truncated to nothing; fail
-        // loudly instead so the user can delete or regenerate it
-        // deliberately.
+        // A retired-format checkpoint (v1 host-endian, v2 without
+        // the geometry column) would otherwise be mistaken for a
+        // torn tail and truncated to nothing; fail loudly instead so
+        // the user can delete or regenerate it deliberately.
         char magic[4] = {0, 0, 0, 0};
         if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
             magic[0] == 'S' && magic[1] == 'V' && magic[2] == 'C' &&
-            magic[3] == '1')
-            SVARD_FATAL("sweep cache \"" + path_ +
-                        "\" uses the retired v1 (host-endian) "
-                        "format; delete it to recompute");
+            (magic[3] == '1' || magic[3] == '2'))
+            SVARD_FATAL(std::string("sweep cache \"") + path_ +
+                        "\" uses the retired v" + magic[3] +
+                        " format (" +
+                        (magic[3] == '1' ? "host-endian records"
+                                         : "no geometry column") +
+                        "); delete it to recompute");
         std::rewind(f);
         for (auto &r : readRecords(f, &valid_bytes)) {
             const std::pair<uint64_t, uint64_t> key{r.seed,

@@ -56,6 +56,23 @@ class MopMapper
                a.bank;
     }
 
+    /**
+     * Byte distance between physical addresses mapping to
+     * consecutive DRAM rows with every lower field (channel, bank
+     * group, bank, rank, column) unchanged: the product of all MOP
+     * divisors below the row bits (256 KiB on the Table 4 system).
+     * Single source of truth for code that must address "the next
+     * row" — adversarial trace generators in particular — so a
+     * mapper change cannot silently strand them (coupling asserted
+     * per preset in tests/test_presets.cc).
+     */
+    static uint64_t
+    rowStrideBytes(const SimConfig &cfg)
+    {
+        return 64ULL * cfg.blocksPerRow() * cfg.channels *
+               cfg.bankGroups * cfg.banksPerGroup * cfg.ranks;
+    }
+
   private:
     const SimConfig &cfg_;
 };

@@ -10,6 +10,7 @@
 #define SVARD_SIM_CONFIG_H
 
 #include <cstdint>
+#include <string>
 
 #include "dram/timing.h"
 #include "dram/types.h"
@@ -18,6 +19,17 @@ namespace svard::sim {
 
 struct SimConfig
 {
+    /**
+     * Geometry label recorded in result sinks and cache fingerprints
+     * (a preset name from sim/presets.h, or whatever the caller sets
+     * for a hand-built configuration). The default configuration IS
+     * the "ddr4-table4" preset.
+     */
+    std::string geometry = "ddr4-table4";
+
+    /** DRAM standard the timing table below belongs to. */
+    dram::Standard standard = dram::Standard::DDR4;
+
     // --- processor ---
     uint32_t cores = 8;
     double cpuGhz = 3.2;
@@ -54,11 +66,16 @@ struct SimConfig
         return ranks * bankGroups * banksPerGroup;
     }
 
-    /** CPU cycle time in picoseconds. */
+    /** CPU cycle time in picoseconds, rounded to nearest. Truncation
+     *  biased every non-integer tick downward (e.g. 3.0 GHz: 333 for
+     *  333.33); rounding removes that systematic bias and halves the
+     *  worst-case error for generic frequencies. The half-tick cases
+     *  (3.2 GHz: exactly 312.5) remain off by 0.5 ps either way —
+     *  only a finer time unit could represent them exactly. */
     dram::Tick
     cpuTick() const
     {
-        return static_cast<dram::Tick>(1000.0 / cpuGhz);
+        return static_cast<dram::Tick>(1000.0 / cpuGhz + 0.5);
     }
 
     /** Cache blocks per DRAM row (burst granularity is 64 B). */

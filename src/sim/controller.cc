@@ -20,8 +20,10 @@ MemController::MemController(const SimConfig &cfg,
       pendingPos_(cfg.totalBanks(), 0)
 {
     pendingBanks_.reserve(cfg.totalBanks());
-    for (uint32_t r = 0; r < cfg_.ranks; ++r)
+    for (uint32_t r = 0; r < cfg_.ranks; ++r) {
         ranks_[r].refreshDue = cfg_.timing.tREFI;
+        ranks_[r].lastActBg.assign(cfg_.bankGroups, -1'000'000);
+    }
     // Largest per-ACT burst: a defense may emit a handful of refresh,
     // migration, and metadata actions for one activation; reserve so
     // the buffer stops growing after the first few ACTs.
@@ -67,9 +69,8 @@ MemController::enqueue(const MemRequest &req)
         } else {
             const Rank &rank = ranks_[rankOf(r.flatBank)];
             e = std::max(bank.readyAct,
-                         rank.lastAct + cfg_.timing.tRRD_S);
-            if (rank.actCount == 4)
-                e = std::max(e, rank.oldestAct() + cfg_.timing.tFAW);
+                         rankActReady(rank,
+                                      bankGroupOf(r.flatBank)));
         }
         e = std::max(e, r.notBefore);
         if (e < scanBlockedUntil_) {
@@ -99,6 +100,7 @@ MemController::doActivate(uint32_t flat_bank, uint32_t row,
     bank.readyColumn = now_ + cfg_.timing.tRCD;
     bank.readyPre = now_ + cfg_.timing.tRAS;
     rank.lastAct = now_;
+    rank.lastActBg[bankGroupOf(flat_bank)] = now_;
     rank.pushAct(now_);
     ++stats_.activations;
     (void)maintenance;
@@ -271,12 +273,7 @@ MemController::tryIssue()
 
     auto rank_can_act = [&](uint32_t flat_bank) {
         const Rank &rank = ranks_[rankOf(flat_bank)];
-        if (now_ < rank.lastAct + t.tRRD_S)
-            return false;
-        if (rank.actCount == 4 &&
-            now_ < rank.oldestAct() + t.tFAW)
-            return false;
-        return true;
+        return now_ >= rankActReady(rank, bankGroupOf(flat_bank));
     };
 
     auto issue_column = [&](size_t i) {
@@ -368,11 +365,10 @@ MemController::tryIssue()
             p2_idx = i; // closed bank: activate
         } else {
             const Rank &rank = ranks_[rankOf(r.flatBank)];
-            dram::Tick e =
-                std::max(bank.readyAct, rank.lastAct + t.tRRD_S);
-            if (rank.actCount == 4)
-                e = std::max(e, rank.oldestAct() + t.tFAW);
-            blocked_at(e, false);
+            blocked_at(std::max(bank.readyAct,
+                                rankActReady(rank,
+                                             bankGroupOf(r.flatBank))),
+                       false);
         }
     }
 
@@ -443,31 +439,16 @@ MemController::nextWakeup(dram::Tick from) const
     // Bank and rank readiness only gates banks with queued work; the
     // pending-bank list gives the same candidate set the old
     // full-queue scan produced, one bank at a time instead of one
-    // request. Rank candidates are hoisted: one pass marks the ranks
-    // with pending work, then each contributes its two times once.
-    uint64_t ranks_seen = 0; // bitmask (falls back past 64 ranks)
-    const bool few_ranks = ranks_.size() <= 64;
+    // request. The rank term is the exact per-bank ACT-legality time
+    // (max over tRRD_S, the bank group's tRRD_L, and tFAW): tighter
+    // than considering each constraint separately, and shared with
+    // the issue scan so the two can never disagree.
     for (uint32_t b : pendingBanks_) {
         const Bank &bank = banks_[b];
         consider(bank.readyAct);
         consider(bank.readyColumn);
         consider(bank.readyPre);
-        if (few_ranks) {
-            ranks_seen |= uint64_t{1} << rankOf(b);
-        } else {
-            const Rank &rank = ranks_[rankOf(b)];
-            consider(rank.lastAct + cfg_.timing.tRRD_S);
-            if (rank.actCount == 4)
-                consider(rank.oldestAct() + cfg_.timing.tFAW);
-        }
-    }
-    for (uint32_t r = 0; few_ranks && r < ranks_.size(); ++r) {
-        if (!(ranks_seen & (uint64_t{1} << r)))
-            continue;
-        const Rank &rank = ranks_[r];
-        consider(rank.lastAct + cfg_.timing.tRRD_S);
-        if (rank.actCount == 4)
-            consider(rank.oldestAct() + cfg_.timing.tFAW);
+        consider(rankActReady(ranks_[rankOf(b)], bankGroupOf(b)));
     }
     // Throttle release times exist only while a defense is actively
     // throttling; skip the queue walk entirely otherwise.

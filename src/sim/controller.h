@@ -188,7 +188,11 @@ class MemController
         std::array<dram::Tick, 4> actRing{};
         uint32_t actHead = 0;  ///< oldest entry once the ring is full
         uint32_t actCount = 0;
-        dram::Tick lastAct = -1'000'000; ///< tRRD reference
+        dram::Tick lastAct = -1'000'000; ///< tRRD_S reference
+        /** Last ACT time per bank group (tRRD_L reference; sized to
+         *  cfg.bankGroups, so DDR5's 8 groups and HBM2's 4 are both
+         *  exact instead of assuming the DDR4 Table 4 shape). */
+        std::vector<dram::Tick> lastActBg;
         dram::Tick refreshDue = 0;
 
         dram::Tick oldestAct() const { return actRing[actHead]; }
@@ -238,6 +242,27 @@ class MemController
     uint32_t rankOf(uint32_t flat_bank) const
     {
         return flat_bank / (cfg_.bankGroups * cfg_.banksPerGroup);
+    }
+
+    /** Bank group of a flat bank within its rank (tRRD_L/tCCD_L). */
+    uint32_t bankGroupOf(uint32_t flat_bank) const
+    {
+        return (flat_bank % (cfg_.bankGroups * cfg_.banksPerGroup)) /
+               cfg_.banksPerGroup;
+    }
+
+    /** Earliest next ACT a rank's tRRD/tFAW state allows for a bank
+     *  of bank group `bg` (the scheduler's single source of truth:
+     *  the issue check, the blocked-until scan, and the incremental
+     *  enqueue verdict all derive from it). */
+    dram::Tick
+    rankActReady(const Rank &rank, uint32_t bg) const
+    {
+        dram::Tick e = rank.lastAct + cfg_.timing.tRRD_S;
+        e = std::max(e, rank.lastActBg[bg] + cfg_.timing.tRRD_L);
+        if (rank.actCount == 4)
+            e = std::max(e, rank.oldestAct() + cfg_.timing.tFAW);
+        return e;
     }
 
     const SimConfig &cfg_;

@@ -160,11 +160,11 @@ defenseKindName(DefenseKind k)
 std::unique_ptr<defense::Defense>
 makeDefense(DefenseKind kind,
             std::shared_ptr<const core::ThresholdProvider> provider,
-            uint64_t seed)
+            uint64_t seed, const SimConfig &cfg)
 {
     return defense::makeDefenseByName(
         defenseKindName(kind),
-        defense::DefenseContext(std::move(provider), seed));
+        defense::DefenseContext(cfg, std::move(provider), seed));
 }
 
 MixRunner::MixRunner(SimConfig cfg, size_t requests_per_core,

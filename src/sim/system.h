@@ -96,13 +96,14 @@ const char *defenseKindName(DefenseKind k);
 
 /**
  * Instantiate a defense over a threshold provider (None -> null).
- * Thin wrapper over the DefenseRegistry with the default geometry;
- * sweep code should prefer registry names directly.
+ * Thin wrapper over the DefenseRegistry; pass the SimConfig being
+ * simulated so bank folding follows its geometry (the default is the
+ * Table 4 system). Sweep code should prefer registry names directly.
  */
 std::unique_ptr<defense::Defense>
 makeDefense(DefenseKind kind,
             std::shared_ptr<const core::ThresholdProvider> provider,
-            uint64_t seed = 1);
+            uint64_t seed = 1, const SimConfig &cfg = SimConfig{});
 
 /** Per-mix system metrics vs. per-benchmark alone baselines. */
 struct MixMetrics

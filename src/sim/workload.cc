@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "sim/addrmap.h"
 
 namespace svard::sim {
 
@@ -115,7 +116,7 @@ workloadMixes(uint32_t count, uint32_t cores, uint64_t seed)
 }
 
 std::vector<TraceEntry>
-adversarialHydraTrace(size_t n, uint64_t seed)
+adversarialHydraTrace(size_t n, uint64_t seed, const SimConfig &cfg)
 {
     // Touch one block in each of many distinct rows, cycling through
     // more rows than Hydra's row-count cache can hold so every
@@ -124,13 +125,10 @@ adversarialHydraTrace(size_t n, uint64_t seed)
     std::vector<TraceEntry> trace;
     trace.reserve(n);
     constexpr uint64_t kRows = 8192; // > rccEntries (4096)
-    // With MOP mapping (4-block runs, 4 BGs, 4 banks, 2 ranks, 32
-    // column runs) the DRAM row index advances every 256 KiB while the
-    // bank bits stay fixed.
-    constexpr uint64_t kRowStride = 256 * 1024;
+    const uint64_t row_stride = MopMapper::rowStrideBytes(cfg);
     for (size_t i = 0; i < n; ++i) {
         const uint64_t row = i % kRows;
-        trace.push_back({2, false, row * kRowStride});
+        trace.push_back({2, false, row * row_stride});
     }
     return trace;
 }
@@ -149,23 +147,30 @@ adversarialBenignMix(uint32_t cores)
 uint64_t
 coreTraceOffset(uint64_t seed, uint32_t core)
 {
+    // The 256 KiB factor is deliberately NOT geometry-derived: the
+    // offset only scatters cores apart in physical address space
+    // (deterministic entropy, no row-pure contract), and benign
+    // traces are generated once per mix and shared across the
+    // engine's whole geometry axis — a geometry-dependent offset
+    // would silently fork the workload per geometry.
     const uint64_t row_scatter =
         hashSeed({seed, core, 0x0FF5E7ULL}) % 16384;
     return (core + 1) * (4ULL << 30) + row_scatter * (256 * 1024);
 }
 
 std::vector<TraceEntry>
-adversarialRrsTrace(size_t n, uint64_t seed, uint32_t base_row)
+adversarialRrsTrace(size_t n, uint64_t seed, uint32_t base_row,
+                    const SimConfig &cfg)
 {
     // Classic double-sided hammer: alternate two aggressor rows as
     // fast as possible, maximizing swap operations.
     Rng rng(seed);
     std::vector<TraceEntry> trace;
     trace.reserve(n);
-    constexpr uint64_t kRowStride = 256 * 1024; // +1 DRAM row under MOP
-    const uint64_t base = static_cast<uint64_t>(base_row) * kRowStride;
+    const uint64_t row_stride = MopMapper::rowStrideBytes(cfg); // +1 DRAM row
+    const uint64_t base = static_cast<uint64_t>(base_row) * row_stride;
     for (size_t i = 0; i < n; ++i) {
-        const uint64_t row = (i & 1) ? base + 2 * kRowStride : base;
+        const uint64_t row = (i & 1) ? base + 2 * row_stride : base;
         // Different block each time so requests miss any row buffer
         // coalescing and force an activation.
         const uint64_t block = (i / 2) % 128;

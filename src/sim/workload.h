@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/config.h"
 
 namespace svard::sim {
 
@@ -91,13 +92,23 @@ WorkloadMix adversarialBenignMix(uint32_t cores);
  * - Hydra: cycles over more distinct rows than the row-count cache
  *   holds, forcing a counter fetch per activation in steady state.
  * - RRS: hammers a single row pair, forcing continual row swaps.
+ *
+ * The physical addresses that land on consecutive DRAM rows (bank
+ * bits fixed) depend on the MOP mapping, so the generators take the
+ * geometry under attack; the default is the Table 4 system. Passing
+ * the run's actual config matters: a trace generated for the DDR4
+ * layout stops being adversarial on a DDR5/HBM2 preset (the row
+ * stride doubles, so Hydra's cache is no longer thrashed and RRS's
+ * aggressor pair collapses onto adjacent rows).
  */
-std::vector<TraceEntry> adversarialHydraTrace(size_t n, uint64_t seed);
+std::vector<TraceEntry> adversarialHydraTrace(
+    size_t n, uint64_t seed, const SimConfig &cfg = SimConfig{});
 /** base_row picks the hammered aggressor pair (base, base+2); the
  *  victim's vulnerability bin — and thus Svärd's headroom — depends
  *  on it, so evaluations average over several bases. */
-std::vector<TraceEntry> adversarialRrsTrace(size_t n, uint64_t seed,
-                                            uint32_t base_row = 1000);
+std::vector<TraceEntry> adversarialRrsTrace(
+    size_t n, uint64_t seed, uint32_t base_row = 1000,
+    const SimConfig &cfg = SimConfig{});
 
 } // namespace svard::sim
 

@@ -19,6 +19,7 @@
 #include "defense/registry.h"
 #include "defense/rrs.h"
 #include "fault/vuln_model.h"
+#include "sim/presets.h"
 
 namespace svard::defense {
 namespace {
@@ -264,7 +265,8 @@ TEST(Registry, EveryRegisteredNameConstructsAndObservesActivations)
     const auto names = reg.names();
     EXPECT_GE(names.size(), 7u); // 6 defenses + "none"
     for (const auto &name : names) {
-        const DefenseContext ctx(uniform(1024), 3);
+        const DefenseContext ctx(uniform(1024), 3,
+                                 /*banks_per_rank=*/16);
         auto d = reg.make(name, ctx);
         if (name == "none") {
             EXPECT_EQ(d, nullptr);
@@ -282,15 +284,35 @@ TEST(Registry, LookupIsCaseInsensitive)
     auto &reg = DefenseRegistry::instance();
     EXPECT_TRUE(reg.contains("PARA"));
     EXPECT_TRUE(reg.contains("BlockHammer"));
-    const DefenseContext ctx(uniform(1024));
+    const DefenseContext ctx(uniform(1024), 1,
+                             /*banks_per_rank=*/16);
     auto d = reg.make("Graphene", ctx);
     ASSERT_NE(d, nullptr);
     EXPECT_STREQ(d->name(), "Graphene");
 }
 
+TEST(Registry, UnsetBanksPerRankDiesInsteadOfMisfolding)
+{
+    // The bare DefenseContext constructor no longer defaults to the
+    // Table 4 bank count: a context whose geometry was never derived
+    // must die in the factory, not silently fold banks mod 16.
+    const DefenseContext unset(uniform(1024), 3);
+    EXPECT_EQ(unset.banksPerRank, 0u);
+    EXPECT_DEATH(makeDefenseByName("para", unset), "banksPerRank");
+
+    // The SimConfig overload derives the count from the geometry.
+    sim::SimConfig ddr5 = sim::presets::get("ddr5-4800-32bank");
+    const DefenseContext derived(ddr5, uniform(1024), 3);
+    EXPECT_EQ(derived.banksPerRank, 32u);
+    auto d = makeDefenseByName("para", derived);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->banksPerRank(), 32u);
+}
+
 TEST(Registry, UnknownNameThrowsWithKnownNames)
 {
-    const DefenseContext ctx(uniform(1024));
+    const DefenseContext ctx(uniform(1024), 1,
+                             /*banks_per_rank=*/16);
     EXPECT_FALSE(
         DefenseRegistry::instance().contains("not-a-defense"));
     try {

@@ -299,6 +299,80 @@ TEST(ExperimentRunner, GeometryIsASweepAxis)
     EXPECT_EQ(cells[1].cell.geom, 1u);
     for (const auto &c : cells)
         EXPECT_GT(c.metrics.weightedSpeedup, 0.0);
+    // The hand-built 2-channel config kept the default config's
+    // "ddr4-table4" label while changing the organization; the
+    // runner relabels it from its actual shape so the two
+    // geometries never report under one name.
+    EXPECT_EQ(cells[0].geometry, "ddr4-table4");
+    EXPECT_EQ(cells[1].geometry, "2ch-16b-128Kr");
+}
+
+engine::SweepSpec
+presetSpec(unsigned threads)
+{
+    engine::SweepSpec spec = smallSpec(threads);
+    spec.config.cores = 4;
+    spec.defenses = {"para"};
+    spec.providers = {engine::ProviderSpec::uniform(),
+                      engine::ProviderSpec::svard("S3")};
+    spec.mixes = {spec.mixes[0]};
+    spec.requestsPerCore = 500;
+    spec.geometryNames = {"ddr4-table4", "ddr5-4800-32bank",
+                          "hbm2-pc-16ch"};
+    return spec;
+}
+
+TEST(ExperimentRunner, PresetGeometryAxisSweepsByName)
+{
+    engine::ExperimentRunner runner(presetSpec(0));
+    const auto &cells = runner.run();
+    ASSERT_EQ(cells.size(), 3u * 2u); // geometries x providers
+
+    // Every cell is labeled with its preset, the resolved configs
+    // carry the preset organizations, and fingerprints are distinct
+    // across geometries for otherwise-identical coordinates — a
+    // cached DDR4 cell can never be served for an HBM2 cell.
+    const auto &geoms = runner.geometries();
+    ASSERT_EQ(geoms.size(), 3u);
+    EXPECT_EQ(geoms[1].banksPerRank(), 32u);
+    EXPECT_EQ(geoms[2].channels, 16u);
+    std::set<uint64_t> fingerprints;
+    for (const auto &c : cells) {
+        EXPECT_EQ(c.geometry, geoms[c.cell.geom].geometry);
+        EXPECT_GT(c.metrics.weightedSpeedup, 0.0);
+        fingerprints.insert(c.fingerprint);
+    }
+    EXPECT_EQ(fingerprints.size(), cells.size());
+    EXPECT_EQ(cells[0].geometry, "ddr4-table4");
+    EXPECT_EQ(cells[2].geometry, "ddr5-4800-32bank");
+    EXPECT_EQ(cells[4].geometry, "hbm2-pc-16ch");
+}
+
+TEST(ExperimentRunner, PresetSweepIsThreadCountInvariant)
+{
+    engine::ExperimentRunner serial(presetSpec(1));
+    engine::ExperimentRunner sharded(presetSpec(4));
+    const auto &a = serial.run();
+    const auto &b = sharded.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].geometry, b[i].geometry) << i;
+        EXPECT_EQ(a[i].fingerprint, b[i].fingerprint) << i;
+        EXPECT_DOUBLE_EQ(a[i].metrics.weightedSpeedup,
+                         b[i].metrics.weightedSpeedup)
+            << i;
+        EXPECT_DOUBLE_EQ(a[i].normalized.weightedSpeedup,
+                         b[i].normalized.weightedSpeedup)
+            << i;
+    }
+}
+
+TEST(ExperimentRunner, UnknownGeometryPresetThrowsUpFront)
+{
+    engine::SweepSpec spec = smallSpec(1);
+    spec.geometryNames = {"ddr4-table4", "hbm3-not-yet"};
+    EXPECT_THROW(engine::ExperimentRunner runner(std::move(spec)),
+                 std::invalid_argument);
 }
 
 TEST(ExperimentRunner, UnknownDefenseNameThrowsUpFront)

@@ -50,6 +50,7 @@ makeRow(uint32_t i)
     r.cell = {i, i + 1, i + 2, i + 3, i + 4};
     r.seed = hashSeed({i, 0xABCULL});
     r.fingerprint = hashSeed({i, 0xDEFULL});
+    r.geometry = i % 2 ? "hbm2-pc-16ch" : "ddr4-table4";
     r.defense = "blockhammer";
     r.threshold = 4096.0 / (i + 3);
     r.provider = "Svard-S0";
@@ -76,6 +77,7 @@ expectRowsEqual(const engine::CellResult &a,
     EXPECT_EQ(a.cell.mix, b.cell.mix);
     EXPECT_EQ(a.seed, b.seed);
     EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.geometry, b.geometry);
     EXPECT_EQ(a.defense, b.defense);
     EXPECT_EQ(a.threshold, b.threshold); // exact: == on doubles
     EXPECT_EQ(a.provider, b.provider);
@@ -151,7 +153,7 @@ TEST(ResultSink, BinaryReaderDropsTruncatedTailRecord)
     {
         std::FILE *f = std::fopen(bin.c_str(), "ab");
         ASSERT_NE(f, nullptr);
-        const unsigned char partial[] = {0x53, 0x56, 0x43, 0x32, 0x7F};
+        const unsigned char partial[] = {0x53, 0x56, 0x43, 0x33, 0x7F};
         std::fwrite(partial, 1, sizeof(partial), f);
         std::fclose(f);
     }
@@ -306,7 +308,7 @@ TEST(SweepCache, KilledAndResumedSweepIsBitIdenticalToUninterrupted)
     {
         std::FILE *f = std::fopen(killed_cache.c_str(), "ab");
         ASSERT_NE(f, nullptr);
-        const unsigned char torn[] = {0x53, 0x56, 0x43, 0x32, 0x10,
+        const unsigned char torn[] = {0x53, 0x56, 0x43, 0x33, 0x10,
                                       0x00, 0x00, 0x00, 0xAA};
         std::fwrite(torn, 1, sizeof(torn), f);
         std::fclose(f);
