@@ -7,7 +7,11 @@
 #ifndef SVARD_BENCH_BENCH_UTIL_H
 #define SVARD_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -23,6 +27,44 @@
 #include "sim/presets.h"
 
 namespace svard::bench {
+
+/** Monotonic wall-clock seconds since `start`. */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Interleaved best-of-N timing. Runs every variant once per round, in
+ * round-robin order, for `rounds` rounds, and returns each variant's
+ * MINIMUM wall seconds, index-aligned with `variants`.
+ *
+ * This is the honest-measurement protocol the committed
+ * BENCH_perf.json numbers follow: interleaving spreads frequency
+ * ramps, thermal drift, and background-task noise evenly across the
+ * variants instead of crediting whichever happened to run on the
+ * quietest slice of the host, and min-of-N is the low-noise estimator
+ * for a deterministic workload (noise only ever adds time). Each
+ * variant should run long enough to dwarf a steady_clock read.
+ */
+inline std::vector<double>
+bestOfInterleaved(const std::vector<std::function<void()>> &variants,
+                  int rounds)
+{
+    std::vector<double> best(variants.size(),
+                             std::numeric_limits<double>::infinity());
+    for (int r = 0; r < rounds; ++r) {
+        for (size_t v = 0; v < variants.size(); ++v) {
+            const auto start = std::chrono::steady_clock::now();
+            variants[v]();
+            best[v] = std::min(best[v], secondsSince(start));
+        }
+    }
+    return best;
+}
 
 /** Device + model + characterizer for one module. */
 struct ModuleRig

@@ -30,9 +30,11 @@
  * is at or above No-Svärd, with S0's profile best.
  */
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/simd.h"
 #include "engine/runner.h"
 
 using namespace svard;
@@ -82,6 +84,7 @@ main(int argc, char **argv)
                          total);
     };
 
+    const auto sweep_start = std::chrono::steady_clock::now();
     engine::ExperimentRunner runner(std::move(spec));
 
     Table t("Fig. 12: defense performance with and without Svärd "
@@ -104,5 +107,8 @@ main(int argc, char **argv)
     // check greps for "executed 0 cells" on the second run).
     std::fprintf(stderr, "fig12: executed %zu cells, %zu from cache\n",
                  runner.executedCells(), runner.cachedCells());
+    std::fprintf(stderr, "fig12: wall %.3f s (simd %s)\n",
+                 secondsSince(sweep_start),
+                 simd::implName(simd::activeImpl()));
     return 0;
 }

@@ -15,9 +15,11 @@
  * to a sink and checkpoint both reference and defended runs, so an
  * interrupted sweep resumes with only its missing cells.
  */
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/simd.h"
 #include "engine/runner.h"
 
 using namespace svard;
@@ -62,6 +64,7 @@ main(int argc, char **argv)
                      engine::ProviderSpec::svard("H1")};
 
     engine::SweepIoStats io_stats;
+    const auto sweep_start = std::chrono::steady_clock::now();
     const auto results = engine::runAdversarialSweep(adv, &io_stats);
 
     Table t("Fig. 13: slowdown under adversarial access patterns "
@@ -80,5 +83,8 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "fig13: executed %zu cells, %zu from cache\n",
                  io_stats.executed, io_stats.cached);
+    std::fprintf(stderr, "fig13: wall %.3f s (simd %s)\n",
+                 secondsSince(sweep_start),
+                 simd::implName(simd::activeImpl()));
     return 0;
 }

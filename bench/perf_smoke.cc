@@ -7,15 +7,22 @@
  * (simulated-ticks/sec and ACTs/sec: the controller + defense inner
  * loop in isolation), and (c) a fig05-style full-pattern
  * characterizeBank (rows/sec and BER measurements/sec: the Alg. 1
- * measurement stack) — and emits machine-readable BENCH_perf.json so
- * CI can extend the performance trajectory with every PR.
+ * measurement stack) — plus (d) per-kernel microbenchmarks of every
+ * common/simd.h batch kernel, timing the scalar implementation against
+ * each SIMD implementation the binary + host can run (interleaved
+ * best-of-N, see bench_util.h) and reporting throughput and uplift —
+ * and emits machine-readable BENCH_perf.json (schema
+ * svard-perf-smoke-v3) so CI can extend the performance trajectory
+ * with every PR.
  *
  * Knobs: SVARD_REQS (default 6000), SVARD_MIXES (default 2),
  * SVARD_THREADS (default 1 — single-threaded numbers are comparable
  * across hosts), SVARD_CHARZ_ROWS (default 256 sampled rows for the
- * charz section), SVARD_GEOMETRY (a single preset name from
- * sim/presets.h retargeting the grid and microsim), SVARD_PERF_JSON
- * or --json=PATH for the output file (default ./BENCH_perf.json).
+ * charz section), SVARD_KERNEL_ROUNDS (default 5 interleaved timing
+ * rounds for the kernel section), SVARD_GEOMETRY (a single preset
+ * name from sim/presets.h retargeting the grid and microsim),
+ * SVARD_PERF_JSON or --json=PATH for the output file (default
+ * ./BENCH_perf.json).
  *
  * The numbers are machine-dependent; compare runs from the same host
  * only. The PR-3 rewrite measured 6.4 -> 11.7 cells/sec (~1.8x) on
@@ -23,12 +30,16 @@
  */
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "charz/characterizer.h"
+#include "common/simd.h"
 #include "core/vuln_profile.h"
 #include "dram/module_spec.h"
 #include "dram/subarray.h"
@@ -41,12 +52,54 @@ using namespace svard::bench;
 
 namespace {
 
-double
-secondsSince(std::chrono::steady_clock::time_point start)
+/** One kernel's scalar-vs-best-dispatch measurement. */
+struct KernelBench
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
+    const char *name; ///< JSON key under "kernels"
+    const char *unit; ///< what items_per_call counts
+    double items;     ///< items processed per timed invocation
+    double scalar_per_sec = 0.0;
+    double best_per_sec = 0.0;
+    const char *best_impl = "scalar";
+    double uplift = 1.0; ///< best_per_sec / scalar_per_sec
+};
+
+/**
+ * Time `body` once per available implementation (forced via
+ * simd::setImpl), interleaved best-of-`rounds`, and report scalar
+ * throughput, the fastest measured implementation, and the uplift.
+ * The previously active implementation is restored afterwards.
+ */
+KernelBench
+runKernel(const char *name, const char *unit, double items,
+          const std::vector<simd::Impl> &impls, int rounds,
+          const std::function<void()> &body)
+{
+    const simd::Impl before = simd::activeImpl();
+    std::vector<std::function<void()>> variants;
+    for (simd::Impl impl : impls)
+        variants.push_back([impl, &body] {
+            simd::setImpl(impl);
+            body();
+        });
+    const auto secs = bestOfInterleaved(variants, rounds);
+    simd::setImpl(before);
+
+    KernelBench out;
+    out.name = name;
+    out.unit = unit;
+    out.items = items;
+    for (size_t i = 0; i < impls.size(); ++i) {
+        const double per_sec = items / std::max(secs[i], 1e-12);
+        if (impls[i] == simd::Impl::Scalar)
+            out.scalar_per_sec = per_sec;
+        if (per_sec > out.best_per_sec) {
+            out.best_per_sec = per_sec;
+            out.best_impl = simd::implName(impls[i]);
+        }
+    }
+    out.uplift = out.best_per_sec / std::max(out.scalar_per_sec, 1e-12);
+    return out;
 }
 
 } // namespace
@@ -148,6 +201,83 @@ main(int argc, char **argv)
     const double meas_per_sec =
         static_cast<double>(ber_measurements) / std::max(charz_s, 1e-9);
 
+    // ---- (d) simd kernel microbenchmarks -------------------------
+    // Scalar vs every SIMD implementation this binary + host can run,
+    // forced per variant through setImpl and timed with the shared
+    // interleaved best-of-N helper. Workload shapes mirror the real
+    // call sites: whole-row word arrays for the mismatch kernels,
+    // FlatTable-sized key batches, a threshold run for the budget
+    // fold, and the CBF's 8-lane fan-out repeated per key.
+    const int kernel_rounds =
+        static_cast<int>(envInt("SVARD_KERNEL_ROUNDS", 5));
+    const auto impls = simd::availableImpls();
+    constexpr size_t kWords = size_t(1) << 16;
+    std::vector<uint64_t> wa(kWords), wb(kWords), hout(kWords);
+    std::vector<double> thr(kWords), nout(kWords);
+    uint64_t lcg = 0x5eed;
+    for (size_t i = 0; i < kWords; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        wa[i] = lcg;
+        wb[i] = lcg ^ (lcg >> 31);
+        thr[i] = 1024.0 + static_cast<double>(lcg % 65536);
+    }
+    volatile uint64_t sink = 0;    // defeats dead-code elimination
+    volatile double dsink = 0.0;
+
+    std::vector<KernelBench> kernels;
+    kernels.push_back(runKernel(
+        "xor_popcount_base", "words",
+        static_cast<double>(kWords) * 64.0, impls, kernel_rounds, [&] {
+            uint64_t acc = 0;
+            for (uint64_t r = 0; r < 64; ++r)
+                acc += simd::xorPopcountBase(
+                    wa.data(), kWords, 0xAAAAAAAAAAAAAAAAull + r);
+            sink = sink + acc;
+        }));
+    kernels.push_back(runKernel(
+        "xor_popcount", "words", static_cast<double>(kWords) * 64.0,
+        impls, kernel_rounds, [&] {
+            uint64_t acc = 0;
+            for (int r = 0; r < 64; ++r)
+                acc += simd::xorPopcount(wa.data(), wb.data(), kWords);
+            sink = sink + acc;
+        }));
+    kernels.push_back(runKernel(
+        "hash_batch", "keys", static_cast<double>(kWords) * 32.0,
+        impls, kernel_rounds, [&] {
+            for (int r = 0; r < 32; ++r)
+                simd::hashBatch(wa.data(), hout.data(), kWords);
+            sink = sink ^ hout[0] ^ hout[kWords - 1];
+        }));
+    kernels.push_back(runKernel(
+        "min_neighbors_batch", "rows",
+        static_cast<double>(kWords) * 32.0, impls, kernel_rounds, [&] {
+            for (int r = 0; r < 32; ++r)
+                simd::minNeighborsBatch(thr.data(), kWords, thr[0],
+                                        thr[kWords - 1], nout.data());
+            dsink = dsink + nout[0] + nout[kWords / 2];
+        }));
+    kernels.push_back(runKernel(
+        "hash_seed_tail_batch", "lanes", 8.0 * 100000.0, impls,
+        kernel_rounds, [&] {
+            uint64_t lanes[8];
+            uint64_t acc = 0;
+            for (uint64_t c = 0; c < 100000; ++c) {
+                simd::hashSeedTailBatch(0xB10C1, c, lanes, 8);
+                acc ^= lanes[0] ^ lanes[7];
+            }
+            sink = sink + acc;
+        }));
+
+    std::string impl_list;
+    for (simd::Impl impl : impls) {
+        if (!impl_list.empty())
+            impl_list += ", ";
+        impl_list += '"';
+        impl_list += simd::implName(impl);
+        impl_list += '"';
+    }
+
     // ---- report --------------------------------------------------
     std::FILE *f = std::fopen(json_path.c_str(), "w");
     if (!f)
@@ -155,7 +285,7 @@ main(int argc, char **argv)
     const int n = std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"svard-perf-smoke-v2\",\n"
+        "  \"schema\": \"svard-perf-smoke-v3\",\n"
         "  \"threads\": %u,\n"
         "  \"requests_per_core\": %zu,\n"
         "  \"mixes\": %u,\n"
@@ -184,15 +314,38 @@ main(int argc, char **argv)
         "    \"wall_s\": %.6f,\n"
         "    \"rows_per_sec\": %.3f,\n"
         "    \"ber_measurements_per_sec\": %.3f\n"
-        "  }\n"
-        "}\n",
+        "  },\n"
+        "  \"kernels\": {\n"
+        "    \"rounds\": %d,\n"
+        "    \"active_impl\": \"%s\",\n"
+        "    \"impls\": [%s],\n",
         threads, reqs, n_mixes, cells, grid_s, cells_per_sec,
         static_cast<unsigned long long>(res.controller.activations),
         static_cast<long long>(res.endTime), micro_s, acts_per_sec,
         ticks_per_sec, rows.size(), copt.rowStep, copt.iterations,
         static_cast<unsigned long long>(ber_measurements), charz_s,
-        rows_per_sec, meas_per_sec);
-    if (n < 0 || std::fclose(f) != 0)
+        rows_per_sec, meas_per_sec, kernel_rounds,
+        simd::implName(simd::activeImpl()), impl_list.c_str());
+    bool wrote = n >= 0;
+    for (size_t i = 0; i < kernels.size(); ++i) {
+        const auto &k = kernels[i];
+        wrote = wrote &&
+                std::fprintf(
+                    f,
+                    "    \"%s\": {\n"
+                    "      \"unit\": \"%s\",\n"
+                    "      \"items_per_call\": %.0f,\n"
+                    "      \"scalar_items_per_sec\": %.1f,\n"
+                    "      \"best_impl\": \"%s\",\n"
+                    "      \"best_items_per_sec\": %.1f,\n"
+                    "      \"uplift\": %.3f\n"
+                    "    }%s\n",
+                    k.name, k.unit, k.items, k.scalar_per_sec,
+                    k.best_impl, k.best_per_sec, k.uplift,
+                    i + 1 < kernels.size() ? "," : "") >= 0;
+    }
+    wrote = wrote && std::fprintf(f, "  }\n}\n") >= 0;
+    if (!wrote || std::fclose(f) != 0)
         SVARD_FATAL("write failed on \"" + json_path + "\"");
 
     std::printf("perf_smoke: grid %zu cells in %.3f s "
@@ -203,6 +356,12 @@ main(int argc, char **argv)
                 cells, grid_s, cells_per_sec, micro_s,
                 acts_per_sec / 1e6, ticks_per_sec / 1e6, rows.size(),
                 charz_s, rows_per_sec, meas_per_sec);
+    std::printf("perf_smoke: kernels (best-of-%d interleaved, "
+                "active %s):",
+                kernel_rounds, simd::implName(simd::activeImpl()));
+    for (const auto &k : kernels)
+        std::printf(" %s %.2fx (%s)", k.name, k.uplift, k.best_impl);
+    std::printf("\n");
     std::printf("perf_smoke: wrote %s\n", json_path.c_str());
     return 0;
 }

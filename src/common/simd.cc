@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Kernel implementations and runtime dispatch (see common/simd.h).
+ *
+ * Layout: a portable scalar implementation of every kernel (always
+ * compiled — it is the oracle the vector paths must match bit for
+ * bit), an AVX2 implementation compiled with a per-function target
+ * attribute on x86-64 (the translation unit itself builds without
+ * -mavx2, so the binary stays runnable on pre-AVX2 hosts), and a NEON
+ * implementation on aarch64 (baseline there, no attribute needed).
+ * One function-pointer table per kernel is resolved once at first
+ * use: CPUID-detected best implementation, overridable with
+ * SVARD_SIMD_DISPATCH or setImpl().
+ *
+ * AVX2 notes: popcount uses the in-register nibble-table method
+ * (PSHUFB lookup + PSADBW reduction); 64-bit multiplies — which the
+ * splitmix64 avalanche needs and AVX2 lacks — are composed from
+ * 32x32 partial products. Both are exact, so vector and scalar
+ * results are identical, not merely close.
+ */
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(SVARD_SIMD_OFF)
+#define SVARD_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && !defined(SVARD_SIMD_OFF)
+#define SVARD_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace svard::simd {
+
+namespace {
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kMixMul1 = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kMixMul2 = 0x94d049bb133111ebULL;
+
+// ---- scalar kernels (always present; the bit-exact reference) ----
+
+/** splitmix64 finalizer: FlatTable::hashOf's avalanche. */
+inline uint64_t
+avalanche(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * kMixMul1;
+    z = (z ^ (z >> 27)) * kMixMul2;
+    return z ^ (z >> 31);
+}
+
+/** One hashSeed() fold step: state after absorbing part `p`. */
+inline uint64_t
+seedFold(uint64_t s, uint64_t p)
+{
+    s ^= p + kGolden + (s << 6) + (s >> 2);
+    return avalanche(s + kGolden);
+}
+
+inline uint64_t
+popcount64(uint64_t v)
+{
+    return static_cast<uint64_t>(__builtin_popcountll(v));
+}
+
+uint64_t
+xorPopcountBaseScalar(const uint64_t *words, size_t n, uint64_t base)
+{
+    uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        c0 += popcount64(words[i + 0] ^ base);
+        c1 += popcount64(words[i + 1] ^ base);
+        c2 += popcount64(words[i + 2] ^ base);
+        c3 += popcount64(words[i + 3] ^ base);
+    }
+    for (; i < n; ++i)
+        c0 += popcount64(words[i] ^ base);
+    return c0 + c1 + c2 + c3;
+}
+
+uint64_t
+xorPopcountScalar(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    uint64_t c0 = 0, c1 = 0;
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        c0 += popcount64(a[i] ^ b[i]);
+        c1 += popcount64(a[i + 1] ^ b[i + 1]);
+    }
+    if (i < n)
+        c0 += popcount64(a[i] ^ b[i]);
+    return c0 + c1;
+}
+
+void
+hashBatchScalar(const uint64_t *keys, uint64_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = avalanche(keys[i] + kGolden);
+}
+
+void
+minNeighborsBatchScalar(const double *thr, size_t n, double edge_lo,
+                        double edge_hi, double *out)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        out[0] = std::min(edge_lo, edge_hi);
+        return;
+    }
+    out[0] = std::min(edge_lo, thr[1]);
+    for (size_t i = 1; i + 1 < n; ++i)
+        out[i] = std::min(thr[i - 1], thr[i + 1]);
+    out[n - 1] = std::min(thr[n - 2], edge_hi);
+}
+
+void
+hashSeedTailBatchScalar(uint64_t salt, uint64_t tail, uint64_t *out,
+                        size_t n)
+{
+    const uint64_t after_salt = seedFold(kGolden, salt);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = seedFold(seedFold(after_salt, i), tail);
+}
+
+// ---- AVX2 kernels ------------------------------------------------
+
+#ifdef SVARD_SIMD_X86
+
+__attribute__((target("avx2"))) inline __m256i
+mul64Avx2(__m256i a, __m256i b)
+{
+    // 64-bit low product from 32x32 partials (AVX2 has no vpmullq):
+    // lo(a)lo(b) + ((lo(a)hi(b) + hi(a)lo(b)) << 32).
+    const __m256i a_hi = _mm256_srli_epi64(a, 32);
+    const __m256i b_hi = _mm256_srli_epi64(b, 32);
+    const __m256i lolo = _mm256_mul_epu32(a, b);
+    const __m256i lohi = _mm256_mul_epu32(a, b_hi);
+    const __m256i hilo = _mm256_mul_epu32(a_hi, b);
+    const __m256i cross = _mm256_add_epi64(lohi, hilo);
+    return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i
+avalancheAvx2(__m256i z)
+{
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+    z = mul64Avx2(z, _mm256_set1_epi64x(
+                         static_cast<long long>(kMixMul1)));
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+    z = mul64Avx2(z, _mm256_set1_epi64x(
+                         static_cast<long long>(kMixMul2)));
+    return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx2"))) inline __m256i
+seedFoldAvx2(__m256i s, __m256i p)
+{
+    const __m256i golden =
+        _mm256_set1_epi64x(static_cast<long long>(kGolden));
+    __m256i mixed = _mm256_add_epi64(p, golden);
+    mixed = _mm256_add_epi64(mixed, _mm256_slli_epi64(s, 6));
+    mixed = _mm256_add_epi64(mixed, _mm256_srli_epi64(s, 2));
+    s = _mm256_xor_si256(s, mixed);
+    return avalancheAvx2(_mm256_add_epi64(s, golden));
+}
+
+/** Per-byte popcount of a 256-bit lane (nibble PSHUFB table). */
+__attribute__((target("avx2"))) inline __m256i
+popcountBytesAvx2(__m256i v)
+{
+    const __m256i table = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(table, lo),
+                           _mm256_shuffle_epi8(table, hi));
+}
+
+__attribute__((target("avx2"))) uint64_t
+xorPopcountBaseAvx2(const uint64_t *words, size_t n, uint64_t base)
+{
+    const __m256i vbase =
+        _mm256_set1_epi64x(static_cast<long long>(base));
+    __m256i acc = _mm256_setzero_si256();
+    const __m256i zero = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(words + i)),
+            vbase);
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(popcountBytesAvx2(v), zero));
+    }
+    uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    uint64_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        count += popcount64(words[i] ^ base);
+    return count;
+}
+
+__attribute__((target("avx2"))) uint64_t
+xorPopcountAvx2(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    const __m256i zero = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + i)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + i)));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(popcountBytesAvx2(v), zero));
+    }
+    uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    uint64_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        count += popcount64(a[i] ^ b[i]);
+    return count;
+}
+
+__attribute__((target("avx2"))) void
+hashBatchAvx2(const uint64_t *keys, uint64_t *out, size_t n)
+{
+    const __m256i golden =
+        _mm256_set1_epi64x(static_cast<long long>(kGolden));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i k = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + i),
+            avalancheAvx2(_mm256_add_epi64(k, golden)));
+    }
+    for (; i < n; ++i)
+        out[i] = avalanche(keys[i] + kGolden);
+}
+
+__attribute__((target("avx2"))) void
+minNeighborsBatchAvx2(const double *thr, size_t n, double edge_lo,
+                      double edge_hi, double *out)
+{
+    if (n < 6) {
+        minNeighborsBatchScalar(thr, n, edge_lo, edge_hi, out);
+        return;
+    }
+    out[0] = std::min(edge_lo, thr[1]);
+    size_t i = 1;
+    for (; i + 4 <= n - 1; i += 4) {
+        const __m256d left = _mm256_loadu_pd(thr + i - 1);
+        const __m256d right = _mm256_loadu_pd(thr + i + 1);
+        _mm256_storeu_pd(out + i, _mm256_min_pd(left, right));
+    }
+    for (; i + 1 < n; ++i)
+        out[i] = std::min(thr[i - 1], thr[i + 1]);
+    out[n - 1] = std::min(thr[n - 2], edge_hi);
+}
+
+__attribute__((target("avx2"))) void
+hashSeedTailBatchAvx2(uint64_t salt, uint64_t tail, uint64_t *out,
+                      size_t n)
+{
+    const uint64_t after_salt = seedFold(kGolden, salt);
+    const __m256i vstate =
+        _mm256_set1_epi64x(static_cast<long long>(after_salt));
+    const __m256i vtail =
+        _mm256_set1_epi64x(static_cast<long long>(tail));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i lane = _mm256_setr_epi64x(
+            static_cast<long long>(i), static_cast<long long>(i + 1),
+            static_cast<long long>(i + 2),
+            static_cast<long long>(i + 3));
+        const __m256i mid = seedFoldAvx2(vstate, lane);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            seedFoldAvx2(mid, vtail));
+    }
+    for (; i < n; ++i)
+        out[i] = seedFold(seedFold(after_salt, i), tail);
+}
+
+#endif // SVARD_SIMD_X86
+
+// ---- NEON kernels ------------------------------------------------
+
+#ifdef SVARD_SIMD_NEON
+
+inline uint64x2_t
+mul64Neon(uint64x2_t a, uint64x2_t b)
+{
+    // 64-bit low product from 32x32 partials (no 64-bit NEON mul).
+    const uint32x2_t a_lo = vmovn_u64(a);
+    const uint32x2_t b_lo = vmovn_u64(b);
+    const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+    const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+    uint64x2_t cross = vmull_u32(a_lo, b_hi);
+    cross = vmlal_u32(cross, a_hi, b_lo);
+    const uint64x2_t lolo = vmull_u32(a_lo, b_lo);
+    return vaddq_u64(lolo, vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t
+avalancheNeon(uint64x2_t z)
+{
+    z = veorq_u64(z, vshrq_n_u64(z, 30));
+    z = mul64Neon(z, vdupq_n_u64(kMixMul1));
+    z = veorq_u64(z, vshrq_n_u64(z, 27));
+    z = mul64Neon(z, vdupq_n_u64(kMixMul2));
+    return veorq_u64(z, vshrq_n_u64(z, 31));
+}
+
+inline uint64x2_t
+seedFoldNeon(uint64x2_t s, uint64x2_t p)
+{
+    const uint64x2_t golden = vdupq_n_u64(kGolden);
+    uint64x2_t mixed = vaddq_u64(p, golden);
+    mixed = vaddq_u64(mixed, vshlq_n_u64(s, 6));
+    mixed = vaddq_u64(mixed, vshrq_n_u64(s, 2));
+    s = veorq_u64(s, mixed);
+    return avalancheNeon(vaddq_u64(s, golden));
+}
+
+uint64_t
+xorPopcountBaseNeon(const uint64_t *words, size_t n, uint64_t base)
+{
+    const uint64x2_t vbase = vdupq_n_u64(base);
+    uint64x2_t acc = vdupq_n_u64(0);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v = veorq_u64(vld1q_u64(words + i), vbase);
+        const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+        acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(
+                                 vpaddlq_u8(bytes))));
+    }
+    uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; i < n; ++i)
+        count += popcount64(words[i] ^ base);
+    return count;
+}
+
+uint64_t
+xorPopcountNeon(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    uint64x2_t acc = vdupq_n_u64(0);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v =
+            veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+        const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+        acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(
+                                 vpaddlq_u8(bytes))));
+    }
+    uint64_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; i < n; ++i)
+        count += popcount64(a[i] ^ b[i]);
+    return count;
+}
+
+void
+hashBatchNeon(const uint64_t *keys, uint64_t *out, size_t n)
+{
+    const uint64x2_t golden = vdupq_n_u64(kGolden);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_u64(out + i,
+                  avalancheNeon(vaddq_u64(vld1q_u64(keys + i),
+                                          golden)));
+    for (; i < n; ++i)
+        out[i] = avalanche(keys[i] + kGolden);
+}
+
+void
+minNeighborsBatchNeon(const double *thr, size_t n, double edge_lo,
+                      double edge_hi, double *out)
+{
+    if (n < 4) {
+        minNeighborsBatchScalar(thr, n, edge_lo, edge_hi, out);
+        return;
+    }
+    out[0] = std::min(edge_lo, thr[1]);
+    size_t i = 1;
+    for (; i + 2 <= n - 1; i += 2) {
+        const float64x2_t left = vld1q_f64(thr + i - 1);
+        const float64x2_t right = vld1q_f64(thr + i + 1);
+        vst1q_f64(out + i, vminq_f64(left, right));
+    }
+    for (; i + 1 < n; ++i)
+        out[i] = std::min(thr[i - 1], thr[i + 1]);
+    out[n - 1] = std::min(thr[n - 2], edge_hi);
+}
+
+void
+hashSeedTailBatchNeon(uint64_t salt, uint64_t tail, uint64_t *out,
+                      size_t n)
+{
+    const uint64_t after_salt = seedFold(kGolden, salt);
+    const uint64x2_t vstate = vdupq_n_u64(after_salt);
+    const uint64x2_t vtail = vdupq_n_u64(tail);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64_t lane[2] = {i, i + 1};
+        const uint64x2_t mid = seedFoldNeon(vstate, vld1q_u64(lane));
+        vst1q_u64(out + i, seedFoldNeon(mid, vtail));
+    }
+    for (; i < n; ++i)
+        out[i] = seedFold(seedFold(after_salt, i), tail);
+}
+
+#endif // SVARD_SIMD_NEON
+
+// ---- dispatch ----------------------------------------------------
+
+struct KernelTable
+{
+    uint64_t (*xorPopcountBase)(const uint64_t *, size_t, uint64_t);
+    uint64_t (*xorPopcount)(const uint64_t *, const uint64_t *,
+                            size_t);
+    void (*hashBatch)(const uint64_t *, uint64_t *, size_t);
+    void (*minNeighborsBatch)(const double *, size_t, double, double,
+                              double *);
+    void (*hashSeedTailBatch)(uint64_t, uint64_t, uint64_t *, size_t);
+};
+
+constexpr KernelTable kScalarTable = {
+    xorPopcountBaseScalar, xorPopcountScalar, hashBatchScalar,
+    minNeighborsBatchScalar, hashSeedTailBatchScalar,
+};
+
+#ifdef SVARD_SIMD_X86
+constexpr KernelTable kAvx2Table = {
+    xorPopcountBaseAvx2, xorPopcountAvx2, hashBatchAvx2,
+    minNeighborsBatchAvx2, hashSeedTailBatchAvx2,
+};
+#endif
+#ifdef SVARD_SIMD_NEON
+constexpr KernelTable kNeonTable = {
+    xorPopcountBaseNeon, xorPopcountNeon, hashBatchNeon,
+    minNeighborsBatchNeon, hashSeedTailBatchNeon,
+};
+#endif
+
+const KernelTable *
+tableFor(Impl impl)
+{
+    switch (impl) {
+      case Impl::Scalar:
+        return &kScalarTable;
+#ifdef SVARD_SIMD_X86
+      case Impl::Avx2:
+        return __builtin_cpu_supports("avx2") ? &kAvx2Table : nullptr;
+#endif
+#ifdef SVARD_SIMD_NEON
+      case Impl::Neon:
+        return &kNeonTable;
+#endif
+      default:
+        return nullptr;
+    }
+}
+
+struct Dispatch
+{
+    const KernelTable *table = &kScalarTable;
+    Impl impl = Impl::Scalar;
+
+    Dispatch()
+    {
+        // Best available by default, strongest first.
+        for (Impl candidate : {Impl::Avx2, Impl::Neon}) {
+            if (const KernelTable *t = tableFor(candidate)) {
+                table = t;
+                impl = candidate;
+                break;
+            }
+        }
+        const char *forced = std::getenv("SVARD_SIMD_DISPATCH");
+        if (forced != nullptr && *forced != '\0') {
+            const std::string want(forced);
+            Impl w;
+            if (want == "scalar")
+                w = Impl::Scalar;
+            else if (want == "avx2")
+                w = Impl::Avx2;
+            else if (want == "neon")
+                w = Impl::Neon;
+            else
+                SVARD_FATAL("SVARD_SIMD_DISPATCH=\"" + want +
+                            "\" (expected scalar, avx2, or neon)");
+            const KernelTable *t = tableFor(w);
+            if (t == nullptr)
+                SVARD_FATAL("SVARD_SIMD_DISPATCH=\"" + want +
+                            "\": implementation not available in "
+                            "this build on this host");
+            table = t;
+            impl = w;
+        }
+    }
+};
+
+Dispatch &
+dispatch()
+{
+    static Dispatch d;
+    return d;
+}
+
+} // anonymous namespace
+
+const char *
+implName(Impl impl)
+{
+    switch (impl) {
+      case Impl::Scalar:
+        return "scalar";
+      case Impl::Avx2:
+        return "avx2";
+      case Impl::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+Impl
+activeImpl()
+{
+    return dispatch().impl;
+}
+
+std::vector<Impl>
+availableImpls()
+{
+    std::vector<Impl> out;
+    for (Impl candidate : {Impl::Avx2, Impl::Neon, Impl::Scalar})
+        if (tableFor(candidate) != nullptr)
+            out.push_back(candidate);
+    return out;
+}
+
+bool
+setImpl(Impl impl)
+{
+    const KernelTable *t = tableFor(impl);
+    if (t == nullptr)
+        return false;
+    dispatch().table = t;
+    dispatch().impl = impl;
+    return true;
+}
+
+uint64_t
+xorPopcountBase(const uint64_t *words, size_t n, uint64_t base)
+{
+    return dispatch().table->xorPopcountBase(words, n, base);
+}
+
+uint64_t
+xorPopcount(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    return dispatch().table->xorPopcount(a, b, n);
+}
+
+void
+hashBatch(const uint64_t *keys, uint64_t *out, size_t n)
+{
+    dispatch().table->hashBatch(keys, out, n);
+}
+
+void
+minNeighborsBatch(const double *thr, size_t n, double edge_lo,
+                  double edge_hi, double *out)
+{
+    dispatch().table->minNeighborsBatch(thr, n, edge_lo, edge_hi, out);
+}
+
+void
+hashSeedTailBatch(uint64_t salt, uint64_t tail, uint64_t *out,
+                  size_t n)
+{
+    dispatch().table->hashSeedTailBatch(salt, tail, out, n);
+}
+
+} // namespace svard::simd

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Data-parallel batch kernels for the characterization and replay hot
+ * paths, behind **runtime CPU dispatch**: one Release binary carries
+ * an AVX2 implementation (x86-64), a NEON implementation (aarch64),
+ * and a portable scalar fallback, and picks the best one the host
+ * supports at startup. Results are **bit-identical** across
+ * implementations — every kernel is pure integer math or exact
+ * double min/max, so the dense-oracle tests in tests/test_simd.cc can
+ * (and do) demand equality, not tolerance.
+ *
+ * Kernels and their call sites:
+ *  - xorPopcountBase / xorPopcount: the RowData mismatch kernel.
+ *    `mismatchedBits()` reduces to "sum popcount(word ^ base)" over
+ *    the dense value array of the row's word-delta table
+ *    (dram/rowdata.h), which vectorizes to a whole-row BER count with
+ *    no per-word probes.
+ *  - hashBatch: FlatTable's splitmix64 slot hash over a batch of
+ *    keys. FlatTable::refOrInsertBatch/findBatch (common/flat_table.h)
+ *    hash all keys in one vector pass and prefetch the slots before
+ *    the scalar probe walk — the structure-of-arrays batch-probe used
+ *    by Hydra's group-promotion counter seeding.
+ *  - minNeighborsBatch: out[i] = min(in[i-1], in[i+1]) with clamped
+ *    edges — the aggressor-budget fill over a run of victim
+ *    thresholds (core::ThresholdProvider::aggressorBudgetBatchMemo).
+ *  - hashSeedTailBatch: hashSeed({salt, i, tail}) for a lane of i —
+ *    BlockHammer's counting-Bloom-filter index fan-out, all hash
+ *    functions of one key in a single vector pass.
+ *
+ * Dispatch control:
+ *  - Build time: configure with -DSVARD_SIMD=OFF to compile the
+ *    scalar path only (the CMake option defines SVARD_SIMD_OFF).
+ *  - Run time: SVARD_SIMD_DISPATCH=scalar|avx2|neon forces an
+ *    implementation; forcing one the host (or build) lacks aborts
+ *    loudly rather than silently falling back, so a CI job forcing
+ *    "avx2" cannot quietly measure scalar. Tests force and restore
+ *    implementations through setImpl().
+ */
+#ifndef SVARD_COMMON_SIMD_H
+#define SVARD_COMMON_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svard::simd {
+
+enum class Impl : uint8_t
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Neon = 2,
+};
+
+/** Lower-case display/env name ("scalar", "avx2", "neon"). */
+const char *implName(Impl impl);
+
+/** Implementation the dispatched kernels currently run on. */
+Impl activeImpl();
+
+/** Implementations this binary + host can run, best first. */
+std::vector<Impl> availableImpls();
+
+/**
+ * Force the active implementation (tests, forced-dispatch CI runs).
+ * Returns false — and changes nothing — when the implementation is
+ * not available in this binary on this host.
+ */
+bool setImpl(Impl impl);
+
+// ------------------------------------------------------------------
+// Kernels (runtime dispatched; n == 0 is valid for all of them)
+// ------------------------------------------------------------------
+
+/** Sum of popcount(words[i] ^ base) over a dense uint64 array. */
+uint64_t xorPopcountBase(const uint64_t *words, size_t n,
+                         uint64_t base);
+
+/** Sum of popcount(a[i] ^ b[i]) over two dense uint64 arrays. */
+uint64_t xorPopcount(const uint64_t *a, const uint64_t *b, size_t n);
+
+/**
+ * FlatTable's slot hash (splitmix64 finalizer) over a batch of keys:
+ * out[i] = hash(keys[i]). Bit-identical to hashing one key at a time.
+ */
+void hashBatch(const uint64_t *keys, uint64_t *out, size_t n);
+
+/**
+ * Aggressor-budget fold over a run of victim thresholds:
+ * out[i] = min(left_i, right_i) where left_i is thr[i-1] (edge_lo for
+ * i == 0) and right_i is thr[i+1] (edge_hi for i == n-1). `thr` and
+ * `out` must not alias. Thresholds are positive and finite, so the
+ * vector min is exactly std::min.
+ */
+void minNeighborsBatch(const double *thr, size_t n, double edge_lo,
+                       double edge_hi, double *out);
+
+/**
+ * hashSeed({salt, i, tail}) for i in [0, n): the k hash-function
+ * indices a counting Bloom filter derives from one key, computed as
+ * one lane-parallel pass. Bit-identical to hashSeed() per index.
+ */
+void hashSeedTailBatch(uint64_t salt, uint64_t tail, uint64_t *out,
+                       size_t n);
+
+} // namespace svard::simd
+
+#endif // SVARD_COMMON_SIMD_H

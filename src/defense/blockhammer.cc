@@ -2,38 +2,64 @@
 
 #include <algorithm>
 
-#include "common/rng.h"
+#include "common/log.h"
+#include "common/simd.h"
 
 namespace svard::defense {
 
 CountingBloomFilter::CountingBloomFilter(size_t counters, int hashes,
                                          uint64_t seed)
     : counters_(counters, 0), hashes_(hashes), seed_(seed)
-{}
-
-size_t
-CountingBloomFilter::index(uint64_t key, int hash) const
 {
-    return hashSeed({seed_, static_cast<uint64_t>(hash), key}) %
-           counters_.size();
+    SVARD_ASSERT(hashes >= 1 && hashes <= kMaxHashes,
+                 "CBF hash count outside [1, kMaxHashes]");
+}
+
+void
+CountingBloomFilter::indicesOf(uint64_t key, size_t *out) const
+{
+    // index(key, h) = hashSeed({seed, h, key}) % m for h in [0, k):
+    // exactly the salt/tail lane shape of hashSeedTailBatch. The
+    // modulo stays scalar (m is not a power of two).
+    uint64_t hashes[kMaxHashes];
+    simd::hashSeedTailBatch(seed_, key, hashes,
+                            static_cast<size_t>(hashes_));
+    for (int h = 0; h < hashes_; ++h)
+        out[h] = static_cast<size_t>(hashes[h] % counters_.size());
+}
+
+uint32_t
+CountingBloomFilter::insertAt(const size_t *idx)
+{
+    uint32_t est = UINT32_MAX;
+    for (int h = 0; h < hashes_; ++h)
+        est = std::min(est, ++counters_[idx[h]]);
+    return est;
+}
+
+uint32_t
+CountingBloomFilter::estimateAt(const size_t *idx) const
+{
+    uint32_t est = UINT32_MAX;
+    for (int h = 0; h < hashes_; ++h)
+        est = std::min(est, counters_[idx[h]]);
+    return est;
 }
 
 uint32_t
 CountingBloomFilter::insert(uint64_t key)
 {
-    uint32_t est = UINT32_MAX;
-    for (int h = 0; h < hashes_; ++h)
-        est = std::min(est, ++counters_[index(key, h)]);
-    return est;
+    size_t idx[kMaxHashes];
+    indicesOf(key, idx);
+    return insertAt(idx);
 }
 
 uint32_t
 CountingBloomFilter::estimate(uint64_t key) const
 {
-    uint32_t est = UINT32_MAX;
-    for (int h = 0; h < hashes_; ++h)
-        est = std::min(est, counters_[index(key, h)]);
-    return est;
+    size_t idx[kMaxHashes];
+    indicesOf(key, idx);
+    return estimateAt(idx);
 }
 
 void
@@ -73,7 +99,12 @@ BlockHammer::onActivate(uint32_t bank, uint32_t row, dram::Tick now,
     const uint64_t k = key(bank, row);
     const double budget = aggressorBudget(bank, row);
     const double blacklist_at = params_.blacklistFraction * budget;
-    const uint32_t estimate = cbf_[active_].estimate(k);
+    // One lane-parallel index computation serves both the estimate
+    // and the later insert into the active filter (same key, same
+    // seed, same indices); only the draining filter hashes again.
+    size_t idx_active[CountingBloomFilter::kMaxHashes];
+    cbf_[active_].indicesOf(k, idx_active);
+    const uint32_t estimate = cbf_[active_].estimateAt(idx_active);
 
     if (static_cast<double>(estimate) + 1.0 >= blacklist_at) {
         // Blacklisted (or about to be): admit at most at the rate
@@ -97,7 +128,7 @@ BlockHammer::onActivate(uint32_t bank, uint32_t row, dram::Tick now,
             static_cast<double>(window_left) / remaining);
         nextAllowed_.refOrInsert(k) = now + min_interval;
     }
-    cbf_[active_].insert(k);
+    cbf_[active_].insertAt(idx_active);
     cbf_[active_ ^ 1].insert(k);
 }
 

@@ -23,6 +23,9 @@ namespace svard::defense {
 class CountingBloomFilter
 {
   public:
+    /** Upper bound on k, sized for stack index buffers. */
+    static constexpr int kMaxHashes = 8;
+
     CountingBloomFilter(size_t counters, int hashes, uint64_t seed);
 
     /** Increment; returns the new (min-) estimate for the key. */
@@ -31,11 +34,24 @@ class CountingBloomFilter
     /** Min-counter estimate (never undercounts a key's true count). */
     uint32_t estimate(uint64_t key) const;
 
+    /**
+     * All k counter indices of `key` in one lane-parallel hash pass
+     * (simd::hashSeedTailBatch — the per-hash fold over the key is
+     * identical math, batched over the hash-function lane). `out` must
+     * hold kMaxHashes entries. Lets a caller that both estimates and
+     * inserts the same key reuse one index computation.
+     */
+    void indicesOf(uint64_t key, size_t *out) const;
+
+    /** insert() with indices already computed by indicesOf(key). */
+    uint32_t insertAt(const size_t *idx);
+
+    /** estimate() with indices already computed by indicesOf(key). */
+    uint32_t estimateAt(const size_t *idx) const;
+
     void clear();
 
   private:
-    size_t index(uint64_t key, int hash) const;
-
     std::vector<uint32_t> counters_;
     int hashes_;
     uint64_t seed_;

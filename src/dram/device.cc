@@ -395,12 +395,46 @@ DramDevice::realize(uint32_t bank, uint32_t phys_row)
 
     const double tf = memo.trueCellFrac;
     RowData &rd = rowRef(bank, phys_row);
-    // Per-bit orientation hash = hashSeed({seed, bank, row, bit, tag});
-    // the (seed, bank, row) prefix is loop-invariant, so fold it once
-    // (HashStream's fold is hashSeed's fold) and finish with the two
-    // per-attempt words inside the loop.
+    // Per-bit orientation hash = hashSeed({seed, bank, row, bit, tag}).
+    // The (seed, bank, row) prefix is loop-invariant, and so is the
+    // prefix's contribution to the first per-attempt fold — so hoist
+    // the whole HashStream copy+mix out of the rejection loop: fold
+    // the prefix once, precompute its fold addend, and each attempt is
+    // two plain fold+finalize steps on a uint64. Bit-identical to
+    // HashStream(prefix).mix(bit).mix(tag).value() by substitution.
     HashStream orientation_prefix;
     orientation_prefix.mix(spec_.seed).mix(bank).mix(phys_row);
+    const uint64_t ps = orientation_prefix.value();
+    const uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+    const uint64_t pre = kGolden + (ps << 6) + (ps >> 2);
+    auto orientationHash = [&](uint32_t bit) {
+        uint64_t s = ps ^ (uint64_t(bit) + pre);
+        s = splitmix64(s);
+        s ^= 0x0B17ULL + kGolden + (s << 6) + (s >> 2);
+        return splitmix64(s);
+    };
+
+    // Batched flip application: candidate draws stay sequential (each
+    // acceptance depends on the flips already accepted, so the RNG
+    // consumption sequence is state-dependent and must be preserved
+    // exactly), but accepted flips accumulate in a word->delta staging
+    // table instead of mutating the row store per flip. Probes during
+    // generation read the staged word (seeded from the row on first
+    // touch), and the row's delta table is written once per *touched
+    // word* at the end — one insert/erase per word instead of one per
+    // flip, which is the win when thousands of flips land in a few
+    // hundred distinct words. Below the threshold that regime never
+    // materializes — the common charz case is a handful of flips in
+    // distinct words, where staging costs more probes than it saves —
+    // so small events apply directly through flipBitIf like the
+    // original per-flip path. Final row state and the injected flip
+    // count are bit-identical either way (tests/test_dram.cc pins
+    // exact flip sets in both regimes).
+    constexpr uint64_t kBatchFlipThreshold = 64;
+    const bool batch = n_flips >= kBatchFlipThreshold;
+    if (batch)
+        flipScratch_.clear();
+    const uint64_t fill_word = rd.fillWord();
     uint64_t applied = 0;
     for (uint64_t i = 0; i < n_flips; ++i) {
         // Flip a charged cell: stored value must match orientation.
@@ -415,16 +449,37 @@ DramDevice::realize(uint32_t bank, uint32_t phys_row)
         const int max_attempts = (i == 0) ? 256 : 8;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
             const uint32_t bit = static_cast<uint32_t>(rng_.below(bits));
-            HashStream oh = orientation_prefix;
-            oh.mix(bit).mix(0x0B17ULL);
             const bool true_cell =
-                (oh.value() >> 11) * (1.0 / 9007199254740992.0) < tf;
-            if (rd.flipBitIf(bit, true_cell)) {
+                (orientationHash(bit) >> 11) *
+                    (1.0 / 9007199254740992.0) <
+                tf;
+            if (!batch) {
+                if (rd.flipBitIf(bit, true_cell)) {
+                    ++applied;
+                    break;
+                }
+                continue;
+            }
+            const uint32_t w = bit >> 6;
+            const uint64_t mask = uint64_t(1) << (bit & 63);
+            const uint64_t *staged = flipScratch_.find(w);
+            const uint64_t delta =
+                staged != nullptr ? *staged : rd.deltaWord(w);
+            const bool cur = ((fill_word ^ delta) & mask) != 0;
+            if (cur == true_cell) {
+                // Stage on acceptance only: a rejected attempt costs
+                // one probe per table, like the per-flip path did.
+                // (Staging every *probed* word up front tripled the
+                // insert count and cost the charz pipeline ~25%.)
+                flipScratch_.refOrInsert(w) = delta ^ mask;
                 ++applied;
                 break;
             }
         }
     }
+    if (batch)
+        flipScratch_.forEach(
+            [&](uint32_t w, uint64_t d) { rd.setDeltaWord(w, d); });
     if (applied > 0) {
         stats_.bitflipsInjected += applied;
         ++stats_.rowsFlipped;

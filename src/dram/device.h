@@ -20,6 +20,7 @@
 
 #include "common/flat_table.h"
 #include "common/rng.h"
+#include "common/word_table.h"
 #include "dram/disturbance.h"
 #include "dram/module_spec.h"
 #include "dram/rowdata.h"
@@ -247,6 +248,7 @@ class DramDevice
     FlatTable<double> pending_;
     FlatTable<ModelMemo> memo_;
     std::vector<uint64_t> refreshKeys_; ///< reused refreshAllRows buffer
+    WordTable flipScratch_{64}; ///< reused realize() word->delta staging
     DeviceStats stats_;
 };
 

@@ -7,12 +7,14 @@
  * keeps a 128K-row x 8KB bank affordable while staying bit-exact.
  *
  * Exceptions are kept at uint64 *word* granularity as XOR-deltas
- * against the repeating fill word in a flat open-addressing table
- * (`FlatTable<uint64_t>`, word index -> delta). A delta of zero means
- * "equals the fill", which is exactly the table's default value, so
- * probes and inserts share one code path; bit flips are a single XOR
- * on the delta, and mismatchedBits() is popcount-batched over the
- * handful of delta words instead of walking a per-byte map.
+ * against the repeating fill word in a structure-of-arrays table
+ * (`WordTable`, word index -> delta). A delta of zero means "equals
+ * the fill", so probes and inserts share one code path and bit flips
+ * are a single XOR on the delta. WordTable pins dead slots to value
+ * 0, which lets mismatchedBits() run the simd::xorPopcountBase kernel
+ * over the table's ENTIRE value array — liveness falls out as an
+ * arithmetic identity (dead slots contribute popcount(base) each,
+ * subtracted back in one multiply) instead of a per-slot branch.
  */
 #ifndef SVARD_DRAM_ROWDATA_H
 #define SVARD_DRAM_ROWDATA_H
@@ -21,7 +23,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/flat_table.h"
+#include "common/simd.h"
+#include "common/word_table.h"
 
 namespace svard::dram {
 
@@ -112,6 +115,32 @@ class RowData
         return true;
     }
 
+    /**
+     * XOR-delta of 64-bit word `w` against the repeating fill word
+     * (0 when the word equals the fill). Word-granular staging access
+     * for DramDevice::realize()'s batched flip application.
+     */
+    uint64_t
+    deltaWord(uint32_t w) const
+    {
+        const uint64_t *d = deltas_.find(w);
+        return d == nullptr ? 0 : *d;
+    }
+
+    /** Overwrite word `w`'s delta outright (a zero delta erases). */
+    void
+    setDeltaWord(uint32_t w, uint64_t d)
+    {
+        if (d == 0) {
+            deltas_.erase(w);
+            return;
+        }
+        deltas_.refOrInsert(w) = d;
+    }
+
+    /** The fill byte repeated across a 64-bit word. */
+    uint64_t fillWord() const { return repeatByte(fill_); }
+
     /** Number of bits that differ from a repeating expected fill byte. */
     uint64_t
     mismatchedBits(uint8_t expected_fill) const
@@ -124,17 +153,34 @@ class RowData
             fillWord() ^ repeatByte(expected_fill);
         const uint32_t n_words = numWords();
         const uint64_t tail = tailMask();
+        const uint64_t base_pc =
+            static_cast<uint64_t>(std::popcount(base));
         uint64_t count =
-            static_cast<uint64_t>(std::popcount(base)) *
-            (n_words - (tail == ~uint64_t(0) ? 0 : 1));
+            base_pc * (n_words - (tail == ~uint64_t(0) ? 0 : 1));
         if (tail != ~uint64_t(0))
             count += std::popcount(base & tail);
-        deltas_.forEach([&](uint64_t w, const uint64_t &d) {
-            const uint64_t m =
-                (w + 1 == n_words) ? tail : ~uint64_t(0);
-            count += std::popcount((base ^ d) & m);
-            count -= std::popcount(base & m);
-        });
+        // Per-delta correction, sum over live entries of
+        // popcount(base ^ d) - popcount(base) — computed as ONE dense
+        // vector pass over the whole value array: dead slots hold 0
+        // by WordTable invariant, so they contribute popcount(base)
+        // each, and capacity * popcount(base) subtracts every slot's
+        // base term in one multiply. Intermediate terms may wrap; the
+        // uint64 arithmetic is modular and the final count is exact.
+        const size_t cap = deltas_.capacity();
+        count += simd::xorPopcountBase(deltas_.valsData(), cap, base);
+        count -= base_pc * cap;
+        // The tail word was corrected as if full-width above; redo it
+        // masked. At most one scalar probe, skipped for 8B-multiple
+        // rows (every standard geometry — rowBytes is a power of two).
+        if (tail != ~uint64_t(0)) {
+            const uint64_t *d = deltas_.find(n_words - 1);
+            if (d != nullptr) {
+                count -= std::popcount(base ^ *d);
+                count += std::popcount((base ^ *d) & tail);
+                count += base_pc;
+                count -= std::popcount(base & tail);
+            }
+        }
         return count;
     }
 
@@ -143,7 +189,7 @@ class RowData
     exceptionCount() const
     {
         size_t bytes = 0;
-        deltas_.forEach([&](uint64_t, const uint64_t &d) {
+        deltas_.forEach([&](uint32_t, uint64_t d) {
             for (int b = 0; b < 8; ++b)
                 if ((d >> (b * 8)) & 0xFF)
                     ++bytes;
@@ -156,8 +202,8 @@ class RowData
     toBytes() const
     {
         std::vector<uint8_t> out(bytes_, fill_);
-        deltas_.forEach([&](uint64_t w, const uint64_t &d) {
-            const uint32_t base = static_cast<uint32_t>(w) * 8;
+        deltas_.forEach([&](uint32_t w, uint64_t d) {
+            const uint32_t base = w * 8;
             for (uint32_t b = 0; b < 8 && base + b < bytes_; ++b)
                 out[base + b] ^= static_cast<uint8_t>(d >> (b * 8));
         });
@@ -182,8 +228,6 @@ class RowData
         return uint64_t(b) * 0x0101010101010101ULL;
     }
 
-    uint64_t fillWord() const { return repeatByte(fill_); }
-
     uint32_t numWords() const { return (bytes_ + 7) / 8; }
 
     /** Valid-bit mask of the final word (all-ones for full words). */
@@ -197,7 +241,7 @@ class RowData
 
     uint32_t bytes_ = 0;
     uint8_t fill_ = 0;
-    FlatTable<uint64_t> deltas_{16};
+    WordTable deltas_{16};
 };
 
 } // namespace svard::dram

@@ -6,16 +6,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <map>
+#include <utility>
 #include <stdexcept>
 #include <vector>
 
 #include "common/flat_table.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/word_table.h"
 
 namespace svard {
 namespace {
@@ -325,6 +329,192 @@ TEST(FlatTable, ForEachVisitsExactlyTheLiveEntries)
     size_t visited = 0;
     t.forEach([&](uint64_t, const uint32_t &) { ++visited; });
     EXPECT_EQ(visited, 0u);
+}
+
+TEST(FlatTable, ForEachOrderIsDeterministicForSameHistory)
+{
+    // forEach order is the slot order, which is a pure function of
+    // the insertion/erase history — two tables fed the identical
+    // sequence must visit in the identical order. Defense counter
+    // scans and the streaming-cache fingerprints rely on this.
+    auto build = [](FlatTable<uint32_t> &t) {
+        Rng rng(0x0D3);
+        for (int op = 0; op < 5000; ++op) {
+            const uint64_t key = rng.below(800);
+            if (rng.below(10) < 3)
+                t.erase(key);
+            else
+                t.refOrInsert(key) = static_cast<uint32_t>(op);
+        }
+    };
+    FlatTable<uint32_t> a(16), b(16);
+    build(a);
+    build(b);
+    std::vector<std::pair<uint64_t, uint32_t>> order_a, order_b;
+    a.forEach([&](uint64_t k, const uint32_t &v) {
+        order_a.emplace_back(k, v);
+    });
+    b.forEach([&](uint64_t k, const uint32_t &v) {
+        order_b.emplace_back(k, v);
+    });
+    ASSERT_FALSE(order_a.empty());
+    EXPECT_EQ(order_a, order_b);
+}
+
+TEST(FlatTable, BatchProbesMatchSinglesUnderTombstoneChurn)
+{
+    // Twin tables under the erase-heavy Hydra RCT pattern: `scalar`
+    // mutated one key at a time, `batch` through assignBatch, with
+    // interleaved erase bursts accumulating tombstones between
+    // in-place rehashes. The batch path must be indistinguishable —
+    // same probe results (findBatch vs find, including misses) and
+    // the same slot layout (forEach order), i.e. identical growth
+    // points and tombstone reuse.
+    FlatTable<uint32_t> scalar(16), batch(16);
+    Rng rng(0xBA7C);
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t *> got(64);
+    for (int round = 0; round < 300; ++round) {
+        // Group seeding: a contiguous run of keys, one value.
+        const uint64_t base = rng.below(4000);
+        const uint32_t value = static_cast<uint32_t>(rng.next());
+        keys.clear();
+        for (uint64_t r = 0; r < 32; ++r)
+            keys.push_back(base + r);
+        for (uint64_t k : keys)
+            scalar.refOrInsert(k) = value;
+        batch.assignBatch(keys.data(), keys.size(), value);
+
+        // Erase burst (tombstone churn), same keys on both.
+        for (int e = 0; e < 24; ++e) {
+            const uint64_t k = rng.below(4000);
+            EXPECT_EQ(scalar.erase(k), batch.erase(k)) << k;
+        }
+
+        // Probe a mix of present and absent keys both ways.
+        keys.clear();
+        for (int p = 0; p < 64; ++p)
+            keys.push_back(rng.below(5000)); // ~20% guaranteed absent
+        batch.findBatch(keys.data(), keys.size(), got.data());
+        for (size_t i = 0; i < keys.size(); ++i) {
+            const uint32_t *want = scalar.find(keys[i]);
+            if (want == nullptr) {
+                EXPECT_EQ(got[i], nullptr) << keys[i];
+            } else {
+                ASSERT_NE(got[i], nullptr) << keys[i];
+                EXPECT_EQ(*got[i], *want) << keys[i];
+            }
+        }
+    }
+    EXPECT_EQ(scalar.size(), batch.size());
+    EXPECT_EQ(scalar.capacity(), batch.capacity());
+    std::vector<std::pair<uint64_t, uint32_t>> order_s, order_b;
+    scalar.forEach([&](uint64_t k, const uint32_t &v) {
+        order_s.emplace_back(k, v);
+    });
+    batch.forEach([&](uint64_t k, const uint32_t &v) {
+        order_b.emplace_back(k, v);
+    });
+    EXPECT_EQ(order_s, order_b);
+}
+
+// -----------------------------------------------------------------
+// WordTable (RowData's SoA word-delta store)
+// -----------------------------------------------------------------
+
+TEST(WordTable, InsertFindEraseAndGrowthKeepEveryEntry)
+{
+    WordTable t(8);
+    for (uint32_t k = 0; k < 3000; ++k)
+        t.refOrInsert(k * 7) = (uint64_t(k) << 32) | 0x5A5Au;
+    EXPECT_EQ(t.size(), 3000u);
+    EXPECT_GT(t.capacity(), 3000u);
+    for (uint32_t k = 0; k < 3000; ++k) {
+        const uint64_t *v = t.find(k * 7);
+        ASSERT_NE(v, nullptr) << k;
+        EXPECT_EQ(*v, (uint64_t(k) << 32) | 0x5A5Au);
+    }
+    EXPECT_EQ(t.find(3), nullptr);
+    EXPECT_TRUE(t.erase(7));
+    EXPECT_FALSE(t.erase(7));
+    EXPECT_EQ(t.find(7), nullptr);
+    EXPECT_EQ(t.size(), 2999u);
+}
+
+TEST(WordTable, DeadSlotsHoldZeroThroughChurnAndClear)
+{
+    // THE invariant the vector kernels lean on: summing over the
+    // entire value array must equal summing over the live entries,
+    // because every dead slot (never-used, tombstoned, or cleared)
+    // holds exactly 0. Checked via the kernel itself: a base of 0
+    // makes xorPopcountBase a straight popcount sum.
+    WordTable t(8);
+    Rng rng(0x00DD);
+    for (int op = 0; op < 20000; ++op) {
+        const uint32_t key = static_cast<uint32_t>(rng.below(500));
+        if (rng.below(10) < 4)
+            t.erase(key);
+        else
+            t.refOrInsert(key) = rng.next();
+        if (op % 1999 == 0)
+            t.clear();
+    }
+    uint64_t live_popcount = 0;
+    size_t live = 0;
+    t.forEach([&](uint32_t, uint64_t v) {
+        live_popcount += std::popcount(v);
+        ++live;
+    });
+    EXPECT_EQ(live, t.size());
+    EXPECT_EQ(simd::xorPopcountBase(t.valsData(), t.capacity(), 0),
+              live_popcount);
+    t.clear();
+    EXPECT_EQ(simd::xorPopcountBase(t.valsData(), t.capacity(), 0),
+              0u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(WordTable, RandomOpsMatchReferenceMap)
+{
+    WordTable t(8);
+    std::map<uint32_t, uint64_t> ref;
+    Rng rng(0x30F7);
+    for (int op = 0; op < 30000; ++op) {
+        const uint32_t key = static_cast<uint32_t>(rng.below(2000));
+        switch (rng.below(4)) {
+          case 0: {
+            const bool erased_t = t.erase(key);
+            EXPECT_EQ(erased_t, ref.erase(key) > 0) << key;
+            break;
+          }
+          case 1: {
+            const uint64_t *v = t.find(key);
+            const auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr) << key;
+            } else {
+                ASSERT_NE(v, nullptr) << key;
+                EXPECT_EQ(*v, it->second) << key;
+            }
+            break;
+          }
+          default: {
+            const uint64_t val = rng.next();
+            t.refOrInsert(key) = val;
+            ref[key] = val;
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+    size_t visited = 0;
+    t.forEach([&](uint32_t k, uint64_t v) {
+        const auto it = ref.find(k);
+        ASSERT_NE(it, ref.end()) << k;
+        EXPECT_EQ(v, it->second) << k;
+        ++visited;
+    });
+    EXPECT_EQ(visited, ref.size());
 }
 
 // -----------------------------------------------------------------

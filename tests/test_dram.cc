@@ -11,7 +11,9 @@
 #include <memory>
 #include <set>
 
+#include "bender/test_session.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "dram/device.h"
 #include "dram/module_spec.h"
 #include "dram/rowdata.h"
@@ -308,6 +310,34 @@ TEST(RowData, FlipBitIfOnlyFlipsMatchingBits)
     EXPECT_EQ(rd.exceptionCount(), 0u);
 }
 
+TEST(RowData, MismatchedBitsIdenticalAcrossSimdImpls)
+{
+    // The mismatch count must not depend on which vector
+    // implementation the dispatcher picked — and must equal the
+    // byte-level truth. 131 exercises the masked partial tail word.
+    for (uint32_t bytes : {64u, 131u, 8192u}) {
+        RowData rd(bytes, 0x55);
+        Rng rng(hashSeed({0x51D, bytes}));
+        for (int i = 0; i < 300; ++i)
+            rd.flipBit(static_cast<uint32_t>(rng.below(bytes * 8)));
+        for (uint8_t expected : {uint8_t(0x55), uint8_t(0x00),
+                                 uint8_t(0xFF), uint8_t(0xA5)}) {
+            const auto dense = rd.toBytes();
+            uint64_t truth = 0;
+            for (uint8_t b : dense)
+                truth += std::popcount(uint8_t(b ^ expected));
+            const simd::Impl before = simd::activeImpl();
+            for (simd::Impl impl : simd::availableImpls()) {
+                ASSERT_TRUE(simd::setImpl(impl));
+                EXPECT_EQ(rd.mismatchedBits(expected), truth)
+                    << "bytes=" << bytes
+                    << " impl=" << simd::implName(impl);
+            }
+            ASSERT_TRUE(simd::setImpl(before));
+        }
+    }
+}
+
 // ---------------------------------------------------------------
 // Device-level disturbance mechanics
 // ---------------------------------------------------------------
@@ -495,6 +525,74 @@ TEST_F(DeviceTest, StatsCountCommands)
     device_.hammer(0, 10, 100, 36 * kPsPerNs, 0);
     EXPECT_EQ(device_.stats().activates, 101u);
     EXPECT_EQ(device_.stats().precharges, 101u);
+}
+
+/**
+ * Flip-placement determinism regression: realize() must inject the
+ * EXACT same bit flips for a given (module, seed, pattern, hammer
+ * count) forever. The pinned digests were captured from the
+ * pre-batching per-flip implementation, so they also prove the
+ * batched word-staging path (and the hoisted orientation hash) is
+ * bit-identical to it — not merely self-consistent.
+ */
+TEST(Disturbance, FlipPlacementPinnedAcrossImplementations)
+{
+    struct Case
+    {
+        const char *label;
+        uint32_t bank;
+        uint32_t victim;
+        uint8_t victimFill;
+        uint8_t aggrFill;
+        uint64_t hammers;
+        uint64_t flips;
+        uint64_t digest;
+    };
+    // Spans three modules (Samsung/Hynix/Micron models), row-stripe /
+    // checkerboard-ish fills, and flip volumes from single digits to
+    // thousands (the thousands case exercises multi-flip-per-word
+    // staging and flip/counter-flip collisions).
+    const Case cases[] = {
+        {"S0", 1, 5000, 0x00, 0xFF, 150000, 53,
+         0xfc0e073720018317ull},
+        {"S0", 2, 777, 0xAA, 0xAA, 200000, 7, 0x378d54f932226b80ull},
+        {"H1", 0, 12345, 0xFF, 0x00, 180000, 2801,
+         0x63cc3707e6c85061ull},
+        {"M0", 3, 4096, 0xAA, 0x55, 300000, 4299,
+         0x1a784f526c30f7aeull},
+    };
+    for (const Case &c : cases) {
+        const auto &spec = moduleByLabel(c.label);
+        auto sa = std::make_shared<SubarrayMap>(spec);
+        auto model =
+            std::make_shared<fault::VulnerabilityModel>(spec, sa);
+        DramDevice dev(spec, sa, model, 7);
+        bender::TestSession session(dev);
+
+        const auto aggrs = session.aggressorRowsOf(c.victim);
+        session.initRow(c.bank, c.victim, c.victimFill);
+        for (uint32_t a : aggrs)
+            session.initRow(c.bank, a, c.aggrFill);
+        for (uint32_t a : aggrs)
+            dev.hammer(c.bank, a, c.hammers, dev.timing().tRAS, 0);
+
+        const auto bytes = dev.readRow(c.bank, c.victim);
+        HashStream digest;
+        uint64_t flips = 0;
+        for (uint32_t i = 0; i < bytes.size(); ++i) {
+            const uint8_t diff = bytes[i] ^ c.victimFill;
+            for (int b = 0; b < 8; ++b)
+                if ((diff >> b) & 1) {
+                    digest.mix(uint64_t(i) * 8 + b);
+                    ++flips;
+                }
+        }
+        EXPECT_EQ(flips, c.flips) << c.label << " row " << c.victim;
+        EXPECT_EQ(digest.value(), c.digest)
+            << c.label << " row " << c.victim;
+        EXPECT_EQ(dev.stats().bitflipsInjected, c.flips)
+            << c.label << " row " << c.victim;
+    }
 }
 
 } // namespace
