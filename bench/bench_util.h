@@ -202,6 +202,13 @@ geometryEnvConfig(const sim::SimConfig &fallback)
  *   --resume      assert that a checkpoint already exists at the
  *                 cache path (guards against a typoed path silently
  *                 recomputing everything). Env: SVARD_RESUME=1.
+ *   --manifest=PATH  write a run manifest (obs/manifest.h) after the
+ *                 sweep: schema, spec fingerprint, seed, threads,
+ *                 SIMD impl, build flags, wall time, cell counts,
+ *                 metrics snapshot. Env: SVARD_MANIFEST. Defaults to
+ *                 `<out>.manifest.json` (or `<cache>.manifest.json`
+ *                 when only a cache is named) so every persisted
+ *                 sweep output carries its provenance record.
  */
 struct SweepIo
 {
@@ -209,6 +216,7 @@ struct SweepIo
     std::shared_ptr<io::SweepCache> cache;
     std::string outPath;
     std::string cachePath;
+    std::string manifestPath;
     bool resume = false;
 };
 
@@ -218,6 +226,7 @@ parseSweepIo(int argc, char **argv)
     SweepIo out;
     out.outPath = envStr("SVARD_OUT", "");
     out.cachePath = envStr("SVARD_CACHE", "");
+    out.manifestPath = envStr("SVARD_MANIFEST", "");
     out.resume = envInt("SVARD_RESUME", 0) != 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -225,12 +234,20 @@ parseSweepIo(int argc, char **argv)
             out.outPath = arg.substr(6);
         else if (arg.rfind("--cache=", 0) == 0)
             out.cachePath = arg.substr(8);
+        else if (arg.rfind("--manifest=", 0) == 0)
+            out.manifestPath = arg.substr(11);
         else if (arg == "--resume")
             out.resume = true;
         else
             SVARD_FATAL("unknown argument \"" + arg +
                         "\" (expected --out=PATH, --cache=PATH, "
-                        "--resume)");
+                        "--manifest=PATH, --resume)");
+    }
+    if (out.manifestPath.empty()) {
+        if (!out.outPath.empty())
+            out.manifestPath = out.outPath + ".manifest.json";
+        else if (!out.cachePath.empty())
+            out.manifestPath = out.cachePath + ".manifest.json";
     }
     if (!out.outPath.empty() && out.outPath == out.cachePath)
         SVARD_FATAL("--out and --cache must name different files "

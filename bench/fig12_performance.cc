@@ -75,6 +75,8 @@ main(int argc, char **argv)
 
     spec.sink = sio.sink;
     spec.cache = sio.cache;
+    spec.manifestPath = sio.manifestPath;
+    spec.progressLabel = "fig12-sweep";
 
     // Paper-scale sweeps run for hours; keep a heartbeat on stderr.
     spec.onProgress = [](size_t done, size_t total) {

@@ -40,6 +40,8 @@ main(int argc, char **argv)
     adv.threads = static_cast<unsigned>(envInt("SVARD_THREADS", 0));
     adv.sink = sio.sink;
     adv.cache = sio.cache;
+    adv.manifestPath = sio.manifestPath;
+    adv.progressLabel = "fig13-adversarial";
     const size_t requests = adv.requestsPerCore;
 
     // Traces are generated for the geometry under attack: the row

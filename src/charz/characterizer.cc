@@ -1,11 +1,15 @@
 #include "charz/characterizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "bender/test_session.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace svard::charz {
 
@@ -139,6 +143,10 @@ Characterizer::characterizeRow(uint32_t bank, uint32_t victim,
         characterizeRowOn(session, bank, victim, opt, measurements);
     berMeasurements_.fetch_add(measurements,
                                std::memory_order_relaxed);
+    // Alg. 1 hammer-and-read probes taken (all rows, all iterations).
+    static const obs::MetricId ber_ctr =
+        obs::counter("charz.ber_measurements");
+    obs::add(ber_ctr, measurements);
     return out;
 }
 
@@ -158,10 +166,29 @@ std::vector<RowResult>
 Characterizer::runTasks(const std::vector<RowTask> &tasks,
                         const CharzOptions &opt)
 {
+    static const obs::MetricId rows_ctr = obs::counter("charz.rows");
+    static const obs::MetricId row_wall =
+        obs::histogram("charz.row_wall_us");
+    obs::Span batch_span("charz", "row_batch");
+    batch_span.arg("rows", static_cast<uint64_t>(tasks.size()));
+    obs::ProgressMeter progress("charz", tasks.size(), "rows");
     std::vector<RowResult> out(tasks.size());
     parallelFor(tasks.size(), opt.threads, [&](size_t i) {
+        obs::Span row_span("charz", "row");
+        row_span.arg("bank", static_cast<uint64_t>(tasks[i].bank));
+        row_span.arg("row", static_cast<uint64_t>(tasks[i].victim));
+        const auto start = std::chrono::steady_clock::now();
         out[i] = characterizeRow(tasks[i].bank, tasks[i].victim, opt);
+        obs::add(rows_ctr);
+        obs::observe(
+            row_wall,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+        progress.tick();
     });
+    progress.finish();
     return out;
 }
 

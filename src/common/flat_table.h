@@ -50,6 +50,9 @@ class FlatTable
     bool empty() const { return size_ == 0; }
     size_t capacity() const { return slots_.size(); }
 
+    /** Lifetime rehash count (growths + in-place tombstone purges). */
+    uint64_t rehashes() const { return rehashes_; }
+
     /**
      * Reference to the value of `key`, inserting a default-constructed
      * value first if absent (operator[] of the map it replaces). The
@@ -273,6 +276,7 @@ class FlatTable
         // dominated by tombstones rehashes in place.
         const size_t cap = slots_.size();
         const size_t new_cap = (size_ * 10 >= cap * 4) ? cap * 2 : cap;
+        ++rehashes_;
         std::vector<Slot> old;
         old.swap(slots_);
         slots_.resize(new_cap);
@@ -309,6 +313,7 @@ class FlatTable
     uint32_t gen_ = 1;
     size_t size_ = 0; ///< live entries
     size_t used_ = 0; ///< live + tombstoned slots this generation
+    uint64_t rehashes_ = 0; ///< lifetime rehash count (observability)
 };
 
 } // namespace svard

@@ -107,26 +107,50 @@ maxOf(const std::vector<double> &xs)
 }
 
 CategoricalHistogram::CategoricalHistogram(std::vector<int64_t> labels)
-    : labels_(std::move(labels))
+    : labels_(std::move(labels)), counts_(labels_.size(), 0)
 {
-    for (int64_t l : labels_)
-        counts_[l] = 0;
+    index_.reserve(labels_.size());
+    for (size_t i = 0; i < labels_.size(); ++i)
+        index_.emplace_back(labels_[i], i);
+    std::stable_sort(index_.begin(), index_.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    // Duplicate labels collapse onto their first position, matching the
+    // previous map-backed behaviour.
+    index_.erase(std::unique(index_.begin(), index_.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.first == b.first;
+                             }),
+                 index_.end());
+}
+
+size_t
+CategoricalHistogram::position(int64_t label) const
+{
+    auto it = std::lower_bound(index_.begin(), index_.end(), label,
+                               [](const auto &e, int64_t l) {
+                                   return e.first < l;
+                               });
+    if (it == index_.end() || it->first != label)
+        return SIZE_MAX;
+    return it->second;
 }
 
 void
 CategoricalHistogram::add(int64_t label)
 {
-    auto it = counts_.find(label);
-    SVARD_ASSERT(it != counts_.end(), "unknown histogram label");
-    ++it->second;
+    const size_t pos = position(label);
+    SVARD_ASSERT(pos != SIZE_MAX, "unknown histogram label");
+    ++counts_[pos];
     ++total_;
 }
 
 uint64_t
 CategoricalHistogram::count(int64_t label) const
 {
-    auto it = counts_.find(label);
-    return it == counts_.end() ? 0 : it->second;
+    const size_t pos = position(label);
+    return pos == SIZE_MAX ? 0 : counts_[pos];
 }
 
 double

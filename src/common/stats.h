@@ -9,7 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace svard {
@@ -61,6 +61,10 @@ double maxOf(const std::vector<double> &xs);
  * Histogram over caller-specified ordered bin labels, e.g. the 14 tested
  * hammer counts of Alg. 1. Values are counted at the *exact* label
  * (categorical, as in Fig. 5), not by range.
+ *
+ * Counts live in a flat vector indexed by label position (this sits in
+ * charz inner loops); label -> position lookups binary-search a small
+ * sorted index instead of chasing red-black tree nodes.
  */
 class CategoricalHistogram
 {
@@ -70,7 +74,7 @@ class CategoricalHistogram
     /** Count one observation of the given label; unknown labels panic. */
     void add(int64_t label);
 
-    /** Number of observations at a label. */
+    /** Number of observations at a label (0 for unknown labels). */
     uint64_t count(int64_t label) const;
 
     /** Fraction of all observations at a label. */
@@ -82,8 +86,13 @@ class CategoricalHistogram
     const std::vector<int64_t> &labels() const { return labels_; }
 
   private:
+    /** Position of a label in counts_, or SIZE_MAX when unknown. */
+    size_t position(int64_t label) const;
+
     std::vector<int64_t> labels_;
-    std::map<int64_t, uint64_t> counts_;
+    /** (label, position) pairs sorted by label for binary search. */
+    std::vector<std::pair<int64_t, size_t>> index_;
+    std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
 };
 

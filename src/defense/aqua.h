@@ -39,6 +39,13 @@ class Aqua : public Defense
 
     void onEpochEnd(dram::Tick now) override;
 
+    void
+    tableStats(uint64_t *entries, uint64_t *rehashes) const override
+    {
+        *entries = counts_.size();
+        *rehashes = counts_.rehashes();
+    }
+
   private:
     uint64_t
     key(uint32_t bank, uint32_t row) const

@@ -81,6 +81,13 @@ class BlockHammer : public Defense
 
     void onEpochEnd(dram::Tick now) override;
 
+    void
+    tableStats(uint64_t *entries, uint64_t *rehashes) const override
+    {
+        *entries = nextAllowed_.size();
+        *rehashes = nextAllowed_.rehashes();
+    }
+
     /** Whether a row is currently blacklisted (tests/diagnostics). */
     bool isBlacklisted(uint32_t bank, uint32_t row) const;
 

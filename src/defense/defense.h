@@ -106,6 +106,18 @@ class Defense
     /** Refresh-window rollover: counters of this epoch reset. */
     virtual void onEpochEnd(dram::Tick now) { (void)now; }
 
+    /**
+     * Observability: live entries and lifetime rehash count summed
+     * over the defense's tracking tables (0/0 for table-free defenses
+     * like PARA). Never consulted by simulation logic.
+     */
+    virtual void
+    tableStats(uint64_t *entries, uint64_t *rehashes) const
+    {
+        *entries = 0;
+        *rehashes = 0;
+    }
+
     const DefenseStats &stats() const { return stats_; }
 
     const core::ThresholdProvider &threshold() const

@@ -51,6 +51,15 @@ class Hydra : public Defense
 
     void onEpochEnd(dram::Tick now) override;
 
+    void
+    tableStats(uint64_t *entries, uint64_t *rehashes) const override
+    {
+        *entries = gct_.size() + perRowGroups_.size() + rct_.size() +
+                   rccMap_.size();
+        *rehashes = gct_.rehashes() + perRowGroups_.rehashes() +
+                    rct_.rehashes() + rccMap_.rehashes();
+    }
+
     uint64_t rccMisses() const { return rccMisses_; }
     uint64_t rccHits() const { return rccHits_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 #include <set>
@@ -10,10 +11,16 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "dram/module_spec.h"
 #include "fault/vuln_model.h"
+#include "io/async_sink.h"
 #include "io/result_sink.h"
 #include "io/sweep_cache.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/presets.h"
 
 namespace svard::engine {
@@ -207,6 +214,34 @@ labelMatchesOrganization(const sim::SimConfig &g)
            a.tWTR_S == b.tWTR_S && a.tWTR_L == b.tWTR_L &&
            a.tRFC == b.tRFC && a.tREFI == b.tREFI &&
            a.tREFW == b.tREFW;
+}
+
+/** Queue high-water mark when the sink is an AsyncSink (else 0). */
+uint64_t
+sinkQueueHighWater(io::ResultSink *sink)
+{
+    if (auto *async = dynamic_cast<io::AsyncSink *>(sink))
+        return async->maxDepthSeen();
+    return 0;
+}
+
+/** Seconds since a steady-clock start point. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Microseconds since a steady-clock start point (histograms). */
+uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
 }
 
 /** Build a module's profile resampled onto a geometry. */
@@ -546,6 +581,9 @@ ExperimentRunner::run()
     executedBase_.store(0);
     cachedBase_.store(0);
 
+    const auto wall_start = std::chrono::steady_clock::now();
+    obs::Span run_span("sweep", "run");
+
     // Enumerate the grid, axis order fixed by the spec.
     std::vector<SweepCell> cells;
     for (uint32_t g = 0; g < geoms_.size(); ++g)
@@ -554,6 +592,7 @@ ExperimentRunner::run()
                 for (uint32_t p = 0; p < spec_.providers.size(); ++p)
                     for (uint32_t m = 0; m < spec_.mixes.size(); ++m)
                         cells.push_back({g, d, t, p, m});
+    run_span.arg("cells", static_cast<uint64_t>(cells.size()));
 
     // Resolve metadata serially and probe the cache: hits keep their
     // checkpointed metrics, misses are scheduled. Metadata always
@@ -562,25 +601,48 @@ ExperimentRunner::run()
     results_.assign(cells.size(), CellResult{});
     std::vector<size_t> pending;
     std::vector<char> hit(cells.size(), 0);
-    for (size_t i = 0; i < cells.size(); ++i) {
-        CellResult &out = results_[i];
-        resolveCellMeta(cells[i], &out);
-        CellResult cached;
-        if (spec_.cache &&
-            spec_.cache->lookup(out.seed, out.fingerprint, &cached)) {
-            out.metrics = cached.metrics;
-            out.normalized = cached.normalized;
-            hit[i] = 1;
-        } else {
-            pending.push_back(i);
+    // Spec fingerprint = order-sensitive hash over every cell
+    // fingerprint: two sweeps agree on it iff they would simulate the
+    // same grid. Recorded in the run manifest.
+    HashStream spec_hash;
+    spec_hash.mix(std::string("svard-spec-v1"));
+    {
+        obs::Span probe_span("sweep", "cache_probe");
+        for (size_t i = 0; i < cells.size(); ++i) {
+            CellResult &out = results_[i];
+            resolveCellMeta(cells[i], &out);
+            spec_hash.mix(out.fingerprint);
+            CellResult cached;
+            if (spec_.cache &&
+                spec_.cache->lookup(out.seed, out.fingerprint,
+                                    &cached)) {
+                out.metrics = cached.metrics;
+                out.normalized = cached.normalized;
+                hit[i] = 1;
+            } else {
+                pending.push_back(i);
+            }
         }
+        probe_span.arg("hits",
+                       static_cast<uint64_t>(cells.size() -
+                                             pending.size()));
     }
     cachedHits_ = cells.size() - pending.size();
+    specFingerprint_ = spec_hash.value();
+
+    obs::ProgressMeter progress(spec_.progressLabel, cells.size());
+    progress.addCached(cachedHits_);
 
     // A fully cached re-run executes nothing: no baselines, no
     // profiles, zero simulated cells.
-    if (!pending.empty())
+    if (!pending.empty()) {
+        obs::Span base_span("sweep", "baselines");
         computeBaselines();
+        base_span.arg("executed",
+                      static_cast<uint64_t>(executedBase_.load()));
+        base_span.arg("cached",
+                      static_cast<uint64_t>(cachedBase_.load()));
+    }
 
     // Stream cells out in final order as they finish; cached cells
     // are complete up front (so a resumed sweep's sink emits the
@@ -592,11 +654,27 @@ ExperimentRunner::run()
         if (hit[i])
             emitter.complete(i);
 
+    static const obs::MetricId cells_executed =
+        obs::counter("sweep.cells_executed");
+    static const obs::MetricId cells_cached =
+        obs::counter("sweep.cells_cached");
+    static const obs::MetricId cell_wall =
+        obs::histogram("sweep.cell_wall_us");
+    obs::add(cells_cached, cachedHits_);
+
     std::atomic<size_t> done{cachedHits_};
     parallelFor(pending.size(), spec_.threads, [&](size_t j) {
         const size_t i = pending[j];
         const SweepCell &c = cells[i];
         CellResult &out = results_[i];
+        obs::Span cell_span("sweep", "cell");
+        cell_span.arg("geometry", out.geometry);
+        cell_span.arg("defense", out.defense);
+        cell_span.arg("hc_first", out.threshold);
+        cell_span.arg("provider", out.provider);
+        cell_span.arg("mix", out.mix);
+        cell_span.arg("seed", out.seed);
+        const auto cell_start = std::chrono::steady_clock::now();
         out.metrics = runMixCell(
             c.geom, c.mix, out.defense,
             makeProvider(c.geom, spec_.providers[c.provider],
@@ -609,6 +687,8 @@ ExperimentRunner::run()
             out.metrics.harmonicSpeedup, base.harmonicSpeedup);
         out.normalized.maxSlowdown =
             safeRatio(out.metrics.maxSlowdown, base.maxSlowdown);
+        obs::observe(cell_wall, microsSince(cell_start));
+        obs::add(cells_executed);
         executed_.fetch_add(1);
         // Checkpoint before emitting: a kill between the two loses
         // sink tail rows (rewritten on resume) but never cached work.
@@ -621,13 +701,38 @@ ExperimentRunner::run()
             io_errors.capture();
             emitter.disable();
         }
+        progress.tick();
         if (spec_.onProgress)
             spec_.onProgress(done.fetch_add(1) + 1, cells.size());
     });
     io_errors.rethrow();
     if (spec_.sink)
         spec_.sink->flush();
+    progress.finish();
     ran_ = true;
+
+    if (!spec_.manifestPath.empty()) {
+        obs::RunManifest m;
+        m.kind = "sweep";
+        for (const sim::SimConfig &g : geoms_)
+            m.geometries.push_back(g.geometry);
+        m.specFingerprint = specFingerprint_;
+        m.baseSeed = spec_.baseSeed;
+        m.threads = resolveThreadCount(spec_.threads);
+        m.requestsPerCore = spec_.requestsPerCore;
+        m.simdImpl = simd::implName(simd::activeImpl());
+        m.buildFlags = obs::buildFlagsString();
+        m.wallSeconds = secondsSince(wall_start);
+        m.cellsTotal = cells.size();
+        m.cellsExecuted = executed_.load();
+        m.cellsCached = cachedHits_;
+        m.baselinesExecuted = executedBase_.load();
+        m.baselinesCached = cachedBase_.load();
+        m.sinkQueueHighWater = sinkQueueHighWater(spec_.sink.get());
+        if (spec_.cache)
+            m.cachePath = spec_.cache->path();
+        writeManifest(spec_.manifestPath, m, obs::snapshot());
+    }
     return results_;
 }
 
@@ -702,6 +807,9 @@ runAdversarialSweep(const AdversarialSpec &adv,
 {
     const sim::SimConfig &cfg = adv.config;
     const auto &suite = sim::benchmarkSuite();
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    obs::Span run_span("sweep", "adversarial_run");
 
     // Typos must throw here, not inside a sharded worker thread.
     for (const auto &c : adv.cases)
@@ -790,6 +898,8 @@ runAdversarialSweep(const AdversarialSpec &adv,
     std::vector<CellResult> defended(cells.size());
     std::vector<size_t> pending;
     std::vector<char> hit(cells.size(), 0);
+    HashStream spec_hash;
+    spec_hash.mix(std::string("svard-adv-spec-v1"));
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &cell = cells[i];
         const ProviderSpec &prov = adv.providers[cell.p];
@@ -809,6 +919,7 @@ runAdversarialSweep(const AdversarialSpec &adv,
         h.mix(prov.name).mix(prov.moduleLabel);
         hashTrace(h, adv.cases[cell.c].traces[cell.t]);
         out.fingerprint = h.value();
+        spec_hash.mix(out.fingerprint);
         CellResult cached;
         if (adv.cache &&
             adv.cache->lookup(out.seed, out.fingerprint, &cached)) {
@@ -942,6 +1053,10 @@ runAdversarialSweep(const AdversarialSpec &adv,
     stats.executed += ref_pending.size();
     io_errors.rethrow();
 
+    const size_t defended_hits = cells.size() - pending.size();
+    obs::ProgressMeter progress(adv.progressLabel, cells.size());
+    progress.addCached(defended_hits);
+
     OrderedEmitter emitter(defended, adv.sink.get());
     for (size_t i = 0; i < cells.size(); ++i)
         if (hit[i])
@@ -950,6 +1065,12 @@ runAdversarialSweep(const AdversarialSpec &adv,
         const size_t i = pending[j];
         const Cell &cell = cells[i];
         CellResult &out = defended[i];
+        obs::Span cell_span("sweep", "adversarial_cell");
+        cell_span.arg("case", adv.cases[cell.c].name);
+        cell_span.arg("defense", out.defense);
+        cell_span.arg("provider", out.provider);
+        cell_span.arg("trace", static_cast<uint64_t>(cell.t));
+        cell_span.arg("seed", out.seed);
         out.metrics.weightedSpeedup = run_one(
             adv.cases[cell.c].traces[cell.t],
             adv.cases[cell.c].defense,
@@ -967,13 +1088,38 @@ runAdversarialSweep(const AdversarialSpec &adv,
             io_errors.capture();
             emitter.disable();
         }
+        progress.tick();
     });
     stats.executed += pending.size();
     io_errors.rethrow();
     if (adv.sink)
         adv.sink->flush();
+    progress.finish();
     if (io_stats)
         *io_stats = stats;
+
+    if (!adv.manifestPath.empty()) {
+        obs::RunManifest m;
+        m.kind = "adversarial";
+        m.geometries.push_back(cfg.geometry);
+        m.specFingerprint = spec_hash.value();
+        m.baseSeed = adv.baseSeed;
+        m.threads = resolveThreadCount(adv.threads);
+        m.requestsPerCore = adv.requestsPerCore;
+        m.simdImpl = simd::implName(simd::activeImpl());
+        m.buildFlags = obs::buildFlagsString();
+        m.wallSeconds = secondsSince(wall_start);
+        m.cellsTotal = cells.size();
+        m.cellsExecuted = pending.size();
+        m.cellsCached = defended_hits;
+        // Reference + alone runs play the baseline role here.
+        m.baselinesExecuted = stats.executed - pending.size();
+        m.baselinesCached = stats.cached - defended_hits;
+        m.sinkQueueHighWater = sinkQueueHighWater(adv.sink.get());
+        if (adv.cache)
+            m.cachePath = adv.cache->path();
+        writeManifest(adv.manifestPath, m, obs::snapshot());
+    }
 
     std::vector<double> ws(cells.size(), 0.0);
     for (size_t i = 0; i < cells.size(); ++i)

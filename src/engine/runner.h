@@ -67,6 +67,11 @@ class ExperimentRunner
      *  resume stops recomputing them. */
     size_t cachedBaselines() const { return cachedBase_.load(); }
 
+    /** Order-sensitive hash over every cell fingerprint (the whole
+     *  grid's identity; recorded in the run manifest). 0 before
+     *  run(). */
+    uint64_t specFingerprint() const { return specFingerprint_; }
+
     /** Mean normalized metrics per configuration, axis order. */
     std::vector<SummaryRow> summarize();
 
@@ -162,6 +167,7 @@ class ExperimentRunner
     size_t cachedHits_ = 0;
     std::atomic<size_t> executedBase_{0};
     std::atomic<size_t> cachedBase_{0};
+    uint64_t specFingerprint_ = 0;
 };
 
 } // namespace svard::engine

@@ -121,6 +121,18 @@ struct SweepSpec
      * cache executes only missing/changed cells.
      */
     std::shared_ptr<io::SweepCache> cache;
+
+    /**
+     * Optional run-manifest path (obs/manifest.h): after the sweep
+     * finishes, a JSON record of what produced the output — spec
+     * fingerprint, seed, thread count, SIMD impl, build flags, wall
+     * time, cell counts, and the final metrics snapshot — is written
+     * here. Conventionally `<out>.manifest.json` next to the sink.
+     */
+    std::string manifestPath;
+
+    /** Progress/heartbeat phase label ("fig12-sweep" etc). */
+    std::string progressLabel = "sweep";
 };
 
 /** Grid coordinates of one cell. */
@@ -191,6 +203,12 @@ struct AdversarialSpec
     /** Optional per-cell cache; covers reference runs too, so a
      *  resumed adversarial sweep re-executes nothing it finished. */
     std::shared_ptr<io::SweepCache> cache;
+
+    /** Optional run-manifest path (see SweepSpec::manifestPath). */
+    std::string manifestPath;
+
+    /** Progress/heartbeat phase label. */
+    std::string progressLabel = "adversarial";
 };
 
 /** Cache effectiveness of one sweep execution. */

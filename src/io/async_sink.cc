@@ -1,10 +1,39 @@
 #include "io/async_sink.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace svard::io {
+namespace {
+
+obs::MetricId
+queueHighWaterGauge()
+{
+    static const obs::MetricId id =
+        obs::gauge("io.sink_queue_high_water");
+    return id;
+}
+
+obs::MetricId
+rowsWrittenCounter()
+{
+    static const obs::MetricId id = obs::counter("io.sink_rows_written");
+    return id;
+}
+
+obs::MetricId
+flushLatencyHistogram()
+{
+    static const obs::MetricId id =
+        obs::histogram("io.sink_flush_us");
+    return id;
+}
+
+} // namespace
 
 AsyncSink::AsyncSink(std::unique_ptr<ResultSink> inner,
                      size_t queue_capacity)
@@ -50,13 +79,17 @@ AsyncSink::write(const engine::CellResult &row)
     rethrowLocked(lock);
     queue_.push_back(row);
     maxDepth_ = std::max(maxDepth_, queue_.size());
+    obs::gaugeMax(queueHighWaterGauge(), maxDepth_);
     canPop_.notify_one();
 }
 
 void
 AsyncSink::flush()
 {
+    obs::Span span("io", "async_flush");
+    const auto start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mu_);
+    span.arg("queued", static_cast<uint64_t>(queue_.size()));
     drained_.wait(lock, [this] {
         return (queue_.empty() && !writing_) || error_ != nullptr;
     });
@@ -66,6 +99,11 @@ AsyncSink::flush()
     // we are inside inner_->flush() — a data race on the inner sink,
     // which is promised single-threaded access.
     inner_->flush();
+    obs::observe(flushLatencyHistogram(),
+                 static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count()));
 }
 
 size_t
@@ -73,6 +111,20 @@ AsyncSink::maxDepthSeen() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return maxDepth_;
+}
+
+size_t
+AsyncSink::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() + (writing_ ? 1 : 0);
+}
+
+uint64_t
+AsyncSink::rowsWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rowsWritten_;
 }
 
 void
@@ -94,8 +146,10 @@ AsyncSink::writerLoop()
 
         try {
             inner_->write(row);
+            obs::add(rowsWrittenCounter());
             lock.lock();
             writing_ = false;
+            ++rowsWritten_;
         } catch (...) {
             lock.lock();
             writing_ = false;

@@ -12,6 +12,7 @@
 #define SVARD_IO_ASYNC_SINK_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,12 @@ class AsyncSink : public ResultSink
     /** High-water mark of the queue (tuning/observability). */
     size_t maxDepthSeen() const;
 
+    /** Rows currently queued and not yet handed to the inner sink. */
+    size_t queueDepth() const;
+
+    /** Rows written through to the inner sink so far. */
+    uint64_t rowsWritten() const;
+
   private:
     void writerLoop();
     void rethrowLocked(std::unique_lock<std::mutex> &lock);
@@ -52,6 +59,7 @@ class AsyncSink : public ResultSink
     bool stop_ = false;
     bool writing_ = false; ///< a row is between pop and inner write
     size_t maxDepth_ = 0;
+    uint64_t rowsWritten_ = 0;
     std::exception_ptr error_;
 
     std::thread writer_;

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "io/result_sink.h"
+#include "obs/metrics.h"
 
 namespace svard::io {
 
@@ -67,10 +68,22 @@ bool
 SweepCache::lookup(uint64_t seed, uint64_t fingerprint,
                    engine::CellResult *out) const
 {
+    static const obs::MetricId hits = obs::counter("cache.hits");
+    static const obs::MetricId misses = obs::counter("cache.misses");
+    static const obs::MetricId invalidated =
+        obs::counter("cache.invalidated");
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = cells_.find({seed, fingerprint});
-    if (it == cells_.end())
+    if (it == cells_.end()) {
+        obs::add(misses);
+        // Same cell seed cached under a different fingerprint: the
+        // spec's resolved inputs changed and invalidated this record.
+        const auto near = cells_.lower_bound({seed, 0});
+        if (near != cells_.end() && near->first.first == seed)
+            obs::add(invalidated);
         return false;
+    }
+    obs::add(hits);
     *out = it->second;
     return true;
 }
@@ -78,6 +91,8 @@ SweepCache::lookup(uint64_t seed, uint64_t fingerprint,
 void
 SweepCache::store(const engine::CellResult &row)
 {
+    static const obs::MetricId stores = obs::counter("cache.stores");
+    obs::add(stores);
     std::lock_guard<std::mutex> lock(mu_);
     const std::pair<uint64_t, uint64_t> key{row.seed,
                                             row.fingerprint};

@@ -1,0 +1,173 @@
+#include "obs/manifest.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace svard::obs {
+namespace {
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + json::escape(s) + "\"";
+}
+
+uint64_t
+u64Field(const json::Value &v, const char *key)
+{
+    const json::Value *f = v.find(key);
+    return f ? f->asU64() : 0;
+}
+
+std::string
+strField(const json::Value &v, const char *key)
+{
+    const json::Value *f = v.find(key);
+    return f ? f->asString() : std::string();
+}
+
+} // namespace
+
+std::string
+buildFlagsString()
+{
+    std::string flags;
+    const auto append = [&flags](const char *f) {
+        if (!flags.empty())
+            flags += ",";
+        flags += f;
+    };
+#ifdef NDEBUG
+    append("ndebug");
+#endif
+#ifndef SVARD_SIMD_OFF
+    append("simd");
+#endif
+#ifndef SVARD_OBS_OFF
+    append("obs");
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+    append("asan");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    append("asan");
+#endif
+#endif
+    if (flags.empty())
+        flags = "debug";
+    return flags;
+}
+
+bool
+writeManifest(const std::string &path, const RunManifest &m,
+              const Snapshot &metrics)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("manifest: cannot open '" + path + "' for writing");
+        return false;
+    }
+    const int64_t tsMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::string geoms = "[";
+    for (size_t i = 0; i < m.geometries.size(); ++i) {
+        if (i)
+            geoms += ", ";
+        geoms += quoted(m.geometries[i]);
+    }
+    geoms += "]";
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": \"%s\",\n"
+                 "  \"kind\": %s,\n"
+                 "  \"created_unix_ms\": %lld,\n"
+                 "  \"geometries\": %s,\n"
+                 "  \"spec_fingerprint\": %llu,\n"
+                 "  \"base_seed\": %llu,\n"
+                 "  \"threads\": %u,\n"
+                 "  \"requests_per_core\": %llu,\n"
+                 "  \"simd_impl\": %s,\n"
+                 "  \"build_flags\": %s,\n"
+                 "  \"wall_s\": %s,\n"
+                 "  \"cells_total\": %llu,\n"
+                 "  \"cells_executed\": %llu,\n"
+                 "  \"cells_cached\": %llu,\n"
+                 "  \"baselines_executed\": %llu,\n"
+                 "  \"baselines_cached\": %llu,\n"
+                 "  \"sink_queue_high_water\": %llu,\n"
+                 "  \"out_path\": %s,\n"
+                 "  \"cache_path\": %s,\n"
+                 "  \"metrics\": %s\n"
+                 "}\n",
+                 kManifestSchema, quoted(m.kind).c_str(),
+                 static_cast<long long>(tsMs), geoms.c_str(),
+                 static_cast<unsigned long long>(m.specFingerprint),
+                 static_cast<unsigned long long>(m.baseSeed), m.threads,
+                 static_cast<unsigned long long>(m.requestsPerCore),
+                 quoted(m.simdImpl).c_str(),
+                 quoted(m.buildFlags).c_str(),
+                 json::formatNumber(m.wallSeconds).c_str(),
+                 static_cast<unsigned long long>(m.cellsTotal),
+                 static_cast<unsigned long long>(m.cellsExecuted),
+                 static_cast<unsigned long long>(m.cellsCached),
+                 static_cast<unsigned long long>(m.baselinesExecuted),
+                 static_cast<unsigned long long>(m.baselinesCached),
+                 static_cast<unsigned long long>(m.sinkQueueHighWater),
+                 quoted(m.outPath).c_str(), quoted(m.cachePath).c_str(),
+                 metrics.toJson(4).c_str());
+    std::fclose(f);
+    return true;
+}
+
+bool
+readManifest(const std::string &path, RunManifest *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        if (err)
+            *err = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value doc;
+    if (!json::Value::parse(buf.str(), &doc, err))
+        return false;
+    if (strField(doc, "schema") != kManifestSchema) {
+        if (err)
+            *err = "unexpected manifest schema '" +
+                   strField(doc, "schema") + "'";
+        return false;
+    }
+    out->kind = strField(doc, "kind");
+    out->geometries.clear();
+    if (const json::Value *g = doc.find("geometries"))
+        for (const json::Value &item : g->items())
+            out->geometries.push_back(item.asString());
+    out->specFingerprint = u64Field(doc, "spec_fingerprint");
+    out->baseSeed = u64Field(doc, "base_seed");
+    out->threads = static_cast<uint32_t>(u64Field(doc, "threads"));
+    out->requestsPerCore = u64Field(doc, "requests_per_core");
+    out->simdImpl = strField(doc, "simd_impl");
+    out->buildFlags = strField(doc, "build_flags");
+    if (const json::Value *w = doc.find("wall_s"))
+        out->wallSeconds = w->asNumber();
+    out->cellsTotal = u64Field(doc, "cells_total");
+    out->cellsExecuted = u64Field(doc, "cells_executed");
+    out->cellsCached = u64Field(doc, "cells_cached");
+    out->baselinesExecuted = u64Field(doc, "baselines_executed");
+    out->baselinesCached = u64Field(doc, "baselines_cached");
+    out->sinkQueueHighWater = u64Field(doc, "sink_queue_high_water");
+    out->outPath = strField(doc, "out_path");
+    out->cachePath = strField(doc, "cache_path");
+    return true;
+}
+
+} // namespace svard::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Run manifests: a small JSON file written next to every sink/cache
+ * output describing what produced it — schema version, run kind,
+ * geometry presets, spec fingerprint, base seed, thread count, SIMD
+ * dispatch impl, build flags, wall time, cell/baseline counts, sink
+ * queue high-water mark, and the final metrics snapshot. A result file
+ * without its manifest is an orphan; with it, any later fleet
+ * coordinator (or a human three months out) can tell exactly which
+ * code and configuration produced the bytes.
+ *
+ * Schema: "svard-manifest-v1".
+ */
+#ifndef SVARD_OBS_MANIFEST_H
+#define SVARD_OBS_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace svard::obs {
+
+constexpr const char *kManifestSchema = "svard-manifest-v1";
+
+struct RunManifest
+{
+    std::string kind; ///< "sweep", "adversarial", "charz", ...
+    std::vector<std::string> geometries; ///< preset names swept
+    uint64_t specFingerprint = 0; ///< hash over every cell fingerprint
+    uint64_t baseSeed = 0;
+    uint32_t threads = 0; ///< resolved worker count (0 = hw default)
+    uint64_t requestsPerCore = 0;
+    std::string simdImpl; ///< active dispatch impl ("avx2", "scalar"...)
+    std::string buildFlags; ///< comma list: ndebug, simd, obs, asan...
+    double wallSeconds = 0.0;
+    uint64_t cellsTotal = 0;
+    uint64_t cellsExecuted = 0;
+    uint64_t cellsCached = 0;
+    uint64_t baselinesExecuted = 0;
+    uint64_t baselinesCached = 0;
+    uint64_t sinkQueueHighWater = 0;
+    std::string outPath;   ///< result sink path ("" if none)
+    std::string cachePath; ///< sweep cache path ("" if none)
+};
+
+/** Build-flag summary of this binary (for the manifest/perf records). */
+std::string buildFlagsString();
+
+/**
+ * Write `m` plus the metrics snapshot to `path` as pretty-printed
+ * JSON. Returns false (after warning) if the file cannot be written —
+ * manifests are bookkeeping and must never kill a finished run.
+ */
+bool writeManifest(const std::string &path, const RunManifest &m,
+                   const Snapshot &metrics);
+
+/**
+ * Parse a manifest written by writeManifest (schema-checked). The
+ * metrics snapshot is not reconstructed — tests inspect it through the
+ * JSON DOM directly. Returns false on parse/schema mismatch.
+ */
+bool readManifest(const std::string &path, RunManifest *out,
+                  std::string *err = nullptr);
+
+} // namespace svard::obs
+
+#endif // SVARD_OBS_MANIFEST_H

@@ -1,0 +1,246 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace svard::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Event
+{
+    const char *category;
+    const char *name;
+    uint64_t tsNs;  ///< start, ns since trace epoch
+    uint64_t durNs; ///< 0 for instant events
+    uint32_t tid;
+    char phase; ///< 'X' complete, 'i' instant
+    std::string args; ///< pre-rendered `"k": v` pairs, comma-joined
+};
+
+struct Recorder
+{
+    std::atomic<bool> enabled{false};
+    std::mutex mu;
+    std::string path;
+    Clock::time_point epoch;
+    std::vector<Event> events;
+    std::atomic<uint32_t> nextLane{1};
+    uint32_t lanesSeen = 0;
+};
+
+Recorder &
+recorder()
+{
+    static Recorder *r = new Recorder; // leaked: outlive static dtors
+    return *r;
+}
+
+thread_local uint32_t tlsLane = 0;
+
+uint32_t
+myLane()
+{
+    if (tlsLane == 0)
+        tlsLane =
+            recorder().nextLane.fetch_add(1, std::memory_order_relaxed);
+    return tlsLane;
+}
+
+void
+writeTraceFile(Recorder &r)
+{
+    FILE *f = std::fopen(r.path.c_str(), "wb");
+    if (!f) {
+        warn("trace: cannot open '" + r.path + "' for writing");
+        return;
+    }
+    std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    bool first = true;
+    for (uint32_t lane = 1; lane <= r.lanesSeen; ++lane) {
+        std::fprintf(f,
+                     "%s\n{\"name\": \"thread_name\", \"ph\": \"M\", "
+                     "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": "
+                     "\"thread-%u\"}}",
+                     first ? "" : ",", lane, lane);
+        first = false;
+    }
+    for (const Event &e : r.events) {
+        std::fprintf(
+            f,
+            "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+            "\"ts\": %.3f, ",
+            first ? "" : ",", json::escape(e.name).c_str(),
+            json::escape(e.category).c_str(), e.phase,
+            double(e.tsNs) / 1000.0);
+        first = false;
+        if (e.phase == 'X')
+            std::fprintf(f, "\"dur\": %.3f, ", double(e.durNs) / 1000.0);
+        else
+            std::fprintf(f, "\"s\": \"t\", ");
+        std::fprintf(f, "\"pid\": 1, \"tid\": %u, \"args\": {%s}}",
+                     e.tid, e.args.c_str());
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    inform("trace: wrote " + std::to_string(r.events.size()) +
+           " events to " + r.path);
+}
+
+/** Honor SVARD_TRACE=<path> on first use; flushed via atexit. */
+void
+initFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *path = std::getenv("SVARD_TRACE");
+        if (path && *path) {
+            startTrace(path);
+            std::atexit(stopTrace);
+        }
+    });
+}
+
+void
+record(const char *category, const char *name, uint64_t tsNs,
+       uint64_t durNs, char phase, std::string args)
+{
+    Recorder &r = recorder();
+    const uint32_t lane = myLane();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.enabled.load(std::memory_order_relaxed))
+        return; // stopped while the span was open: drop it
+    r.lanesSeen = std::max(r.lanesSeen, lane);
+    r.events.push_back(
+        {category, name, tsNs, durNs, lane, phase, std::move(args)});
+}
+
+uint64_t
+sinceEpochNs(Clock::time_point tp)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp - recorder().epoch)
+            .count());
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    initFromEnv();
+    return recorder().enabled.load(std::memory_order_relaxed);
+}
+
+void
+startTrace(const std::string &path)
+{
+    stopTrace(); // flush any active trace first
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.path = path;
+    r.epoch = Clock::now();
+    r.events.clear();
+    r.lanesSeen = 0;
+    r.enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+stopTrace()
+{
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.enabled.load(std::memory_order_relaxed))
+        return;
+    r.enabled.store(false, std::memory_order_relaxed);
+    writeTraceFile(r);
+    r.events.clear();
+    r.events.shrink_to_fit();
+}
+
+std::string
+tracePath()
+{
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.enabled.load(std::memory_order_relaxed) ? r.path
+                                                     : std::string();
+}
+
+struct Span::Rec
+{
+    const char *category;
+    const char *name;
+    Clock::time_point start;
+    std::string args;
+};
+
+Span::Span(const char *category, const char *name)
+{
+    if (!traceEnabled())
+        return;
+    rec_ = new Rec{category, name, Clock::now(), {}};
+}
+
+Span::~Span()
+{
+    if (!rec_)
+        return;
+    const uint64_t tsNs = sinceEpochNs(rec_->start);
+    const uint64_t durNs = sinceEpochNs(Clock::now()) - tsNs;
+    record(rec_->category, rec_->name, tsNs, durNs, 'X',
+           std::move(rec_->args));
+    delete rec_;
+}
+
+void
+Span::arg(const char *key, const std::string &v)
+{
+    if (!rec_)
+        return;
+    if (!rec_->args.empty())
+        rec_->args += ", ";
+    rec_->args += "\"" + json::escape(key) + "\": \"" + json::escape(v) +
+                  "\"";
+}
+
+void
+Span::arg(const char *key, uint64_t v)
+{
+    if (!rec_)
+        return;
+    if (!rec_->args.empty())
+        rec_->args += ", ";
+    rec_->args += "\"" + json::escape(key) + "\": " + std::to_string(v);
+}
+
+void
+Span::arg(const char *key, double v)
+{
+    if (!rec_)
+        return;
+    if (!rec_->args.empty())
+        rec_->args += ", ";
+    rec_->args +=
+        "\"" + json::escape(key) + "\": " + json::formatNumber(v);
+}
+
+void
+traceInstant(const char *category, const char *name)
+{
+    if (!traceEnabled())
+        return;
+    record(category, name, sinceEpochNs(Clock::now()), 0, 'i', {});
+}
+
+} // namespace svard::obs

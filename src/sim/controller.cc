@@ -254,6 +254,7 @@ MemController::tryIssue()
     if (scanCacheValid_ && scanCacheDrained_ == drained &&
         now_ < scanBlockedUntil_) {
         lastFailCached_ = true;
+        ++stats_.blockedUntilHits;
         return false;
     }
     lastFailCached_ = false;
@@ -365,10 +366,15 @@ MemController::tryIssue()
             p2_idx = i; // closed bank: activate
         } else {
             const Rank &rank = ranks_[rankOf(r.flatBank)];
-            blocked_at(std::max(bank.readyAct,
-                                rankActReady(rank,
-                                             bankGroupOf(r.flatBank))),
-                       false);
+            const dram::Tick rank_at =
+                rankActReady(rank, bankGroupOf(r.flatBank));
+            // The bank itself is ready but the rank's four-activate
+            // window is the binding constraint: a true tFAW stall.
+            if (bank.readyAct <= now_ && rank_at > now_ &&
+                rank.actCount == 4 &&
+                rank_at == rank.oldestAct() + t.tFAW)
+                ++stats_.tfawStalls;
+            blocked_at(std::max(bank.readyAct, rank_at), false);
         }
     }
 

@@ -122,6 +122,10 @@ struct ControllerStats
     uint64_t swaps = 0;
     uint64_t metadataAccesses = 0;
     dram::Tick throttleStall = 0;
+    /** Scheduler scans answered by the O(1) blocked-until cache. */
+    uint64_t blockedUntilHits = 0;
+    /** Closed-bank activates blocked specifically by the tFAW window. */
+    uint64_t tfawStalls = 0;
 };
 
 /**

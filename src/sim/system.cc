@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace svard::sim {
 
@@ -10,6 +11,76 @@ namespace {
 constexpr dram::Tick kFar = std::numeric_limits<dram::Tick>::max() / 4;
 /** Co-simulation quantum: bounded drift between cores and controller. */
 constexpr dram::Tick kQuantum = 500 * dram::kPsPerNs;
+
+/**
+ * Fold one finished run's controller/defense stats into the process
+ * metrics registry. Pure observation: reads completed stats, feeds
+ * nothing back, so results are identical with metrics on or off.
+ */
+void
+foldRunMetrics(const SimEngine &eng, const RunResult &res)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const obs::MetricId runs = obs::counter("sim.runs");
+    static const obs::MetricId reads = obs::counter("sim.reads");
+    static const obs::MetricId writes = obs::counter("sim.writes");
+    static const obs::MetricId acts = obs::counter("sim.activations");
+    static const obs::MetricId rowHits = obs::counter("sim.row_hits");
+    static const obs::MetricId rowConf =
+        obs::counter("sim.row_conflicts");
+    static const obs::MetricId refr = obs::counter("sim.refreshes");
+    static const obs::MetricId blockedHits =
+        obs::counter("sim.blocked_until_hits");
+    static const obs::MetricId tfaw = obs::counter("sim.tfaw_stalls");
+    static const obs::MetricId defActs =
+        obs::counter("defense.activations_observed");
+    static const obs::MetricId defPrev =
+        obs::counter("defense.preventive_refreshes");
+    static const obs::MetricId defThrottle =
+        obs::counter("defense.throttle_events");
+    static const obs::MetricId defMigr =
+        obs::counter("defense.migrations");
+    static const obs::MetricId defSwaps = obs::counter("defense.swaps");
+    static const obs::MetricId defMeta =
+        obs::counter("defense.metadata_accesses");
+    static const obs::MetricId defEntries =
+        obs::gauge("defense.table_entries");
+    static const obs::MetricId defRehashes =
+        obs::counter("defense.table_rehashes");
+
+    const ControllerStats &c = res.controller;
+    obs::add(runs);
+    obs::add(reads, c.reads);
+    obs::add(writes, c.writes);
+    obs::add(acts, c.activations);
+    obs::add(rowHits, c.rowHits);
+    obs::add(rowConf, c.rowConflicts);
+    obs::add(refr, c.refreshes);
+    obs::add(blockedHits, c.blockedUntilHits);
+    obs::add(tfaw, c.tfawStalls);
+
+    if (!eng.hasDefense())
+        return;
+    const defense::DefenseStats &d = res.defense;
+    obs::add(defActs, d.activationsObserved);
+    obs::add(defPrev, d.preventiveRefreshes);
+    obs::add(defThrottle, d.throttleEvents);
+    obs::add(defMigr, d.migrations);
+    obs::add(defSwaps, d.swaps);
+    obs::add(defMeta, d.metadataAccesses);
+    uint64_t entries = 0, rehashes = 0;
+    for (uint32_t ch = 0; ch < eng.channels(); ++ch) {
+        if (const defense::Defense *def = eng.defenseOf(ch)) {
+            uint64_t e = 0, r = 0;
+            def->tableStats(&e, &r);
+            entries += e;
+            rehashes += r;
+        }
+    }
+    obs::gaugeMax(defEntries, entries);
+    obs::add(defRehashes, rehashes);
+}
 } // anonymous namespace
 
 System::System(const SimConfig &cfg,
@@ -139,6 +210,7 @@ System::run()
     if (engine_->hasDefense())
         out.defense = engine_->defenseStats();
     out.endTime = engine_->now();
+    foldRunMetrics(*engine_, out);
     return out;
 }
 
