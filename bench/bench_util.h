@@ -8,6 +8,7 @@
 #define SVARD_BENCH_BENCH_UTIL_H
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <functional>
@@ -16,6 +17,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <signal.h>
 
 #include "charz/characterizer.h"
 #include "common/log.h"
@@ -187,6 +190,39 @@ geometryEnvConfig(const sim::SimConfig &fallback)
     return sim::presets::get(names[0]);
 }
 
+/** The graceful-stop flag SIGINT/SIGTERM handlers set (one per
+ *  process; wire it into SweepSpec::stopFlag / FabricOptions). */
+inline std::atomic<bool> &
+stopRequestedFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+/**
+ * Install SIGINT/SIGTERM handlers that set stopRequestedFlag()
+ * instead of killing the process: in-flight cells finish and
+ * checkpoint, sinks flush, and the manifest records
+ * `"interrupted": true`. Benches exit 130 on an interrupted run (the
+ * shell convention for death-by-SIGINT), so scripts can distinguish
+ * "stopped, resumable" from "finished". A second signal falls back
+ * to the default disposition — a stuck sweep stays killable.
+ */
+inline void
+installStopHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {
+        stopRequestedFlag().store(true);
+        struct sigaction dfl = {};
+        dfl.sa_handler = SIG_DFL;
+        ::sigaction(SIGINT, &dfl, nullptr);
+        ::sigaction(SIGTERM, &dfl, nullptr);
+    };
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 /**
  * Shared streaming/caching plumbing of the sweep benches
  * (fig12/fig13): a result sink and a per-cell sweep cache resolved
@@ -209,6 +245,26 @@ geometryEnvConfig(const sim::SimConfig &fallback)
  *                 `<out>.manifest.json` (or `<cache>.manifest.json`
  *                 when only a cache is named) so every persisted
  *                 sweep output carries its provenance record.
+ *
+ * Multi-process fabric (src/fabric/; fig12 only for now):
+ *
+ *   --ledger=PATH    shared work-ledger file all processes agree on.
+ *                    Env: SVARD_LEDGER.
+ *   --worker=ID      run as a fabric worker: claim cell ranges from
+ *                    the ledger, execute into the private shard
+ *                    `<ledger>.shard-ID.svc`, emit nothing. ID must
+ *                    be unique per process. Env: SVARD_WORKER.
+ *   --coordinate     run as the coordinator: help finish the grid,
+ *                    merge every shard, and emit the byte-identical
+ *                    single-process output. Env: SVARD_COORDINATE=1.
+ *   --chunk=N        cells per claim range (default 8).
+ *                    Env: SVARD_CHUNK.
+ *   --lease-ms=N     claim expiry without a heartbeat (default
+ *                    10000). Env: SVARD_LEASE_MS.
+ *
+ * A dead cache path degrades gracefully (warn + run uncached) —
+ * except under --resume, where an unusable checkpoint must die
+ * loudly rather than silently recompute the world.
  */
 struct SweepIo
 {
@@ -218,6 +274,13 @@ struct SweepIo
     std::string cachePath;
     std::string manifestPath;
     bool resume = false;
+
+    // Fabric role (mutually exclusive; both need a ledger).
+    std::string ledgerPath;
+    std::string workerId;
+    bool coordinate = false;
+    uint64_t chunk = 8;
+    uint64_t leaseMs = 10000;
 };
 
 inline SweepIo
@@ -228,6 +291,12 @@ parseSweepIo(int argc, char **argv)
     out.cachePath = envStr("SVARD_CACHE", "");
     out.manifestPath = envStr("SVARD_MANIFEST", "");
     out.resume = envInt("SVARD_RESUME", 0) != 0;
+    out.ledgerPath = envStr("SVARD_LEDGER", "");
+    out.workerId = envStr("SVARD_WORKER", "");
+    out.coordinate = envInt("SVARD_COORDINATE", 0) != 0;
+    out.chunk = static_cast<uint64_t>(envInt("SVARD_CHUNK", 8));
+    out.leaseMs =
+        static_cast<uint64_t>(envInt("SVARD_LEASE_MS", 10000));
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--out=", 0) == 0)
@@ -238,11 +307,33 @@ parseSweepIo(int argc, char **argv)
             out.manifestPath = arg.substr(11);
         else if (arg == "--resume")
             out.resume = true;
+        else if (arg.rfind("--ledger=", 0) == 0)
+            out.ledgerPath = arg.substr(9);
+        else if (arg.rfind("--worker=", 0) == 0)
+            out.workerId = arg.substr(9);
+        else if (arg == "--coordinate")
+            out.coordinate = true;
+        else if (arg.rfind("--chunk=", 0) == 0)
+            out.chunk = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--lease-ms=", 0) == 0)
+            out.leaseMs =
+                std::strtoull(arg.c_str() + 11, nullptr, 10);
         else
             SVARD_FATAL("unknown argument \"" + arg +
                         "\" (expected --out=PATH, --cache=PATH, "
-                        "--manifest=PATH, --resume)");
+                        "--manifest=PATH, --resume, --ledger=PATH, "
+                        "--worker=ID, --coordinate, --chunk=N, "
+                        "--lease-ms=N)");
     }
+    if ((!out.workerId.empty() || out.coordinate) &&
+        out.ledgerPath.empty())
+        SVARD_FATAL("--worker/--coordinate need --ledger=PATH "
+                    "(or SVARD_LEDGER)");
+    if (!out.workerId.empty() && out.coordinate)
+        SVARD_FATAL("--worker and --coordinate are exclusive: a "
+                    "coordinator already participates as a worker");
+    if (out.chunk == 0 || out.leaseMs == 0)
+        SVARD_FATAL("--chunk and --lease-ms must be positive");
     if (out.manifestPath.empty()) {
         if (!out.outPath.empty())
             out.manifestPath = out.outPath + ".manifest.json";
@@ -261,8 +352,15 @@ parseSweepIo(int argc, char **argv)
             SVARD_FATAL("--resume: no checkpoint at \"" +
                         out.cachePath + "\"");
     }
-    if (!out.cachePath.empty())
-        out.cache = std::make_shared<io::SweepCache>(out.cachePath);
+    if (!out.cachePath.empty()) {
+        // Degrade, don't die: an unwritable cache loses
+        // checkpointing, not the run. --resume stays strict — its
+        // contract is "the checkpoint is there and loads".
+        out.cache = io::SweepCache::openOrNull(out.cachePath);
+        if (out.resume && !out.cache)
+            SVARD_FATAL("--resume: checkpoint \"" + out.cachePath +
+                        "\" exists but cannot be used");
+    }
     if (!out.outPath.empty())
         out.sink = std::make_shared<io::AsyncSink>(
             io::makeSinkForPath(out.outPath));

@@ -29,8 +29,10 @@ int
 main(int argc, char **argv)
 {
     const SweepIo sio = parseSweepIo(argc, argv);
+    installStopHandlers();
 
     engine::AdversarialSpec adv;
+    adv.stopFlag = &stopRequestedFlag();
     // SVARD_GEOMETRY runs the adversarial grid on a named preset
     // (one at a time; the default is the paper's Table 4 system).
     adv.config = geometryEnvConfig(adv.config);
@@ -68,6 +70,14 @@ main(int argc, char **argv)
     engine::SweepIoStats io_stats;
     const auto sweep_start = std::chrono::steady_clock::now();
     const auto results = engine::runAdversarialSweep(adv, &io_stats);
+    if (stopRequestedFlag().load()) {
+        std::fprintf(stderr,
+                     "fig13: interrupted (%zu cells executed, %zu "
+                     "cached); re-run with the same --cache to "
+                     "resume\n",
+                     io_stats.executed, io_stats.cached);
+        return 130;
+    }
 
     Table t("Fig. 13: slowdown under adversarial access patterns "
             "(normalized to No-Svärd; HCfirst = 64)",

@@ -12,6 +12,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/simd.h"
+#include "fault_inject/fault_inject.h"
 #include "dram/module_spec.h"
 #include "fault/vuln_model.h"
 #include "io/async_sink.h"
@@ -570,6 +571,86 @@ ExperimentRunner::computeBaselines()
     base_io_errors.rethrow();
 }
 
+size_t
+ExperimentRunner::prepareCells()
+{
+    if (prepared_)
+        return cells_.size();
+    // Enumerate the grid, axis order fixed by the spec.
+    for (uint32_t g = 0; g < geoms_.size(); ++g)
+        for (uint32_t d = 0; d < spec_.defenses.size(); ++d)
+            for (uint32_t t = 0; t < spec_.thresholds.size(); ++t)
+                for (uint32_t p = 0; p < spec_.providers.size(); ++p)
+                    for (uint32_t m = 0; m < spec_.mixes.size(); ++m)
+                        cells_.push_back({g, d, t, p, m});
+    // Resolve metadata serially: coordinates, seeds, and fingerprints
+    // always come from the *current* spec, so they stay consistent
+    // even when a cached record predates a spec edit. The spec
+    // fingerprint — an order-sensitive hash over every cell
+    // fingerprint — is what fabric workers present to the ledger:
+    // two processes agree on it iff they would simulate the same
+    // grid.
+    results_.assign(cells_.size(), CellResult{});
+    HashStream spec_hash;
+    spec_hash.mix(std::string("svard-spec-v1"));
+    for (size_t i = 0; i < cells_.size(); ++i) {
+        resolveCellMeta(cells_[i], &results_[i]);
+        spec_hash.mix(results_[i].fingerprint);
+    }
+    specFingerprint_ = spec_hash.value();
+    prepared_ = true;
+    return cells_.size();
+}
+
+void
+ExperimentRunner::ensureBaselines()
+{
+    if (baselinesReady_)
+        return;
+    obs::Span base_span("sweep", "baselines");
+    computeBaselines();
+    base_span.arg("executed",
+                  static_cast<uint64_t>(executedBase_.load()));
+    base_span.arg("cached",
+                  static_cast<uint64_t>(cachedBase_.load()));
+    baselinesReady_ = true;
+}
+
+bool
+ExperimentRunner::executeCell(size_t i)
+{
+    SVARD_ASSERT(prepared_ && baselinesReady_ && i < cells_.size(),
+                 "executeCell needs prepareCells + ensureBaselines");
+    const SweepCell &c = cells_[i];
+    CellResult &out = results_[i];
+    CellResult cached;
+    if (spec_.cache &&
+        spec_.cache->lookup(out.seed, out.fingerprint, &cached)) {
+        out.metrics = cached.metrics;
+        out.normalized = cached.normalized;
+        return false;
+    }
+    // Kill/stall drills at cell granularity (no bytes in flight
+    // here, so eio/short/torn outcomes are ignored).
+    faults::check("runner.cell");
+    out.metrics = runMixCell(
+        c.geom, c.mix, out.defense,
+        makeProvider(c.geom, spec_.providers[c.provider],
+                     out.threshold),
+        out.seed);
+    const sim::MixMetrics &base = mixBase_[c.geom][c.mix];
+    out.normalized.weightedSpeedup =
+        safeRatio(out.metrics.weightedSpeedup, base.weightedSpeedup);
+    out.normalized.harmonicSpeedup =
+        safeRatio(out.metrics.harmonicSpeedup, base.harmonicSpeedup);
+    out.normalized.maxSlowdown =
+        safeRatio(out.metrics.maxSlowdown, base.maxSlowdown);
+    executed_.fetch_add(1);
+    if (spec_.cache)
+        spec_.cache->store(out);
+    return true;
+}
+
 const std::vector<CellResult> &
 ExperimentRunner::run()
 {
@@ -580,38 +661,22 @@ ExperimentRunner::run()
     executed_.store(0);
     executedBase_.store(0);
     cachedBase_.store(0);
+    interrupted_ = false;
 
     const auto wall_start = std::chrono::steady_clock::now();
     obs::Span run_span("sweep", "run");
 
-    // Enumerate the grid, axis order fixed by the spec.
-    std::vector<SweepCell> cells;
-    for (uint32_t g = 0; g < geoms_.size(); ++g)
-        for (uint32_t d = 0; d < spec_.defenses.size(); ++d)
-            for (uint32_t t = 0; t < spec_.thresholds.size(); ++t)
-                for (uint32_t p = 0; p < spec_.providers.size(); ++p)
-                    for (uint32_t m = 0; m < spec_.mixes.size(); ++m)
-                        cells.push_back({g, d, t, p, m});
-    run_span.arg("cells", static_cast<uint64_t>(cells.size()));
+    prepareCells();
+    run_span.arg("cells", static_cast<uint64_t>(cells_.size()));
 
-    // Resolve metadata serially and probe the cache: hits keep their
-    // checkpointed metrics, misses are scheduled. Metadata always
-    // comes from the *current* spec so coordinates stay consistent
-    // even when the cached record predates a spec edit.
-    results_.assign(cells.size(), CellResult{});
+    // Probe the cache: hits keep their checkpointed metrics, misses
+    // are scheduled.
     std::vector<size_t> pending;
-    std::vector<char> hit(cells.size(), 0);
-    // Spec fingerprint = order-sensitive hash over every cell
-    // fingerprint: two sweeps agree on it iff they would simulate the
-    // same grid. Recorded in the run manifest.
-    HashStream spec_hash;
-    spec_hash.mix(std::string("svard-spec-v1"));
+    std::vector<char> hit(cells_.size(), 0);
     {
         obs::Span probe_span("sweep", "cache_probe");
-        for (size_t i = 0; i < cells.size(); ++i) {
+        for (size_t i = 0; i < cells_.size(); ++i) {
             CellResult &out = results_[i];
-            resolveCellMeta(cells[i], &out);
-            spec_hash.mix(out.fingerprint);
             CellResult cached;
             if (spec_.cache &&
                 spec_.cache->lookup(out.seed, out.fingerprint,
@@ -624,25 +689,18 @@ ExperimentRunner::run()
             }
         }
         probe_span.arg("hits",
-                       static_cast<uint64_t>(cells.size() -
+                       static_cast<uint64_t>(cells_.size() -
                                              pending.size()));
     }
-    cachedHits_ = cells.size() - pending.size();
-    specFingerprint_ = spec_hash.value();
+    cachedHits_ = cells_.size() - pending.size();
 
-    obs::ProgressMeter progress(spec_.progressLabel, cells.size());
+    obs::ProgressMeter progress(spec_.progressLabel, cells_.size());
     progress.addCached(cachedHits_);
 
     // A fully cached re-run executes nothing: no baselines, no
     // profiles, zero simulated cells.
-    if (!pending.empty()) {
-        obs::Span base_span("sweep", "baselines");
-        computeBaselines();
-        base_span.arg("executed",
-                      static_cast<uint64_t>(executedBase_.load()));
-        base_span.arg("cached",
-                      static_cast<uint64_t>(cachedBase_.load()));
-    }
+    if (!pending.empty())
+        ensureBaselines();
 
     // Stream cells out in final order as they finish; cached cells
     // are complete up front (so a resumed sweep's sink emits the
@@ -650,7 +708,7 @@ ExperimentRunner::run()
     // thread, where sink errors may throw directly).
     OrderedEmitter emitter(results_, spec_.sink.get());
     ErrorLatch io_errors;
-    for (size_t i = 0; i < cells.size(); ++i)
+    for (size_t i = 0; i < cells_.size(); ++i)
         if (hit[i])
             emitter.complete(i);
 
@@ -665,8 +723,12 @@ ExperimentRunner::run()
     std::atomic<size_t> done{cachedHits_};
     parallelFor(pending.size(), spec_.threads, [&](size_t j) {
         const size_t i = pending[j];
-        const SweepCell &c = cells[i];
-        CellResult &out = results_[i];
+        // Graceful stop: drop not-yet-started cells; in-flight ones
+        // finish and checkpoint, so a resume continues from here.
+        if (spec_.stopFlag &&
+            spec_.stopFlag->load(std::memory_order_relaxed))
+            return;
+        const CellResult &out = results_[i];
         obs::Span cell_span("sweep", "cell");
         cell_span.arg("geometry", out.geometry);
         cell_span.arg("defense", out.defense);
@@ -675,41 +737,32 @@ ExperimentRunner::run()
         cell_span.arg("mix", out.mix);
         cell_span.arg("seed", out.seed);
         const auto cell_start = std::chrono::steady_clock::now();
-        out.metrics = runMixCell(
-            c.geom, c.mix, out.defense,
-            makeProvider(c.geom, spec_.providers[c.provider],
-                         out.threshold),
-            out.seed);
-        const sim::MixMetrics &base = mixBase_[c.geom][c.mix];
-        out.normalized.weightedSpeedup = safeRatio(
-            out.metrics.weightedSpeedup, base.weightedSpeedup);
-        out.normalized.harmonicSpeedup = safeRatio(
-            out.metrics.harmonicSpeedup, base.harmonicSpeedup);
-        out.normalized.maxSlowdown =
-            safeRatio(out.metrics.maxSlowdown, base.maxSlowdown);
-        obs::observe(cell_wall, microsSince(cell_start));
-        obs::add(cells_executed);
-        executed_.fetch_add(1);
-        // Checkpoint before emitting: a kill between the two loses
-        // sink tail rows (rewritten on resume) but never cached work.
-        // I/O failures are latched, not thrown, on worker threads.
+        // Checkpoint (inside executeCell) before emitting: a kill
+        // between the two loses sink tail rows (rewritten on resume)
+        // but never cached work. I/O failures are latched, not
+        // thrown, on worker threads.
         try {
-            if (spec_.cache)
-                spec_.cache->store(out);
+            executeCell(i);
             emitter.complete(i);
         } catch (...) {
             io_errors.capture();
             emitter.disable();
         }
+        obs::observe(cell_wall, microsSince(cell_start));
+        obs::add(cells_executed);
         progress.tick();
         if (spec_.onProgress)
-            spec_.onProgress(done.fetch_add(1) + 1, cells.size());
+            spec_.onProgress(done.fetch_add(1) + 1, cells_.size());
     });
     io_errors.rethrow();
+    interrupted_ = spec_.stopFlag &&
+                   spec_.stopFlag->load(std::memory_order_relaxed);
     if (spec_.sink)
         spec_.sink->flush();
     progress.finish();
-    ran_ = true;
+    // An interrupted run is resumable, not finished: leave ran_
+    // false so a later run() (same process, flag cleared) continues.
+    ran_ = !interrupted_;
 
     if (!spec_.manifestPath.empty()) {
         obs::RunManifest m;
@@ -723,12 +776,14 @@ ExperimentRunner::run()
         m.simdImpl = simd::implName(simd::activeImpl());
         m.buildFlags = obs::buildFlagsString();
         m.wallSeconds = secondsSince(wall_start);
-        m.cellsTotal = cells.size();
+        m.cellsTotal = cells_.size();
         m.cellsExecuted = executed_.load();
         m.cellsCached = cachedHits_;
         m.baselinesExecuted = executedBase_.load();
         m.baselinesCached = cachedBase_.load();
         m.sinkQueueHighWater = sinkQueueHighWater(spec_.sink.get());
+        m.interrupted = interrupted_;
+        m.fabricWorkers = fabricWorkers_;
         if (spec_.cache)
             m.cachePath = spec_.cache->path();
         writeManifest(spec_.manifestPath, m, obs::snapshot());
@@ -1061,8 +1116,13 @@ runAdversarialSweep(const AdversarialSpec &adv,
     for (size_t i = 0; i < cells.size(); ++i)
         if (hit[i])
             emitter.complete(i);
+    std::atomic<size_t> defended_executed{0};
     parallelFor(pending.size(), adv.threads, [&](size_t j) {
         const size_t i = pending[j];
+        // Graceful stop: skip cells that have not started yet.
+        if (adv.stopFlag &&
+            adv.stopFlag->load(std::memory_order_relaxed))
+            return;
         const Cell &cell = cells[i];
         CellResult &out = defended[i];
         obs::Span cell_span("sweep", "adversarial_cell");
@@ -1080,6 +1140,7 @@ runAdversarialSweep(const AdversarialSpec &adv,
         out.normalized.weightedSpeedup =
             safeRatio(out.metrics.weightedSpeedup,
                       ref[cell.c][cell.t]);
+        defended_executed.fetch_add(1);
         try {
             if (adv.cache)
                 adv.cache->store(out);
@@ -1090,8 +1151,10 @@ runAdversarialSweep(const AdversarialSpec &adv,
         }
         progress.tick();
     });
-    stats.executed += pending.size();
+    stats.executed += defended_executed.load();
     io_errors.rethrow();
+    const bool adv_interrupted =
+        adv.stopFlag && adv.stopFlag->load(std::memory_order_relaxed);
     if (adv.sink)
         adv.sink->flush();
     progress.finish();
@@ -1110,12 +1173,13 @@ runAdversarialSweep(const AdversarialSpec &adv,
         m.buildFlags = obs::buildFlagsString();
         m.wallSeconds = secondsSince(wall_start);
         m.cellsTotal = cells.size();
-        m.cellsExecuted = pending.size();
+        m.cellsExecuted = defended_executed.load();
         m.cellsCached = defended_hits;
         // Reference + alone runs play the baseline role here.
-        m.baselinesExecuted = stats.executed - pending.size();
+        m.baselinesExecuted = stats.executed - defended_executed.load();
         m.baselinesCached = stats.cached - defended_hits;
         m.sinkQueueHighWater = sinkQueueHighWater(adv.sink.get());
+        m.interrupted = adv_interrupted;
         if (adv.cache)
             m.cachePath = adv.cache->path();
         writeManifest(adv.manifestPath, m, obs::snapshot());

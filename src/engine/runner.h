@@ -24,6 +24,7 @@
 #include "common/table.h"
 #include "core/vuln_profile.h"
 #include "engine/sweep.h"
+#include "obs/manifest.h"
 
 namespace svard::engine {
 
@@ -53,6 +54,48 @@ class ExperimentRunner
 
     /** Execute the grid (cached: repeat calls return the same run). */
     const std::vector<CellResult> &run();
+
+    /** run() stopped early via spec.stopFlag: the returned table is
+     *  a valid prefix-complete partial (finished cells are real and
+     *  checkpointed; unfinished ones carry zero metrics). */
+    bool interrupted() const { return interrupted_; }
+
+    // --- multi-process fabric support (src/fabric/) ---------------
+    // A worker process prepares the grid, then executes individual
+    // cells by enumeration index into its own cache shard; the
+    // coordinator merges shards into the main cache and calls run(),
+    // which resolves every cell from cache and emits byte-identical
+    // output.
+
+    /** Enumerate + resolve every cell's metadata (coords, seed,
+     *  fingerprint) without executing; validates specFingerprint().
+     *  Idempotent; returns the cell count. */
+    size_t prepareCells();
+
+    /** Build profiles/traces/baselines if not yet built (cache-aware
+     *  and checkpointed, so a restarted worker skips re-simulating
+     *  them). Requires prepareCells(). Idempotent, not thread-safe —
+     *  call before sharding. */
+    void ensureBaselines();
+
+    /** Execute cell `i` (cache probe first) and checkpoint it into
+     *  the spec's cache. Returns true when the cell was simulated,
+     *  false on a cache hit. Requires ensureBaselines(); thread-safe
+     *  across distinct `i`. */
+    bool executeCell(size_t i);
+
+    /** Cell metadata after prepareCells() (fabric shard planning). */
+    const std::vector<CellResult> &resolvedCells() const
+    {
+        return results_;
+    }
+
+    /** Per-worker fabric stats for the run manifest (coordinator
+     *  only; populated from the work ledger's replay). */
+    void setFabricWorkers(std::vector<obs::FabricWorkerStats> ws)
+    {
+        fabricWorkers_ = std::move(ws);
+    }
 
     /** Cells actually simulated by run() (cache misses). */
     size_t executedCells() const { return executed_.load(); }
@@ -162,12 +205,17 @@ class ExperimentRunner
     CellResult mixBaseMeta(uint32_t geom, uint32_t mix) const;
 
     std::vector<CellResult> results_;
+    std::vector<SweepCell> cells_; ///< enumeration order (prepareCells)
+    bool prepared_ = false;
+    bool baselinesReady_ = false;
+    bool interrupted_ = false;
     bool ran_ = false;
     std::atomic<size_t> executed_{0};
     size_t cachedHits_ = 0;
     std::atomic<size_t> executedBase_{0};
     std::atomic<size_t> cachedBase_{0};
     uint64_t specFingerprint_ = 0;
+    std::vector<obs::FabricWorkerStats> fabricWorkers_;
 };
 
 } // namespace svard::engine

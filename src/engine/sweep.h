@@ -12,6 +12,7 @@
 #ifndef SVARD_ENGINE_SWEEP_H
 #define SVARD_ENGINE_SWEEP_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -131,6 +132,16 @@ struct SweepSpec
      */
     std::string manifestPath;
 
+    /**
+     * Optional graceful-stop flag (signal handlers set it). Workers
+     * finish their in-flight cell, skip the rest, and run() returns
+     * the partial table with interrupted() true after flushing the
+     * sink and cache and writing the manifest with
+     * `"interrupted": true`. Finished cells stay checkpointed, so a
+     * re-run resumes where the stop landed.
+     */
+    std::atomic<bool> *stopFlag = nullptr;
+
     /** Progress/heartbeat phase label ("fig12-sweep" etc). */
     std::string progressLabel = "sweep";
 };
@@ -206,6 +217,9 @@ struct AdversarialSpec
 
     /** Optional run-manifest path (see SweepSpec::manifestPath). */
     std::string manifestPath;
+
+    /** Optional graceful-stop flag (see SweepSpec::stopFlag). */
+    std::atomic<bool> *stopFlag = nullptr;
 
     /** Progress/heartbeat phase label. */
     std::string progressLabel = "adversarial";

@@ -1,0 +1,292 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <dirent.h>
+
+#include "common/log.h"
+#include "engine/runner.h"
+#include "io/result_sink.h"
+#include "io/sweep_cache.h"
+#include "obs/metrics.h"
+
+namespace svard::fabric {
+
+namespace {
+
+std::pair<std::string, std::string>
+splitDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return {".", path};
+    return {path.substr(0, slash), path.substr(slash + 1)};
+}
+
+/** (seed, fingerprint) keys checkpointed in shards other than
+ *  `own_shard` — the cells a reclaiming worker must not redo. */
+std::set<std::pair<uint64_t, uint64_t>>
+donorKeys(const std::string &ledger_path, const std::string &own_shard)
+{
+    std::set<std::pair<uint64_t, uint64_t>> keys;
+    for (const std::string &shard : shardFiles(ledger_path)) {
+        if (shard == own_shard)
+            continue;
+        for (const engine::CellResult &row :
+             io::readBinaryResults(shard))
+            keys.emplace(row.seed, row.fingerprint);
+    }
+    return keys;
+}
+
+/** Periodic lease renewal on its own thread; sets `fenced` when any
+ *  held range was reclaimed out from under us. */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(WorkLedger &ledger, std::atomic<bool> &fenced)
+        : ledger_(ledger), fenced_(fenced)
+    {
+        // A third of the lease keeps two beats of slack before
+        // expiry even if one lands late.
+        const auto period = std::chrono::milliseconds(
+            std::max<uint64_t>(1, ledger.leaseMs() / 3));
+        thread_ = std::thread([this, period] {
+            std::unique_lock<std::mutex> lk(mu_);
+            while (!cv_.wait_for(lk, period,
+                                 [this] { return stop_; })) {
+                try {
+                    if (!ledger_.heartbeat())
+                        fenced_.store(true);
+                } catch (const std::exception &e) {
+                    // A failed beat is survivable (the next one may
+                    // land); a dead ledger surfaces via claimNext.
+                    warn(std::string("fabric heartbeat failed: ") +
+                         e.what());
+                }
+            }
+        });
+    }
+
+    ~HeartbeatThread()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_one();
+        thread_.join();
+    }
+
+  private:
+    WorkLedger &ledger_;
+    std::atomic<bool> &fenced_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+bool
+stopRequested(const FabricOptions &opt)
+{
+    return opt.stopFlag &&
+           opt.stopFlag->load(std::memory_order_relaxed);
+}
+
+} // anonymous namespace
+
+std::string
+shardPath(const std::string &ledger_path,
+          const std::string &worker_id)
+{
+    return ledger_path + ".shard-" + worker_id + ".svc";
+}
+
+std::vector<std::string>
+shardFiles(const std::string &ledger_path)
+{
+    const auto [dir, base] = splitDir(ledger_path);
+    const std::string prefix = base + ".shard-";
+    const std::string suffix = ".svc";
+    std::vector<std::string> out;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return out;
+    while (dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.size() > prefix.size() + suffix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0 &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            out.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+WorkerReport
+runWorker(engine::SweepSpec spec, const FabricOptions &opt)
+{
+    static const obs::MetricId ranges_claimed =
+        obs::counter("fabric.ranges_claimed");
+    static const obs::MetricId ranges_reclaimed =
+        obs::counter("fabric.ranges_reclaimed");
+    static const obs::MetricId donor_skips =
+        obs::counter("fabric.donor_skips");
+
+    // Workers never emit: their entire output is the shard. The
+    // shard open is NOT openOrNull — a worker that cannot checkpoint
+    // would silently lose everything it computed on the first crash,
+    // which defeats the fabric's whole point.
+    spec.sink.reset();
+    spec.manifestPath.clear();
+    const std::string shard = shardPath(opt.ledgerPath, opt.workerId);
+    spec.cache = std::make_shared<io::SweepCache>(shard);
+    spec.progressLabel = "fabric-" + opt.workerId;
+
+    engine::ExperimentRunner runner(std::move(spec));
+    const size_t cells = runner.prepareCells();
+
+    LedgerConfig cfg;
+    cfg.path = opt.ledgerPath;
+    cfg.fingerprint = runner.specFingerprint();
+    cfg.cells = cells;
+    cfg.chunk = opt.chunk;
+    cfg.leaseMs = opt.leaseMs;
+    WorkLedger ledger(cfg, opt.workerId);
+
+    std::atomic<bool> fenced{false};
+    HeartbeatThread beats(ledger, fenced);
+
+    WorkerReport rep;
+    while (!ledger.state().complete()) {
+        if (stopRequested(opt)) {
+            rep.interrupted = true;
+            break;
+        }
+        const ClaimResult claim = ledger.claimNext();
+        if (claim.outcome == ClaimOutcome::Complete)
+            break;
+        if (claim.outcome == ClaimOutcome::Wait) {
+            // Everything left is leased to live workers; one of them
+            // may still die, so poll rather than exit.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opt.pollMs));
+            continue;
+        }
+        rep.rangesClaimed++;
+        obs::add(ranges_claimed);
+        // Baselines are built lazily so a worker that never wins a
+        // claim (grid finished before it attached) simulates nothing.
+        runner.ensureBaselines();
+
+        std::set<std::pair<uint64_t, uint64_t>> donated;
+        if (claim.reclaimed) {
+            rep.rangesReclaimed++;
+            obs::add(ranges_reclaimed);
+            // The dead holder's shard keeps every cell it finished;
+            // skip those. The coordinator reads all shards, so the
+            // skipped cells need no copying here.
+            donated = donorKeys(opt.ledgerPath, shard);
+        }
+
+        bool abandoned = false;
+        const uint64_t end =
+            std::min<uint64_t>(claim.range.end, cells);
+        for (uint64_t i = claim.range.begin; i < end; ++i) {
+            if (stopRequested(opt)) {
+                // Finish nothing more; the unfinished range's lease
+                // expires and a survivor reclaims it.
+                rep.interrupted = true;
+                abandoned = true;
+                break;
+            }
+            const engine::CellResult &meta =
+                runner.resolvedCells()[i];
+            if (claim.reclaimed &&
+                donated.count({meta.seed, meta.fingerprint})) {
+                rep.cellsSkipped++;
+                obs::add(donor_skips);
+                continue;
+            }
+            if (runner.executeCell(i))
+                rep.cellsExecuted++;
+            else
+                rep.cellsSkipped++; // own-shard hit (restart resume)
+        }
+        if (abandoned)
+            break;
+        if (!ledger.markDone(claim.range))
+            rep.fenced = true; // reclaimed mid-compute; new holder owns it
+    }
+    if (fenced.load())
+        rep.fenced = true;
+    return rep;
+}
+
+CoordinatorResult
+runCoordinator(engine::SweepSpec spec, const FabricOptions &opt)
+{
+    static const obs::MetricId merged_cells =
+        obs::counter("fabric.merged_cells");
+
+    // Phase 1 — work: join the claim race like any worker. If every
+    // other process dies, their leases expire here and the
+    // coordinator finishes the grid alone; the fabric cannot
+    // deadlock on dead workers.
+    WorkerReport own = runWorker(spec, opt);
+
+    // Phase 2 — merge: fold every shard (dead workers' included)
+    // into the main cache. Baseline records are duplicated across
+    // shards by design; lookup-before-store keeps the merged cache
+    // single-copy.
+    if (!spec.cache)
+        spec.cache = io::SweepCache::openOrNull(opt.ledgerPath +
+                                                ".merged.svc");
+    if (spec.cache) {
+        size_t merged = 0;
+        for (const std::string &shard : shardFiles(opt.ledgerPath)) {
+            for (const engine::CellResult &row :
+                 io::readBinaryResults(shard)) {
+                engine::CellResult have;
+                if (!spec.cache->lookup(row.seed, row.fingerprint,
+                                        &have)) {
+                    spec.cache->store(row);
+                    ++merged;
+                }
+            }
+        }
+        obs::add(merged_cells, merged);
+        inform("fabric: merged " + std::to_string(merged) +
+               " records from " +
+               std::to_string(shardFiles(opt.ledgerPath).size()) +
+               " shards into " + spec.cache->path());
+    } else {
+        warn("fabric coordinator has no usable cache; recomputing "
+             "the grid in-process");
+    }
+
+    // Phase 3 — emit: a plain run() resolves every cell from the
+    // merged cache and streams the sink in final enumeration order,
+    // so the output is byte-identical to a single-process sweep.
+    CoordinatorResult out;
+    out.ledger = WorkLedger::read(opt.ledgerPath);
+    spec.stopFlag = opt.stopFlag ? opt.stopFlag : spec.stopFlag;
+    engine::ExperimentRunner runner(std::move(spec));
+    runner.setFabricWorkers(out.ledger.workers);
+    out.results = runner.run();
+    out.interrupted = runner.interrupted() || own.interrupted;
+    return out;
+}
+
+} // namespace svard::fabric

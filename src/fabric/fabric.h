@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Multi-process sweep fabric: N independent worker processes execute
+ * one SweepSpec grid cooperatively, surviving crashes, and a
+ * coordinator merges their output into the byte-identical table a
+ * single-process run would have produced.
+ *
+ * Roles:
+ *
+ *  - runWorker(): attach to the work ledger (fabric/ledger.h), claim
+ *    cell ranges, execute them into a private cache shard
+ *    (`<ledger>.shard-<id>.svc`), heartbeat the leases, mark ranges
+ *    done. A killed worker's leases expire and its ranges are
+ *    reclaimed by survivors; its shard keeps every cell it finished,
+ *    so reclaiming workers skip those cells (donor-shard scan) and a
+ *    kill never executes a cell twice.
+ *
+ *  - runCoordinator(): participate in the claim race itself (so the
+ *    grid finishes even if every other worker dies), then merge all
+ *    shards into the spec's cache and run the sweep normally — every
+ *    cell resolves from cache and the sink/manifest emission is
+ *    byte-identical to a single-process run, with per-worker
+ *    executed/reclaimed splits recorded in the manifest.
+ *
+ * Determinism: cell seeds and fingerprints derive from grid
+ * coordinates alone (engine/runner.h), so any worker computes any
+ * cell identically and shards merge by (seed, fingerprint) without
+ * coordination beyond the ledger.
+ */
+#ifndef SVARD_FABRIC_FABRIC_H
+#define SVARD_FABRIC_FABRIC_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.h"
+#include "fabric/ledger.h"
+
+namespace svard::fabric {
+
+/** How a process joins a fabric run. */
+struct FabricOptions
+{
+    std::string ledgerPath; ///< shared work ledger file
+    std::string workerId;   ///< unique per process (e.g. "w0", host:pid)
+    uint64_t chunk = 8;     ///< cells per claim range
+    uint64_t leaseMs = 10000; ///< claim expiry without a heartbeat
+    uint64_t pollMs = 200;  ///< wait between claims when all leased
+    /** Optional graceful stop (signal handlers set it): finish the
+     *  in-flight cell, abandon held ranges (their leases expire and
+     *  other workers reclaim them), return with interrupted set. */
+    std::atomic<bool> *stopFlag = nullptr;
+};
+
+/** What one worker process did (its exit summary; the authoritative
+ *  per-worker accounting lives in the ledger replay). */
+struct WorkerReport
+{
+    uint64_t rangesClaimed = 0;
+    uint64_t rangesReclaimed = 0; ///< taken over from expired leases
+    uint64_t cellsExecuted = 0;   ///< actually simulated here
+    uint64_t cellsSkipped = 0;    ///< shard/donor hits inside claims
+    bool fenced = false; ///< lost a range to reclaim while computing
+    bool interrupted = false; ///< stopFlag ended the claim loop
+};
+
+struct CoordinatorResult
+{
+    std::vector<engine::CellResult> results;
+    LedgerState ledger; ///< final replay (per-worker splits)
+    bool interrupted = false;
+};
+
+/** A worker's private cache shard: `<ledger>.shard-<id>.svc`. */
+std::string shardPath(const std::string &ledger_path,
+                      const std::string &worker_id);
+
+/** Every existing shard of a ledger (for merge / donor scans). */
+std::vector<std::string> shardFiles(const std::string &ledger_path);
+
+/**
+ * Run one worker process to completion: claim ranges from the ledger
+ * until the grid is done (or stopFlag). The spec's sink and manifest
+ * are ignored — workers only checkpoint into their shard; emission is
+ * the coordinator's job.
+ * @throws std::runtime_error when the shard cache or ledger cannot
+ *         be opened (a worker that cannot checkpoint would lose all
+ *         its work on the first crash) or when the ledger belongs to
+ *         a different spec edition.
+ */
+WorkerReport runWorker(engine::SweepSpec spec,
+                       const FabricOptions &opt);
+
+/**
+ * Finish the grid and emit. Participates in the claim race (so it
+ * doubles as the last-resort worker), merges every shard into the
+ * spec's cache — falling back to `<ledger>.merged.svc`, and to
+ * in-process recomputation when even that is unwritable — then runs
+ * the sweep: all cells resolve from cache and the spec's sink /
+ * manifest output is byte-identical to a single-process run.
+ */
+CoordinatorResult runCoordinator(engine::SweepSpec spec,
+                                 const FabricOptions &opt);
+
+} // namespace svard::fabric
+
+#endif // SVARD_FABRIC_FABRIC_H

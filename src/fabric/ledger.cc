@@ -1,0 +1,390 @@
+#include "fabric/ledger.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "fault_inject/fault_inject.h"
+#include "obs/metrics.h"
+
+namespace svard::fabric {
+
+namespace {
+
+int64_t
+nowMs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000 +
+           ts.tv_nsec / 1000000;
+}
+
+/** RAII flock: every ledger transaction (append or replay) runs
+ *  under the file's exclusive lock, so appends never interleave and
+ *  replays always see a consistent prefix. */
+class FileLock
+{
+  public:
+    explicit FileLock(int fd)
+        : fd_(fd)
+    {
+        while (::flock(fd_, LOCK_EX) != 0)
+            if (errno != EINTR)
+                throw std::runtime_error(
+                    std::string("flock failed on work ledger: ") +
+                    std::strerror(errno));
+    }
+
+    ~FileLock() { ::flock(fd_, LOCK_UN); }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd_;
+};
+
+std::string
+readAll(int fd)
+{
+    std::string buf;
+    char chunk[1 << 16];
+    ::lseek(fd, 0, SEEK_SET);
+    for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;)
+        buf.append(chunk, static_cast<size_t>(n));
+    return buf;
+}
+
+void
+appendLine(int fd, const std::string &line)
+{
+    // O_APPEND makes each write land atomically at EOF; lines are a
+    // few dozen bytes, far below PIPE_BUF-style atomicity limits,
+    // and we hold the flock anyway.
+    if (::write(fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size()))
+        throw std::runtime_error(
+            std::string("write failed on work ledger: ") +
+            std::strerror(errno));
+}
+
+/** Replay state of one range. */
+struct RangeState
+{
+    uint64_t end = 0;
+    std::string holder;
+    int64_t lastMs = 0; ///< latest claim/beat by the current holder
+    bool done = false;
+};
+
+struct Replay
+{
+    LedgerConfig header;
+    bool hasHeader = false;
+    std::map<uint64_t, RangeState> ranges;
+    std::map<std::string, obs::FabricWorkerStats> workers;
+    uint64_t reclaims = 0;
+};
+
+obs::FabricWorkerStats &
+workerStats(Replay &r, const std::string &id)
+{
+    auto it = r.workers.find(id);
+    if (it == r.workers.end()) {
+        it = r.workers.emplace(id, obs::FabricWorkerStats{}).first;
+        it->second.id = id;
+    }
+    return it->second;
+}
+
+Replay
+replay(const std::string &text, const std::string &path)
+{
+    Replay r;
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            break; // unterminated tail line (killed mid-append): skip
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        char word[64] = {0};
+        char worker[128] = {0};
+        unsigned long long a = 0, b = 0;
+        long long ms = 0;
+        if (!r.hasHeader) {
+            unsigned long long fp = 0, cells = 0, chunk = 0,
+                               lease = 0;
+            if (std::sscanf(line.c_str(),
+                            "%63s fingerprint=%llx cells=%llu "
+                            "chunk=%llu lease_ms=%llu",
+                            word, &fp, &cells, &chunk, &lease) != 5 ||
+                line.compare(0, std::strlen(kLedgerSchema),
+                             kLedgerSchema) != 0)
+                throw std::runtime_error("work ledger \"" + path +
+                                         "\" has an unrecognized "
+                                         "header: " +
+                                         line);
+            r.header.fingerprint = fp;
+            r.header.cells = cells;
+            r.header.chunk = chunk;
+            r.header.leaseMs = lease;
+            r.hasHeader = true;
+            continue;
+        }
+        if (std::sscanf(line.c_str(), "claim %llu %llu %127s %lld",
+                        &a, &b, worker, &ms) == 4) {
+            RangeState &st = r.ranges[a];
+            if (st.done)
+                continue; // a claim after done is a no-op
+            obs::FabricWorkerStats &w = workerStats(r, worker);
+            w.rangesClaimed++;
+            if (!st.holder.empty() && st.holder != worker) {
+                workerStats(r, st.holder).rangesLost++;
+                w.rangesReclaimed++;
+                r.reclaims++;
+            }
+            st.end = b;
+            st.holder = worker;
+            st.lastMs = ms;
+        } else if (std::sscanf(line.c_str(), "beat %llu %127s %lld",
+                               &a, worker, &ms) == 3) {
+            auto it = r.ranges.find(a);
+            if (it != r.ranges.end() && it->second.holder == worker)
+                it->second.lastMs = ms;
+        } else if (std::sscanf(line.c_str(), "done %llu %127s %lld",
+                               &a, worker, &ms) == 3) {
+            auto it = r.ranges.find(a);
+            // Fenced completions (the range was reclaimed before the
+            // old holder finished) do not count: the new holder owns
+            // the range.
+            if (it != r.ranges.end() &&
+                it->second.holder == worker && !it->second.done) {
+                it->second.done = true;
+                workerStats(r, worker).cellsExecuted +=
+                    it->second.end - a;
+            }
+        } else {
+            warn("work ledger \"" + path +
+                 "\": skipping unrecognized line: " + line);
+        }
+    }
+    return r;
+}
+
+LedgerState
+stateFromReplay(const Replay &r)
+{
+    LedgerState s;
+    s.cells = r.header.cells;
+    s.chunk = r.header.chunk;
+    s.fingerprint = r.header.fingerprint;
+    s.rangesTotal =
+        r.header.chunk
+            ? (r.header.cells + r.header.chunk - 1) / r.header.chunk
+            : 0;
+    for (const auto &[begin, st] : r.ranges)
+        if (st.done)
+            s.rangesDone++;
+    s.reclaims = r.reclaims;
+    for (const auto &[id, w] : r.workers)
+        s.workers.push_back(w);
+    return s;
+}
+
+std::string
+claimLine(uint64_t begin, uint64_t end, const std::string &worker,
+          int64_t ms)
+{
+    return "claim " + std::to_string(begin) + " " +
+           std::to_string(end) + " " + worker + " " +
+           std::to_string(ms) + "\n";
+}
+
+} // anonymous namespace
+
+WorkLedger::WorkLedger(const LedgerConfig &cfg, std::string worker_id)
+    : cfg_(cfg), workerId_(std::move(worker_id))
+{
+    if (workerId_.empty() ||
+        workerId_.find_first_of(" \t\n") != std::string::npos)
+        throw std::runtime_error(
+            "fabric worker id must be non-empty and whitespace-free: "
+            "\"" +
+            workerId_ + "\"");
+    if (cfg_.cells == 0 || cfg_.chunk == 0)
+        throw std::runtime_error(
+            "work ledger needs a non-empty grid and chunk");
+    fd_ = ::open(cfg_.path.c_str(), O_RDWR | O_CREAT | O_APPEND,
+                 0644);
+    if (fd_ < 0)
+        throw std::runtime_error("cannot open work ledger \"" +
+                                 cfg_.path +
+                                 "\": " + std::strerror(errno));
+    FileLock lock(fd_);
+    const std::string text = readAll(fd_);
+    if (text.empty()) {
+        char header[256];
+        std::snprintf(header, sizeof(header),
+                      "%s fingerprint=%" PRIx64 " cells=%" PRIu64
+                      " chunk=%" PRIu64 " lease_ms=%" PRIu64 "\n",
+                      kLedgerSchema, cfg_.fingerprint, cfg_.cells,
+                      cfg_.chunk, cfg_.leaseMs);
+        appendLine(fd_, header);
+        return;
+    }
+    const Replay r = replay(text, cfg_.path);
+    if (r.header.fingerprint != cfg_.fingerprint ||
+        r.header.cells != cfg_.cells || r.header.chunk != cfg_.chunk ||
+        r.header.leaseMs != cfg_.leaseMs)
+        throw std::runtime_error(
+            "work ledger \"" + cfg_.path +
+            "\" was created for a different grid (spec edited? "
+            "different chunk/lease?); delete it to restart the run");
+}
+
+WorkLedger::~WorkLedger()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+ClaimResult
+WorkLedger::claimNext()
+{
+    static const obs::MetricId claims =
+        obs::counter("fabric.claims");
+    static const obs::MetricId reclaims =
+        obs::counter("fabric.reclaims");
+    std::lock_guard<std::mutex> mu(mu_);
+    FileLock lock(fd_);
+    const Replay r = replay(readAll(fd_), cfg_.path);
+    const int64_t now = nowMs();
+    bool allDone = true;
+    for (uint64_t begin = 0; begin < cfg_.cells;
+         begin += cfg_.chunk) {
+        const auto it = r.ranges.find(begin);
+        const bool unclaimed = it == r.ranges.end();
+        const bool expired =
+            !unclaimed && !it->second.done &&
+            now - it->second.lastMs >
+                static_cast<int64_t>(cfg_.leaseMs);
+        if (!unclaimed && !it->second.done)
+            allDone = false;
+        if (!unclaimed && !expired)
+            continue;
+        allDone = false;
+        ClaimResult res;
+        res.outcome = ClaimOutcome::Claimed;
+        res.range = {begin,
+                     std::min(begin + cfg_.chunk, cfg_.cells)};
+        res.reclaimed = !unclaimed;
+        appendLine(fd_, claimLine(res.range.begin, res.range.end,
+                                  workerId_, now));
+        held_[begin] = res.range;
+        obs::add(claims);
+        if (res.reclaimed) {
+            obs::add(reclaims);
+            inform("fabric: " + workerId_ + " reclaimed cells [" +
+                   std::to_string(res.range.begin) + "," +
+                   std::to_string(res.range.end) +
+                   ") from expired lease of " + it->second.holder);
+        }
+        // Kill drills between claim and execution: the claim is
+        // durable, the work never starts, the lease must expire.
+        faults::check("ledger.claim");
+        return res;
+    }
+    ClaimResult res;
+    res.outcome =
+        allDone ? ClaimOutcome::Complete : ClaimOutcome::Wait;
+    return res;
+}
+
+bool
+WorkLedger::heartbeat()
+{
+    // Stall drills: a heartbeat that sleeps past the lease lets
+    // another worker reclaim mid-computation (fencing path).
+    faults::check("ledger.beat");
+    std::lock_guard<std::mutex> mu(mu_);
+    FileLock lock(fd_);
+    const Replay r = replay(readAll(fd_), cfg_.path);
+    const int64_t now = nowMs();
+    bool keptAll = true;
+    for (auto it = held_.begin(); it != held_.end();) {
+        const auto st = r.ranges.find(it->first);
+        if (st == r.ranges.end() ||
+            st->second.holder != workerId_) {
+            // Fenced: the lease expired and someone reclaimed it.
+            warn("fabric: " + workerId_ + " lost cells [" +
+                 std::to_string(it->second.begin) + "," +
+                 std::to_string(it->second.end) +
+                 ") to reclaim (lease expired mid-run)");
+            it = held_.erase(it);
+            keptAll = false;
+            continue;
+        }
+        appendLine(fd_, "beat " + std::to_string(it->first) + " " +
+                            workerId_ + " " + std::to_string(now) +
+                            "\n");
+        ++it;
+    }
+    return keptAll;
+}
+
+bool
+WorkLedger::markDone(const CellRange &range)
+{
+    std::lock_guard<std::mutex> mu(mu_);
+    FileLock lock(fd_);
+    const Replay r = replay(readAll(fd_), cfg_.path);
+    held_.erase(range.begin);
+    const auto st = r.ranges.find(range.begin);
+    if (st == r.ranges.end() || st->second.holder != workerId_)
+        return false; // fenced; the new holder owns completion
+    appendLine(fd_, "done " + std::to_string(range.begin) + " " +
+                        workerId_ + " " + std::to_string(nowMs()) +
+                        "\n");
+    return true;
+}
+
+LedgerState
+WorkLedger::state() const
+{
+    std::lock_guard<std::mutex> mu(mu_);
+    FileLock lock(fd_);
+    return stateFromReplay(replay(readAll(fd_), cfg_.path));
+}
+
+LedgerState
+WorkLedger::read(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw std::runtime_error("cannot read work ledger \"" + path +
+                                 "\": " + std::strerror(errno));
+    LedgerState s;
+    try {
+        FileLock lock(fd);
+        s = stateFromReplay(replay(readAll(fd), path));
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    return s;
+}
+
+} // namespace svard::fabric

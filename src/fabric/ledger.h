@@ -1,0 +1,163 @@
+/**
+ * @file
+ * File-backed work ledger: the coordination substrate of the
+ * multi-process sweep fabric. N worker processes share one grid by
+ * claiming fixed-size cell ranges through an append-only text file;
+ * crashed workers' claims expire and are reclaimed. No server, no
+ * sockets — any filesystem with POSIX advisory locks (one box, or a
+ * cluster with a shared POSIX mount) is a fleet.
+ *
+ * On-disk format (line-oriented, append-only):
+ *
+ *   svard-ledger-v1 fingerprint=<hex> cells=<N> chunk=<C> lease_ms=<L>
+ *   claim <begin> <end> <worker> <ms>
+ *   beat <begin> <worker> <ms>
+ *   done <begin> <worker> <ms>
+ *
+ * The header pins the grid identity: every attaching worker must
+ * present the same spec fingerprint and cell count, so two editions
+ * of a spec can never interleave work in one ledger. Ranges are the
+ * fixed chunk grid [0,C), [C,2C), ... — a range is identified by its
+ * begin index. State is replayed by scanning the file under the same
+ * flock(2) exclusive lock that guards appends, so every transaction
+ * sees a consistent snapshot:
+ *
+ *  - unclaimed range            -> claimable
+ *  - claimed, done              -> finished
+ *  - claimed, fresh beat        -> leased (hands off)
+ *  - claimed, lease expired     -> reclaimable (the holder is
+ *                                  presumed dead; a later claim
+ *                                  record supersedes the old one)
+ *
+ * Fencing: a worker that stalls past its lease can lose a range to
+ * reclaim while still computing it. heartbeat() detects the
+ * supersession and reports it, and markDone() refuses to complete a
+ * range the worker no longer holds — the work itself is harmless to
+ * repeat (cells are deterministic and the coordinator merges by
+ * (seed, fingerprint)), but the ledger stays single-writer-per-range.
+ *
+ * Timestamps are CLOCK_REALTIME milliseconds: comparable across
+ * processes and reboots (leases must expire even if the holder's
+ * machine rebooted), at the cost of sensitivity to clock jumps —
+ * acceptable for leases measured in seconds.
+ */
+#ifndef SVARD_FABRIC_LEDGER_H
+#define SVARD_FABRIC_LEDGER_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.h"
+
+namespace svard::fabric {
+
+constexpr const char *kLedgerSchema = "svard-ledger-v1";
+
+/** Grid identity + lease policy; all attaching workers must agree. */
+struct LedgerConfig
+{
+    std::string path;
+    uint64_t fingerprint = 0; ///< the sweep's spec fingerprint
+    uint64_t cells = 0;       ///< grid size the ledger covers
+    uint64_t chunk = 8;       ///< cells per claim range
+    uint64_t leaseMs = 10000; ///< claim expiry without a heartbeat
+};
+
+/** Half-open cell index range [begin, end). */
+struct CellRange
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+
+    uint64_t size() const { return end - begin; }
+};
+
+enum class ClaimOutcome
+{
+    Claimed, ///< a range was claimed; execute it
+    Wait,    ///< all remaining ranges are leased to live workers
+    Complete ///< every range is done
+};
+
+struct ClaimResult
+{
+    ClaimOutcome outcome = ClaimOutcome::Wait;
+    CellRange range;
+    /** The range had a previous (expired) holder: its cells may be
+     *  partially checkpointed in that worker's shard. */
+    bool reclaimed = false;
+};
+
+/** Whole-ledger replay summary (coordinator / manifests / tests). */
+struct LedgerState
+{
+    uint64_t cells = 0;
+    uint64_t chunk = 0;
+    uint64_t fingerprint = 0;
+    uint64_t rangesTotal = 0;
+    uint64_t rangesDone = 0;
+    uint64_t reclaims = 0; ///< claim records superseding a live claim
+    std::vector<obs::FabricWorkerStats> workers; ///< sorted by id
+    bool complete() const { return rangesDone == rangesTotal; }
+};
+
+class WorkLedger
+{
+  public:
+    /**
+     * Create-or-attach. An absent/empty file is initialized with the
+     * config's header; an existing one must match fingerprint, cell
+     * count, chunk, and lease (mismatch throws std::runtime_error —
+     * mixing grid editions in one ledger corrupts the work split).
+     */
+    WorkLedger(const LedgerConfig &cfg, std::string worker_id);
+    ~WorkLedger();
+
+    WorkLedger(const WorkLedger &) = delete;
+    WorkLedger &operator=(const WorkLedger &) = delete;
+
+    /** Claim the lowest unclaimed-or-expired range (one flock
+     *  transaction). */
+    ClaimResult claimNext();
+
+    /**
+     * Re-lease every range this worker holds. Returns false when any
+     * held range was reclaimed by another worker (fencing): the
+     * caller must treat those ranges as lost — keep computing if it
+     * likes, but the new holder owns completion.
+     */
+    bool heartbeat();
+
+    /** Record completion of a held range. Returns false (without
+     *  writing) when the range was reclaimed from this worker. */
+    bool markDone(const CellRange &range);
+
+    /** Replay the ledger into a summary (one flock transaction). */
+    LedgerState state() const;
+
+    const std::string &workerId() const { return workerId_; }
+    uint64_t leaseMs() const { return cfg_.leaseMs; }
+    uint64_t chunk() const { return cfg_.chunk; }
+
+    /** Replay a ledger without attaching as a worker. */
+    static LedgerState read(const std::string &path);
+
+  private:
+    LedgerConfig cfg_;
+    std::string workerId_;
+    int fd_ = -1;
+    /** Serializes this process's transactions: flock(2) excludes
+     *  other processes but is a no-op between threads sharing one
+     *  open file description (the heartbeat thread and the claim
+     *  loop), so a plain mutex does intra-process duty. */
+    mutable std::mutex mu_;
+    /** Ranges this worker believes it holds (begin -> range). */
+    std::map<uint64_t, CellRange> held_;
+};
+
+} // namespace svard::fabric
+
+#endif // SVARD_FABRIC_LEDGER_H

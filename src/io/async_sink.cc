@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <chrono>
 
+#include <stdexcept>
+
 #include "common/log.h"
+#include "fault_inject/fault_inject.h"
+#include "io/retry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -145,7 +149,17 @@ AsyncSink::writerLoop()
         canPush_.notify_one();
 
         try {
-            inner_->write(row);
+            // Bounded retry before latching: one transient inner-sink
+            // failure used to abort the whole sweep; now only a
+            // persistent one does. Inner file sinks also retry at the
+            // fwrite level, so this layer mainly covers wrapped sinks
+            // with non-transactional failure modes.
+            withBackoff("async sink write", [&] {
+                if (faults::check("sink.write"))
+                    throw std::runtime_error(
+                        "injected fault at sink.write");
+                inner_->write(row);
+            });
             obs::add(rowsWrittenCounter());
             lock.lock();
             writing_ = false;

@@ -9,6 +9,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "io/retry.h"
 
 namespace svard::io {
 
@@ -265,22 +266,24 @@ CsvSink::write(const engine::CellResult &r)
     checkFieldClean(r.defense);
     checkFieldClean(r.provider);
     checkFieldClean(r.mix);
-    const int n = std::fprintf(
-        file_, "%u.%u.%u.%u.%u,%" PRIu64 ",%" PRIu64 ",%s,%s,%s,%s,"
-               "%s,%s,%s,%s,%s,%s,%s,%s\n",
-        r.cell.geom, r.cell.defense, r.cell.threshold, r.cell.provider,
-        r.cell.mix, r.seed, r.fingerprint, r.geometry.c_str(),
-        r.defense.c_str(),
-        formatDouble(r.threshold).c_str(), r.provider.c_str(),
-        r.mix.c_str(), formatDouble(r.metrics.weightedSpeedup).c_str(),
-        formatDouble(r.metrics.harmonicSpeedup).c_str(),
-        formatDouble(r.metrics.maxSlowdown).c_str(),
-        formatDouble(r.normalized.weightedSpeedup).c_str(),
-        formatDouble(r.normalized.harmonicSpeedup).c_str(),
-        formatDouble(r.normalized.maxSlowdown).c_str(),
-        formatParams(r.params).c_str());
-    if (n < 0)
-        throwWriteError(path_);
+    // Materialize the row, then one retryable fwrite: a transient
+    // failure retries the whole line, never splicing half a row in.
+    char coords[96];
+    std::snprintf(coords, sizeof(coords),
+                  "%u.%u.%u.%u.%u,%" PRIu64 ",%" PRIu64, r.cell.geom,
+                  r.cell.defense, r.cell.threshold, r.cell.provider,
+                  r.cell.mix, r.seed, r.fingerprint);
+    std::string row(coords);
+    row += "," + r.geometry + "," + r.defense + "," +
+           formatDouble(r.threshold) + "," + r.provider + "," + r.mix +
+           "," + formatDouble(r.metrics.weightedSpeedup) + "," +
+           formatDouble(r.metrics.harmonicSpeedup) + "," +
+           formatDouble(r.metrics.maxSlowdown) + "," +
+           formatDouble(r.normalized.weightedSpeedup) + "," +
+           formatDouble(r.normalized.harmonicSpeedup) + "," +
+           formatDouble(r.normalized.maxSlowdown) + "," +
+           formatParams(r.params) + "\n";
+    appendWithRetry(file_, path_, "csv.write", row);
 }
 
 void
@@ -375,30 +378,30 @@ JsonlSink::write(const engine::CellResult &r)
                   "\":" + formatDouble(value);
     }
     params += "}";
-    const int n = std::fprintf(
-        file_,
-        "{\"coords\":[%u,%u,%u,%u,%u],\"seed\":%" PRIu64
-        ",\"fingerprint\":%" PRIu64
-        ",\"geometry\":\"%s\""
-        ",\"defense\":\"%s\",\"threshold\":%s,\"provider\":\"%s\","
-        "\"mix\":\"%s\",\"ws\":%s,\"hs\":%s,\"max_slowdown\":%s,"
-        "\"norm_ws\":%s,\"norm_hs\":%s,\"norm_max_slowdown\":%s,"
-        "\"params\":%s}\n",
-        r.cell.geom, r.cell.defense, r.cell.threshold, r.cell.provider,
-        r.cell.mix, r.seed, r.fingerprint,
-        jsonEscape(r.geometry).c_str(),
-        jsonEscape(r.defense).c_str(),
-        formatDouble(r.threshold).c_str(),
-        jsonEscape(r.provider).c_str(), jsonEscape(r.mix).c_str(),
-        formatDouble(r.metrics.weightedSpeedup).c_str(),
-        formatDouble(r.metrics.harmonicSpeedup).c_str(),
-        formatDouble(r.metrics.maxSlowdown).c_str(),
-        formatDouble(r.normalized.weightedSpeedup).c_str(),
-        formatDouble(r.normalized.harmonicSpeedup).c_str(),
-        formatDouble(r.normalized.maxSlowdown).c_str(),
-        params.c_str());
-    if (n < 0)
-        throwWriteError(path_);
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"coords\":[%u,%u,%u,%u,%u],\"seed\":%" PRIu64
+                  ",\"fingerprint\":%" PRIu64,
+                  r.cell.geom, r.cell.defense, r.cell.threshold,
+                  r.cell.provider, r.cell.mix, r.seed, r.fingerprint);
+    std::string line(head);
+    line += ",\"geometry\":\"" + jsonEscape(r.geometry) +
+            "\",\"defense\":\"" + jsonEscape(r.defense) +
+            "\",\"threshold\":" + formatDouble(r.threshold) +
+            ",\"provider\":\"" + jsonEscape(r.provider) +
+            "\",\"mix\":\"" + jsonEscape(r.mix) +
+            "\",\"ws\":" + formatDouble(r.metrics.weightedSpeedup) +
+            ",\"hs\":" + formatDouble(r.metrics.harmonicSpeedup) +
+            ",\"max_slowdown\":" +
+            formatDouble(r.metrics.maxSlowdown) +
+            ",\"norm_ws\":" +
+            formatDouble(r.normalized.weightedSpeedup) +
+            ",\"norm_hs\":" +
+            formatDouble(r.normalized.harmonicSpeedup) +
+            ",\"norm_max_slowdown\":" +
+            formatDouble(r.normalized.maxSlowdown) +
+            ",\"params\":" + params + "}\n";
+    appendWithRetry(file_, path_, "jsonl.write", line);
 }
 
 void
@@ -475,7 +478,8 @@ decodeCellResult(const std::string &payload, engine::CellResult *out)
 }
 
 void
-appendRecord(std::FILE *f, const engine::CellResult &r)
+appendRecord(std::FILE *f, const engine::CellResult &r,
+             const std::string &path, const char *fault_point)
 {
     const std::string payload = encodeCellResult(r);
     std::string frame;
@@ -485,51 +489,71 @@ appendRecord(std::FILE *f, const engine::CellResult &r)
     putU64(frame, r.fingerprint);
     frame += payload;
     putU64(frame, payloadChecksum(payload));
-    // One fwrite per record: a kill can truncate the tail record but
-    // never interleave two records.
-    if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size())
-        throw std::runtime_error(
-            "short write appending a sweep record");
+    // One write transaction per record: a kill can truncate the tail
+    // record but never interleave two records, and the retry's
+    // truncate-back keeps failed attempts out of the file.
+    appendWithRetry(f, path, fault_point, frame);
 }
 
 std::vector<engine::CellResult>
-readRecords(std::FILE *f, uint64_t *valid_bytes)
+readRecords(std::FILE *f, RecordReadStats *stats)
 {
+    // Slurp the rest of the stream: resync needs random access to
+    // scan forward for a record magic, and record files are bounded
+    // by sweep size (a few MB), not trace size.
+    std::string buf;
+    char chunk[1 << 16];
+    for (size_t n; (n = std::fread(chunk, 1, sizeof(chunk), f)) > 0;)
+        buf.append(chunk, n);
+
+    static const char magicBytes[4] = {'S', 'V', 'C', '3'};
+    constexpr size_t kHeader = 24, kChecksum = 8;
     std::vector<engine::CellResult> out;
-    uint64_t valid = 0;
-    for (;;) {
-        char header[24];
-        if (std::fread(header, 1, sizeof(header), f) != sizeof(header))
-            break; // clean EOF or truncated header: stop
+    RecordReadStats st;
+    size_t pos = 0;
+    while (pos + kHeader <= buf.size()) {
         uint32_t magic = 0, size = 0;
         uint64_t key = 0, fingerprint = 0;
-        std::memcpy(&magic, header, 4);
-        std::memcpy(&size, header + 4, 4);
-        std::memcpy(&key, header + 8, 8);
-        std::memcpy(&fingerprint, header + 16, 8);
+        std::memcpy(&magic, buf.data() + pos, 4);
+        std::memcpy(&size, buf.data() + pos + 4, 4);
+        std::memcpy(&key, buf.data() + pos + 8, 8);
+        std::memcpy(&fingerprint, buf.data() + pos + 16, 8);
         magic = toLe32(magic);
         size = toLe32(size);
         key = toLe64(key);
         fingerprint = toLe64(fingerprint);
-        if (magic != kRecordMagic || size > kMaxPayload)
-            break; // corrupt tail
-        std::string payload(size, '\0');
-        if (std::fread(payload.data(), 1, size, f) != size)
-            break; // truncated payload (killed mid-write)
-        uint64_t checksum = 0;
-        if (std::fread(&checksum, 1, sizeof(checksum), f) !=
-                sizeof(checksum) ||
-            toLe64(checksum) != payloadChecksum(payload))
-            break;
+        bool ok = magic == kRecordMagic && size <= kMaxPayload &&
+                  pos + kHeader + size + kChecksum <= buf.size();
         engine::CellResult r;
-        if (!decodeCellResult(payload, &r) || r.seed != key ||
-            r.fingerprint != fingerprint)
+        if (ok) {
+            const std::string payload(buf, pos + kHeader, size);
+            uint64_t checksum = 0;
+            std::memcpy(&checksum, buf.data() + pos + kHeader + size,
+                        8);
+            ok = toLe64(checksum) == payloadChecksum(payload) &&
+                 decodeCellResult(payload, &r) && r.seed == key &&
+                 r.fingerprint == fingerprint;
+        }
+        if (ok) {
+            out.push_back(std::move(r));
+            pos += kHeader + size + kChecksum;
+            st.validBytes = pos;
+            continue;
+        }
+        // Corrupt at pos: scan for the next record magic and resume
+        // there. No further magic means this is the torn tail — stop,
+        // leaving validBytes at the last intact record for the
+        // caller's truncation.
+        const size_t next =
+            buf.find(magicBytes, pos + 1, sizeof(magicBytes));
+        if (next == std::string::npos)
             break;
-        out.push_back(std::move(r));
-        valid += sizeof(header) + size + sizeof(checksum);
+        st.droppedBytes += next - pos;
+        st.resyncs++;
+        pos = next;
     }
-    if (valid_bytes)
-        *valid_bytes = valid;
+    if (stats)
+        *stats = st;
     return out;
 }
 
@@ -546,7 +570,7 @@ BinarySink::~BinarySink()
 void
 BinarySink::write(const engine::CellResult &r)
 {
-    appendRecord(file_, r);
+    appendRecord(file_, r, path_, "record.append");
 }
 
 void

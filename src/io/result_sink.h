@@ -113,20 +113,41 @@ std::string encodeCellResult(const engine::CellResult &row);
 bool decodeCellResult(const std::string &payload,
                       engine::CellResult *out);
 
-/** Append one framed record (magic, length, key, checksum) to `f`.
- *  @throws std::runtime_error when the write comes up short. */
-void appendRecord(std::FILE *f, const engine::CellResult &row);
+/**
+ * Append one framed record (magic, length, key, checksum) to `f`,
+ * retrying transient failures with the truncate-back transaction in
+ * retry.h. `fault_point` names the injection point consulted per
+ * write attempt (tests drive eio/short/torn through it).
+ * @throws std::runtime_error after the retry budget is exhausted.
+ */
+void appendRecord(std::FILE *f, const engine::CellResult &row,
+                  const std::string &path,
+                  const char *fault_point = "record.append");
+
+/** What readRecords saw besides the records themselves. */
+struct RecordReadStats
+{
+    /** Offset just past the last intact record (SweepCache truncates
+     *  a torn tail there before appending, or new records would hide
+     *  behind the garbage). */
+    uint64_t validBytes = 0;
+    /** Mid-file bytes skipped to reach a later intact record. */
+    uint64_t droppedBytes = 0;
+    /** Corrupt regions skipped (resyncs onto a later record magic). */
+    uint32_t resyncs = 0;
+};
 
 /**
- * Read every intact record from `f`. Stops silently at a truncated or
- * corrupt tail — exactly what a checkpoint killed mid-write leaves
- * behind — so resume loses at most the one in-flight cell.
- * `valid_bytes`, when given, receives the offset just past the last
- * intact record (SweepCache truncates a torn tail there before
- * appending, or new records would hide behind the garbage).
+ * Read every intact record from `f` (from its current position).
+ * A corrupt record mid-file no longer hides everything after it: the
+ * reader scans forward for the next record magic, resumes there, and
+ * reports what it skipped in `stats`. Bytes after the last intact
+ * record (the torn tail a kill mid-write leaves) are excluded from
+ * validBytes but not counted as dropped — tail truncation is routine
+ * crash recovery, mid-file damage is worth a warning.
  */
 std::vector<engine::CellResult>
-readRecords(std::FILE *f, uint64_t *valid_bytes = nullptr);
+readRecords(std::FILE *f, RecordReadStats *stats = nullptr);
 
 // ------------------------------------------------------------------
 // Whole-file readers + helpers

@@ -1,7 +1,11 @@
 #include "io/sweep_cache.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
+
+#include <unistd.h>
 
 #include "common/log.h"
 #include "io/result_sink.h"
@@ -12,8 +16,11 @@ namespace svard::io {
 SweepCache::SweepCache(const std::string &path)
     : path_(path)
 {
+    const char *fsync_env = std::getenv("SVARD_CACHE_FSYNC");
+    fsyncPerStore_ = fsync_env && std::strcmp(fsync_env, "1") == 0;
+
     // Load whatever a previous (possibly killed) run left behind.
-    uint64_t valid_bytes = 0;
+    RecordReadStats stats;
     if (std::FILE *f = std::fopen(path_.c_str(), "rb")) {
         // A retired-format checkpoint (v1 host-endian, v2 without
         // the geometry column) would otherwise be mistaken for a
@@ -30,32 +37,43 @@ SweepCache::SweepCache(const std::string &path)
                                          : "no geometry column") +
                         "); delete it to recompute");
         std::rewind(f);
-        for (auto &r : readRecords(f, &valid_bytes)) {
+        for (auto &r : readRecords(f, &stats)) {
             const std::pair<uint64_t, uint64_t> key{r.seed,
                                                     r.fingerprint};
             cells_[key] = std::move(r); // duplicates: last one wins
         }
         std::fclose(f);
+        // Mid-file damage was skipped by resync; the cells in the
+        // dropped region recompute (their lookups miss). Loud, not
+        // fatal: the intact majority of the checkpoint still counts.
+        if (stats.resyncs > 0)
+            warn("sweep cache \"" + path_ + "\": skipped " +
+                 std::to_string(stats.droppedBytes) +
+                 " corrupt bytes mid-file (" +
+                 std::to_string(stats.resyncs) +
+                 " resync" + (stats.resyncs == 1 ? "" : "s") +
+                 "); dropped cells will recompute");
         // Repair a torn tail (a kill mid-append) before appending:
         // records written after in-file garbage would be invisible to
         // the next load, which stops at the first corrupt byte.
         std::error_code ec;
         const auto on_disk =
             std::filesystem::file_size(path_, ec);
-        if (!ec && on_disk > valid_bytes) {
+        if (!ec && on_disk > stats.validBytes) {
             warn("sweep cache \"" + path_ + "\": dropping " +
-                 std::to_string(on_disk - valid_bytes) +
+                 std::to_string(on_disk - stats.validBytes) +
                  " bytes of torn tail record");
-            std::filesystem::resize_file(path_, valid_bytes, ec);
+            std::filesystem::resize_file(path_, stats.validBytes, ec);
             if (ec)
-                SVARD_FATAL("cannot repair sweep cache \"" + path_ +
-                            "\": " + ec.message());
+                throw std::runtime_error(
+                    "cannot repair sweep cache \"" + path_ +
+                    "\": " + ec.message());
         }
     }
     file_ = std::fopen(path_.c_str(), "ab");
     if (!file_)
-        SVARD_FATAL("cannot open sweep cache \"" + path_ +
-                    "\" for append");
+        throw std::runtime_error("cannot open sweep cache \"" + path_ +
+                                 "\" for append");
 }
 
 SweepCache::~SweepCache()
@@ -98,11 +116,15 @@ SweepCache::store(const engine::CellResult &row)
                                             row.fingerprint};
     if (!cells_.emplace(key, row).second)
         return; // already persisted
-    appendRecord(file_, row); // throws on a short write
-    // Per-record durability: a kill after this point cannot lose the
-    // cell. The sim work per cell dwarfs one small flushed write.
-    if (std::fflush(file_) != 0)
-        throw std::runtime_error("flush failed on sweep cache \"" +
+    // appendRecord retries transient failures and flushes per record:
+    // once it returns, a kill cannot lose the cell to stdio
+    // buffering. The sim work per cell dwarfs one small flushed
+    // write.
+    appendRecord(file_, row, path_, "cache.store");
+    // Opt-in power-loss durability: flush only hands the bytes to
+    // the OS; fsync makes the kernel persist them.
+    if (fsyncPerStore_ && ::fsync(::fileno(file_)) != 0)
+        throw std::runtime_error("fsync failed on sweep cache \"" +
                                  path_ + "\"");
 }
 
@@ -121,6 +143,19 @@ SweepCache::fileExists(const std::string &path)
         return false;
     std::fclose(f);
     return true;
+}
+
+std::unique_ptr<SweepCache>
+SweepCache::openOrNull(const std::string &path)
+{
+    try {
+        return std::make_unique<SweepCache>(path);
+    } catch (const std::exception &e) {
+        warn(std::string("sweep cache unavailable (") + e.what() +
+             "); running uncached — results are unaffected, but this "
+             "run cannot checkpoint or resume");
+        return nullptr;
+    }
 }
 
 } // namespace svard::io

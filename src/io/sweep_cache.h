@@ -14,16 +14,24 @@
  *    bag, request count), so editing a spec invalidates exactly the
  *    cells whose inputs changed.
  *
- * Loading tolerates a truncated or corrupt tail record (what a kill
- * mid-append leaves behind): intact records are kept, the tail is
- * dropped. store() is thread-safe; lookup() is const and safe to call
+ * Loading tolerates damage anywhere in the file: a truncated or
+ * corrupt tail record (what a kill mid-append leaves behind) is
+ * dropped; corruption mid-file resyncs onto the next record magic,
+ * keeping the intact tail and warning with the dropped byte count.
+ * store() is thread-safe; lookup() is const and safe to call
  * concurrently with other lookups (the engine probes before sharding).
+ *
+ * Durability: store() flushes per record (a crash cannot lose a
+ * checkpointed cell to stdio buffering). Set SVARD_CACHE_FSYNC=1 to
+ * additionally fsync per record, extending the guarantee to power
+ * loss at the cost of store() latency.
  */
 #ifndef SVARD_IO_SWEEP_CACHE_H
 #define SVARD_IO_SWEEP_CACHE_H
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -35,7 +43,12 @@ namespace svard::io {
 class SweepCache
 {
   public:
-    /** Open (creating if absent) and load every intact record. */
+    /** Open (creating if absent) and load every intact record.
+     *  @throws std::runtime_error when the file cannot be opened for
+     *          append or a torn tail cannot be repaired. A retired
+     *          v1/v2-format file still aborts: silently recomputing
+     *          (or truncating) a checkpoint the user thinks is valid
+     *          is worse than stopping. */
     explicit SweepCache(const std::string &path);
     ~SweepCache();
 
@@ -60,9 +73,19 @@ class SweepCache
 
     static bool fileExists(const std::string &path);
 
+    /**
+     * Graceful-degradation open: on failure (unwritable directory,
+     * unrepairable file) warn and return nullptr instead of
+     * throwing, so callers run uncached rather than die — losing
+     * checkpointing is strictly better than losing the run.
+     */
+    static std::unique_ptr<SweepCache>
+    openOrNull(const std::string &path);
+
   private:
     std::string path_;
     std::FILE *file_ = nullptr; ///< append handle
+    bool fsyncPerStore_ = false; ///< SVARD_CACHE_FSYNC=1
     mutable std::mutex mu_;
     std::map<std::pair<uint64_t, uint64_t>, engine::CellResult>
         cells_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "fault_inject/fault_inject.h"
 #include "obs/json.h"
 
 namespace svard::obs {
@@ -67,9 +68,14 @@ bool
 writeManifest(const std::string &path, const RunManifest &m,
               const Snapshot &metrics)
 {
-    FILE *f = std::fopen(path.c_str(), "wb");
+    // Atomic publish: write the whole document to a sibling tmp file
+    // and rename over the target. A kill anywhere in between leaves
+    // the previous manifest (or no manifest), never a torn JSON that
+    // a fleet coordinator would choke on next to a valid result.
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
-        warn("manifest: cannot open '" + path + "' for writing");
+        warn("manifest: cannot open '" + tmp + "' for writing");
         return false;
     }
     const int64_t tsMs =
@@ -83,6 +89,25 @@ writeManifest(const std::string &path, const RunManifest &m,
         geoms += quoted(m.geometries[i]);
     }
     geoms += "]";
+    std::string workers;
+    if (!m.fabricWorkers.empty()) {
+        workers = "  \"fabric_workers\": [\n";
+        for (size_t i = 0; i < m.fabricWorkers.size(); ++i) {
+            const FabricWorkerStats &w = m.fabricWorkers[i];
+            workers +=
+                "    {\"id\": " + quoted(w.id) +
+                ", \"ranges_claimed\": " +
+                std::to_string(w.rangesClaimed) +
+                ", \"cells_executed\": " +
+                std::to_string(w.cellsExecuted) +
+                ", \"ranges_reclaimed\": " +
+                std::to_string(w.rangesReclaimed) +
+                ", \"ranges_lost\": " + std::to_string(w.rangesLost) +
+                "}" + (i + 1 < m.fabricWorkers.size() ? "," : "") +
+                "\n";
+        }
+        workers += "  ],\n";
+    }
     std::fprintf(f,
                  "{\n"
                  "  \"schema\": \"%s\",\n"
@@ -104,6 +129,8 @@ writeManifest(const std::string &path, const RunManifest &m,
                  "  \"sink_queue_high_water\": %llu,\n"
                  "  \"out_path\": %s,\n"
                  "  \"cache_path\": %s,\n"
+                 "  \"interrupted\": %s,\n"
+                 "%s"
                  "  \"metrics\": %s\n"
                  "}\n",
                  kManifestSchema, quoted(m.kind).c_str(),
@@ -121,8 +148,17 @@ writeManifest(const std::string &path, const RunManifest &m,
                  static_cast<unsigned long long>(m.baselinesCached),
                  static_cast<unsigned long long>(m.sinkQueueHighWater),
                  quoted(m.outPath).c_str(), quoted(m.cachePath).c_str(),
+                 m.interrupted ? "true" : "false", workers.c_str(),
                  metrics.toJson(4).c_str());
+    bool ok = std::fflush(f) == 0 && !std::ferror(f);
     std::fclose(f);
+    if (faults::check("manifest.write"))
+        ok = false; // injected failure between write and publish
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("manifest: cannot publish '" + path + "'");
+        std::remove(tmp.c_str());
+        return false;
+    }
     return true;
 }
 
@@ -167,6 +203,19 @@ readManifest(const std::string &path, RunManifest *out, std::string *err)
     out->sinkQueueHighWater = u64Field(doc, "sink_queue_high_water");
     out->outPath = strField(doc, "out_path");
     out->cachePath = strField(doc, "cache_path");
+    if (const json::Value *i = doc.find("interrupted"))
+        out->interrupted = i->asBool();
+    out->fabricWorkers.clear();
+    if (const json::Value *ws = doc.find("fabric_workers"))
+        for (const json::Value &item : ws->items()) {
+            FabricWorkerStats w;
+            w.id = strField(item, "id");
+            w.rangesClaimed = u64Field(item, "ranges_claimed");
+            w.cellsExecuted = u64Field(item, "cells_executed");
+            w.rangesReclaimed = u64Field(item, "ranges_reclaimed");
+            w.rangesLost = u64Field(item, "ranges_lost");
+            out->fabricWorkers.push_back(std::move(w));
+        }
     return true;
 }
 

@@ -24,6 +24,17 @@ namespace svard::obs {
 
 constexpr const char *kManifestSchema = "svard-manifest-v1";
 
+/** One fabric worker's share of a multi-process sweep (ledger
+ *  replay), recorded in the coordinator's merged manifest. */
+struct FabricWorkerStats
+{
+    std::string id;              ///< worker id ("w0", hostname-pid...)
+    uint64_t rangesClaimed = 0;  ///< claim records it wrote
+    uint64_t cellsExecuted = 0;  ///< cells in ranges it completed
+    uint64_t rangesReclaimed = 0; ///< expired leases it took over
+    uint64_t rangesLost = 0;      ///< its leases reclaimed by others
+};
+
 struct RunManifest
 {
     std::string kind; ///< "sweep", "adversarial", "charz", ...
@@ -43,6 +54,11 @@ struct RunManifest
     uint64_t sinkQueueHighWater = 0;
     std::string outPath;   ///< result sink path ("" if none)
     std::string cachePath; ///< sweep cache path ("" if none)
+    /** The run was stopped early (SIGINT/SIGTERM or a stop flag);
+     *  the sink holds a valid prefix, the cache all finished cells. */
+    bool interrupted = false;
+    /** Per-worker split of a multi-process run (empty otherwise). */
+    std::vector<FabricWorkerStats> fabricWorkers;
 };
 
 /** Build-flag summary of this binary (for the manifest/perf records). */
@@ -50,8 +66,11 @@ std::string buildFlagsString();
 
 /**
  * Write `m` plus the metrics snapshot to `path` as pretty-printed
- * JSON. Returns false (after warning) if the file cannot be written —
- * manifests are bookkeeping and must never kill a finished run.
+ * JSON. The write is atomic (tmp file + rename): a kill mid-write
+ * leaves the previous manifest (or none), never a torn JSON next to
+ * a valid result file. Returns false (after warning) if the file
+ * cannot be written — manifests are bookkeeping and must never kill
+ * a finished run.
  */
 bool writeManifest(const std::string &path, const RunManifest &m,
                    const Snapshot &metrics);

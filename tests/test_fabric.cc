@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Tests for the multi-process sweep fabric: work-ledger claim /
+ * lease / reclaim semantics, fencing, and the headline kill-storm
+ * guarantee — worker processes killed at injected fault points are
+ * reclaimed by survivors, no grid cell is ever executed twice (shard
+ * accounting proves it), and the coordinator's merged output is
+ * byte-identical to a single-process run.
+ *
+ * This binary supplies its own main(): when SVARD_FABRIC_ROLE=worker
+ * it re-enters as a fabric worker child (the kill-storm tests spawn
+ * it via /proc/self/exe), otherwise it runs the gtest suite.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "engine/runner.h"
+#include "fabric/fabric.h"
+#include "fabric/ledger.h"
+#include "fault_inject/fault_inject.h"
+#include "io/result_sink.h"
+#include "io/sweep_cache.h"
+#include "obs/manifest.h"
+#include "sim/workload.h"
+
+namespace svard {
+namespace {
+
+/** Kill/torn drills need the fault harness; self-skip when it is
+ *  compiled out (-DSVARD_FAULTS=OFF). */
+#define REQUIRE_FAULTS()                                               \
+    if (!faults::compiled())                                           \
+    GTEST_SKIP() << "fault harness compiled out (-DSVARD_FAULTS=OFF)"
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "svard_fabric_" + name;
+}
+
+/** Empty per-test scratch directory (recreated on every run). */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = tmpPath(name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/**
+ * The grid every fabric test shares — parent, worker children, and
+ * the single-process reference must build it identically or the spec
+ * fingerprints diverge and the ledger rejects the mismatch (which is
+ * itself the guarantee under test in FingerprintMismatch).
+ * 8 cells: para x {1024, 128} x {NoSvard, Svard-S0} x 2 mixes.
+ */
+engine::SweepSpec
+fabricSpec()
+{
+    engine::SweepSpec spec;
+    spec.config.cores = 4;
+    spec.defenses = {"para"};
+    spec.thresholds = {1024.0, 128.0};
+    spec.providers = {engine::ProviderSpec::uniform(),
+                      engine::ProviderSpec::svard("S0")};
+    spec.mixes = sim::workloadMixes(2, spec.config.cores);
+    spec.requestsPerCore = 400;
+    spec.threads = 1;
+    return spec;
+}
+
+fabric::FabricOptions
+optionsFor(const std::string &ledger, const std::string &id,
+           uint64_t lease_ms = 10000)
+{
+    fabric::FabricOptions opt;
+    opt.ledgerPath = ledger;
+    opt.workerId = id;
+    opt.chunk = 2; // 8 cells -> 4 claim ranges
+    opt.leaseMs = lease_ms;
+    opt.pollMs = 25;
+    return opt;
+}
+
+} // anonymous namespace
+
+/** Child-process entry: run one fabric worker per the environment
+ *  (SVARD_FAULT drives the injected crash, if any). */
+int
+workerChildMain()
+{
+    const char *ledger = std::getenv("SVARD_FABRIC_LEDGER");
+    const char *id = std::getenv("SVARD_FABRIC_ID");
+    const char *lease = std::getenv("SVARD_FABRIC_LEASE_MS");
+    if (!ledger || !id) {
+        std::fprintf(stderr, "worker child: missing env\n");
+        return 2;
+    }
+    try {
+        const fabric::WorkerReport rep = fabric::runWorker(
+            fabricSpec(),
+            optionsFor(ledger, id,
+                       lease ? std::strtoull(lease, nullptr, 10)
+                             : 10000));
+        return rep.interrupted ? 130 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "worker child %s: %s\n", id, e.what());
+        return 3;
+    }
+}
+
+namespace {
+
+/** Fork+exec this binary as a fabric worker. `fault` becomes the
+ *  child's SVARD_FAULT plan (empty = run clean). */
+pid_t
+spawnWorker(const std::string &ledger, const std::string &id,
+            const std::string &fault, uint64_t lease_ms)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    ::setenv("SVARD_FABRIC_ROLE", "worker", 1);
+    ::setenv("SVARD_FABRIC_LEDGER", ledger.c_str(), 1);
+    ::setenv("SVARD_FABRIC_ID", id.c_str(), 1);
+    ::setenv("SVARD_FABRIC_LEASE_MS",
+             std::to_string(lease_ms).c_str(), 1);
+    if (fault.empty())
+        ::unsetenv("SVARD_FAULT");
+    else
+        ::setenv("SVARD_FAULT", fault.c_str(), 1);
+    char prog[] = "test_fabric-worker";
+    char *argv[] = {prog, nullptr};
+    ::execv("/proc/self/exe", argv);
+    ::_exit(127);
+}
+
+int
+waitExit(pid_t pid)
+{
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    return -WTERMSIG(status);
+}
+
+/** (seed, fingerprint) of every grid cell (baselines excluded). */
+std::vector<std::pair<uint64_t, uint64_t>>
+gridCellKeys()
+{
+    engine::ExperimentRunner runner(fabricSpec());
+    runner.prepareCells();
+    std::vector<std::pair<uint64_t, uint64_t>> keys;
+    for (const auto &c : runner.resolvedCells())
+        keys.emplace_back(c.seed, c.fingerprint);
+    return keys;
+}
+
+// ------------------------------------------------------------------
+// Work-ledger unit tests
+// ------------------------------------------------------------------
+
+TEST(WorkLedger, ClaimGridCoversEveryRangeExactlyOnce)
+{
+    const std::string path = tmpPath("claim_grid.ledger");
+    std::remove(path.c_str());
+    fabric::LedgerConfig cfg;
+    cfg.path = path;
+    cfg.fingerprint = 0xFEED;
+    cfg.cells = 20;
+    cfg.chunk = 8;
+    fabric::WorkLedger w0(cfg, "w0");
+
+    std::vector<fabric::CellRange> got;
+    for (;;) {
+        const fabric::ClaimResult r = w0.claimNext();
+        if (r.outcome != fabric::ClaimOutcome::Claimed)
+            break;
+        EXPECT_FALSE(r.reclaimed);
+        got.push_back(r.range);
+        EXPECT_TRUE(w0.markDone(r.range));
+    }
+    ASSERT_EQ(got.size(), 3u); // [0,8) [8,16) [16,20)
+    EXPECT_EQ(got[0].begin, 0u);
+    EXPECT_EQ(got[2].begin, 16u);
+    EXPECT_EQ(got[2].end, 20u)
+        << "the tail range clamps to the cell count";
+
+    const fabric::LedgerState s = fabric::WorkLedger::read(path);
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.rangesDone, 3u);
+    EXPECT_EQ(s.reclaims, 0u);
+    ASSERT_EQ(s.workers.size(), 1u);
+    EXPECT_EQ(s.workers[0].id, "w0");
+    EXPECT_EQ(s.workers[0].rangesClaimed, 3u);
+    EXPECT_EQ(w0.claimNext().outcome, fabric::ClaimOutcome::Complete);
+}
+
+TEST(WorkLedger, AttachingADifferentGridEditionThrows)
+{
+    const std::string path = tmpPath("mismatch.ledger");
+    std::remove(path.c_str());
+    fabric::LedgerConfig cfg;
+    cfg.path = path;
+    cfg.fingerprint = 1;
+    cfg.cells = 8;
+    fabric::WorkLedger w0(cfg, "w0");
+
+    fabric::LedgerConfig other = cfg;
+    other.fingerprint = 2;
+    EXPECT_THROW(fabric::WorkLedger(other, "w1"),
+                 std::runtime_error);
+    other = cfg;
+    other.cells = 9;
+    EXPECT_THROW(fabric::WorkLedger(other, "w1"),
+                 std::runtime_error);
+    // Same edition attaches fine.
+    fabric::WorkLedger w1(cfg, "w1");
+    EXPECT_EQ(w1.claimNext().outcome, fabric::ClaimOutcome::Claimed);
+}
+
+TEST(WorkLedger, ExpiredLeaseIsReclaimedAndTheOldHolderIsFenced)
+{
+    const std::string path = tmpPath("reclaim.ledger");
+    std::remove(path.c_str());
+    fabric::LedgerConfig cfg;
+    cfg.path = path;
+    cfg.fingerprint = 0xF00D;
+    cfg.cells = 4;
+    cfg.chunk = 4; // one range: the contention is total
+    cfg.leaseMs = 60;
+    fabric::WorkLedger dead(cfg, "dead");
+    fabric::WorkLedger live(cfg, "live");
+
+    ASSERT_EQ(dead.claimNext().outcome,
+              fabric::ClaimOutcome::Claimed);
+    // While the lease is fresh the range is hands-off.
+    EXPECT_EQ(live.claimNext().outcome, fabric::ClaimOutcome::Wait);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(90));
+    const fabric::ClaimResult taken = live.claimNext();
+    ASSERT_EQ(taken.outcome, fabric::ClaimOutcome::Claimed);
+    EXPECT_TRUE(taken.reclaimed);
+
+    // Fencing: the superseded holder can no longer beat or complete.
+    EXPECT_FALSE(dead.heartbeat());
+    EXPECT_FALSE(dead.markDone({0, 4}));
+    EXPECT_TRUE(live.markDone(taken.range));
+
+    const fabric::LedgerState s = fabric::WorkLedger::read(path);
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.reclaims, 1u);
+    ASSERT_EQ(s.workers.size(), 2u); // sorted: "dead" < "live"
+    EXPECT_EQ(s.workers[0].rangesLost, 1u);
+    EXPECT_EQ(s.workers[1].rangesReclaimed, 1u);
+    EXPECT_EQ(s.workers[1].cellsExecuted, 4u);
+    EXPECT_EQ(s.workers[0].cellsExecuted, 0u)
+        << "a fenced done must not count";
+}
+
+TEST(WorkLedger, HeartbeatKeepsALeaseAliveIndefinitely)
+{
+    const std::string path = tmpPath("beat.ledger");
+    std::remove(path.c_str());
+    fabric::LedgerConfig cfg;
+    cfg.path = path;
+    cfg.fingerprint = 7;
+    cfg.cells = 4;
+    cfg.chunk = 4;
+    cfg.leaseMs = 80;
+    fabric::WorkLedger holder(cfg, "holder");
+    fabric::WorkLedger rival(cfg, "rival");
+
+    ASSERT_EQ(holder.claimNext().outcome,
+              fabric::ClaimOutcome::Claimed);
+    for (int i = 0; i < 5; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        EXPECT_TRUE(holder.heartbeat());
+        EXPECT_EQ(rival.claimNext().outcome,
+                  fabric::ClaimOutcome::Wait)
+            << "a heartbeated lease must never expire (iteration "
+            << i << ")";
+    }
+}
+
+// ------------------------------------------------------------------
+// Fabric end-to-end
+// ------------------------------------------------------------------
+
+/** Single-process reference CSV of fabricSpec(). */
+std::string
+referenceCsv(const std::string &tag)
+{
+    const std::string path = tmpPath(tag + "_ref.csv");
+    std::remove(path.c_str());
+    engine::SweepSpec spec = fabricSpec();
+    spec.sink = std::make_shared<io::CsvSink>(path);
+    engine::ExperimentRunner runner(spec);
+    runner.run();
+    return slurp(path);
+}
+
+/** Count how often each grid cell appears across all shards: an
+ *  appearance is an execution (cells are stored exactly when
+ *  simulated), so a count above 1 is a double-execute. */
+size_t
+maxExecutionsPerCell(const std::string &ledger)
+{
+    size_t worst = 0;
+    const auto keys = gridCellKeys();
+    for (const auto &key : keys) {
+        size_t count = 0;
+        for (const std::string &shard : fabric::shardFiles(ledger))
+            for (const auto &row : io::readBinaryResults(shard))
+                if (row.seed == key.first &&
+                    row.fingerprint == key.second)
+                    ++count;
+        worst = std::max(worst, count);
+    }
+    return worst;
+}
+
+TEST(Fabric, KillStormRecoversWithZeroDoubleExecutes)
+{
+    REQUIRE_FAULTS();
+    const std::string dir = freshDir("storm");
+    const std::string ledger = dir + "/storm.ledger";
+    const uint64_t lease_ms = 500;
+
+    // Round 1: four workers, every one killed at an injected point —
+    // mid-claim, before executing a cell, after checkpointing cells,
+    // and mid-record (a torn shard tail the reload must repair).
+    const std::vector<std::pair<std::string, std::string>> doomed = {
+        {"wa", "ledger.claim:kill@1"},
+        {"wb", "runner.cell:kill@1"},
+        {"wc", "runner.cell:kill@3"},
+        {"wd", "cache.store:torn@2"},
+    };
+    std::vector<pid_t> pids;
+    for (const auto &[id, fault] : doomed)
+        pids.push_back(spawnWorker(ledger, id, fault, lease_ms));
+    for (pid_t pid : pids)
+        EXPECT_EQ(waitExit(pid), 137)
+            << "every round-1 worker must die at its injected fault";
+
+    const fabric::LedgerState mid = fabric::WorkLedger::read(ledger);
+    EXPECT_FALSE(mid.complete())
+        << "the storm must actually leave work behind";
+
+    // Let the dead workers' leases expire, then send in survivors.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(lease_ms + 200));
+    const pid_t s0 = spawnWorker(ledger, "s0", "", lease_ms);
+    const pid_t s1 = spawnWorker(ledger, "s1", "", lease_ms);
+    EXPECT_EQ(waitExit(s0), 0);
+    EXPECT_EQ(waitExit(s1), 0);
+
+    const fabric::LedgerState done = fabric::WorkLedger::read(ledger);
+    EXPECT_TRUE(done.complete());
+    EXPECT_GT(done.reclaims, 0u)
+        << "survivors must have reclaimed dead workers' ranges";
+
+    // The acceptance bar: no cell simulated twice, ever. Donor-shard
+    // scans make reclaimed ranges skip cells their dead holder
+    // already checkpointed.
+    EXPECT_LE(maxExecutionsPerCell(ledger), 1u);
+
+    // Coordinator: merge + emit, byte-identical to single-process,
+    // with per-worker splits in the manifest.
+    const std::string out = dir + "/fabric.csv";
+    engine::SweepSpec spec = fabricSpec();
+    spec.sink = std::make_shared<io::CsvSink>(out);
+    spec.manifestPath = out + ".manifest.json";
+    const fabric::CoordinatorResult res = fabric::runCoordinator(
+        spec, optionsFor(ledger, "coordinator", lease_ms));
+    EXPECT_FALSE(res.interrupted);
+    ASSERT_EQ(res.results.size(), 8u);
+    EXPECT_EQ(slurp(out), referenceCsv("storm"));
+
+    obs::RunManifest m;
+    std::string err;
+    ASSERT_TRUE(obs::readManifest(spec.manifestPath, &m, &err))
+        << err;
+    EXPECT_FALSE(m.interrupted);
+    ASSERT_GE(m.fabricWorkers.size(), 6u);
+    uint64_t ledger_cells = 0, reclaimed_ranges = 0;
+    for (const auto &w : m.fabricWorkers) {
+        ledger_cells += w.cellsExecuted;
+        reclaimed_ranges += w.rangesReclaimed;
+    }
+    EXPECT_EQ(ledger_cells, 8u)
+        << "every cell completed under exactly one worker";
+    EXPECT_GT(reclaimed_ranges, 0u);
+}
+
+TEST(Fabric, CoordinatorAloneFinishesAfterAllWorkersDie)
+{
+    REQUIRE_FAULTS();
+    const std::string dir = freshDir("solo");
+    const std::string ledger = dir + "/solo.ledger";
+    const uint64_t lease_ms = 400;
+
+    const pid_t pid =
+        spawnWorker(ledger, "w0", "runner.cell:kill@2", lease_ms);
+    EXPECT_EQ(waitExit(pid), 137);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(lease_ms + 150));
+
+    // No survivors: the coordinator reclaims and finishes the grid
+    // itself — a fabric can never deadlock on dead workers.
+    const std::string out = dir + "/solo.csv";
+    engine::SweepSpec spec = fabricSpec();
+    spec.sink = std::make_shared<io::CsvSink>(out);
+    const fabric::CoordinatorResult res = fabric::runCoordinator(
+        spec, optionsFor(ledger, "coordinator", lease_ms));
+    EXPECT_FALSE(res.interrupted);
+    EXPECT_TRUE(res.ledger.complete());
+    EXPECT_LE(maxExecutionsPerCell(ledger), 1u);
+    EXPECT_EQ(slurp(out), referenceCsv("solo"));
+}
+
+TEST(Fabric, StopFlagInterruptsAWorkerAndAnotherResumes)
+{
+    const std::string dir = freshDir("stop");
+    const std::string ledger = dir + "/stop.ledger";
+
+    std::atomic<bool> stop{true}; // interrupted before the 1st claim
+    fabric::FabricOptions opt = optionsFor(ledger, "w0");
+    opt.stopFlag = &stop;
+    const fabric::WorkerReport rep =
+        fabric::runWorker(fabricSpec(), opt);
+    EXPECT_TRUE(rep.interrupted);
+    EXPECT_EQ(rep.rangesClaimed, 0u);
+    EXPECT_FALSE(fabric::WorkLedger::read(ledger).complete());
+
+    // The grid is untouched; a clean worker finishes it.
+    const fabric::WorkerReport rep2 =
+        fabric::runWorker(fabricSpec(), optionsFor(ledger, "w1"));
+    EXPECT_FALSE(rep2.interrupted);
+    EXPECT_EQ(rep2.cellsExecuted, 8u);
+    EXPECT_TRUE(fabric::WorkLedger::read(ledger).complete());
+}
+
+TEST(Fabric, RestartedWorkerResumesFromItsOwnShard)
+{
+    REQUIRE_FAULTS();
+    const std::string dir = freshDir("restart");
+    const std::string ledger = dir + "/restart.ledger";
+    const uint64_t lease_ms = 300;
+
+    // Dies after 3 cells executed (kill@4 fires before the 4th).
+    const pid_t pid =
+        spawnWorker(ledger, "w0", "runner.cell:kill@4", lease_ms);
+    EXPECT_EQ(waitExit(pid), 137);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(lease_ms + 150));
+
+    // Same id returns: its shard is its checkpoint, so the reclaimed
+    // range's finished cell resolves as a cache hit, not a re-run.
+    // Pre-crash: ranges [0,2) done; [2,4) claimed with cell 2
+    // checkpointed; [4,8) untouched. The restart therefore works 6
+    // cells, one of them skipped.
+    const fabric::WorkerReport rep = fabric::runWorker(
+        fabricSpec(), optionsFor(ledger, "w0", lease_ms));
+    EXPECT_FALSE(rep.interrupted);
+    EXPECT_EQ(rep.cellsExecuted, 5u);
+    EXPECT_EQ(rep.cellsSkipped, 1u)
+        << "the pre-crash cell must resume from the shard";
+    EXPECT_LE(maxExecutionsPerCell(ledger), 1u);
+    EXPECT_TRUE(fabric::WorkLedger::read(ledger).complete());
+}
+
+} // namespace
+} // namespace svard
+
+int
+main(int argc, char **argv)
+{
+    const char *role = std::getenv("SVARD_FABRIC_ROLE");
+    if (role && std::string(role) == "worker")
+        return svard::workerChildMain();
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
