@@ -30,8 +30,15 @@ class TemperatureController
     TemperatureController(double target_c, double ambient_c = 25.0,
                           uint64_t seed = 7);
 
-    /** Change the setpoint. */
-    void setTarget(double target_c) { target_ = target_c; }
+    /** Change the setpoint. Re-bases the derivative term on the new
+     *  error so the first step after a retarget sees no derivative
+     *  kick from the setpoint jump (only plant motion). */
+    void
+    setTarget(double target_c)
+    {
+        target_ = target_c;
+        prevErr_ = target_ - plant_;
+    }
     double target() const { return target_; }
 
     /** Advance the control loop by dt seconds. */

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic per-cell drift evaluation: given a drift model, a
+ * recalibration policy, and the provider's calibration-time profile,
+ * walk the cell's drift epochs and count (a) threshold escapes — rows
+ * whose true HC_first fell below what the stale profile plus
+ * guardband still guarantees — and (b) policy-triggered
+ * recalibrations, whose ACT cost is converted into a refresh-duty
+ * fraction the memory controller is charged with
+ * (sim::SimConfig::recalDuty).
+ *
+ * The walk samples a deterministic per-bank row subset (hashed
+ * offset + odd stride), evaluates drift factors in *unscaled* module
+ * space (escape decisions are invariant under the engine's
+ * multiplicative threshold rescaling), and is a pure function of its
+ * inputs — bit-identical at any thread count and under cache resume.
+ */
+#ifndef SVARD_ENGINE_DRIFT_EVAL_H
+#define SVARD_ENGINE_DRIFT_EVAL_H
+
+#include <cstdint>
+
+#include "core/recal.h"
+#include "core/vuln_profile.h"
+#include "engine/sweep.h"
+#include "fault/drift.h"
+
+namespace svard::engine {
+
+struct DriftEvalInput
+{
+    fault::DriftModelSpec model;
+    core::RecalPolicy policy;
+    uint32_t epochs = 0;
+    double guardband = 0.0; ///< DriftSpec guardband (policy may add)
+    uint64_t seed = 0;      ///< drift trajectory seed
+    uint32_t banks = 0;
+    uint32_t rowsPerBank = 0;
+    /** Calibration-time profile in module space; null for uniform
+     *  (No-Svärd) providers, which calibrate every row at the same
+     *  worst-case threshold. */
+    const core::VulnProfile *profile = nullptr;
+    /** Stand-in module-space HC_first keying the Fig. 10 transform
+     *  for uniform providers (the typical module minimum). */
+    double uniformHc = 32.0 * 1024.0;
+    /** Timing inputs of the recalibration cost model, in ps. */
+    double tRcPs = 0.0;
+    double tRefwPs = 0.0;
+};
+
+/** Rows sampled per bank (capped at rowsPerBank). */
+constexpr uint32_t kDriftSampleRowsPerBank = 256;
+
+/** Characterization probes charged per sampled row and recal
+ *  (HC_first bisection over the tested-count grid). */
+constexpr uint32_t kDriftProbesPerRow = 16;
+
+/** Ceiling on the refresh-duty fraction a policy may charge. */
+constexpr double kDriftMaxRecalDuty = 0.25;
+
+/**
+ * Evaluate one cell's drift trajectory. Fault-injection points:
+ * "recal.apply" fires at every policy-triggered recalibration,
+ * so kill-storm drills cover mid-recalibration crashes.
+ */
+DriftMetrics evaluateDrift(const DriftEvalInput &in);
+
+} // namespace svard::engine
+
+#endif // SVARD_ENGINE_DRIFT_EVAL_H

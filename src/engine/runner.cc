@@ -12,8 +12,10 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/simd.h"
+#include "engine/drift_eval.h"
 #include "fault_inject/fault_inject.h"
 #include "dram/module_spec.h"
+#include "fault/drift.h"
 #include "fault/vuln_model.h"
 #include "io/async_sink.h"
 #include "io/result_sink.h"
@@ -130,7 +132,7 @@ hashConfig(HashStream &h, const sim::SimConfig &g)
     h.mix(g.channels).mix(g.ranks).mix(g.bankGroups);
     h.mix(g.banksPerGroup).mix(g.rowsPerBank).mix(g.rowBytes);
     h.mix(g.readQueue).mix(g.writeQueue).mix(g.columnCap);
-    h.mix(g.mopWidth);
+    h.mix(g.mopWidth).mix(g.recalDuty);
     const dram::TimingParams &t = g.timing;
     h.mix(t.tCK).mix(t.tRCD).mix(t.tRP).mix(t.tRAS).mix(t.tRC);
     h.mix(t.tCL).mix(t.tCWL).mix(t.tBL).mix(t.tCCD_S).mix(t.tCCD_L);
@@ -294,6 +296,19 @@ ExperimentRunner::ExperimentRunner(SweepSpec spec)
     for (const auto &mix : spec_.mixes)
         requireSpec(!mix.benchIdx.empty(),
                     "mix \"" + mix.name + "\" has no benchmarks");
+    // Drift axis: default to one static entry, parse-validate the
+    // model/policy grammar on the caller's thread, and canonicalize
+    // the names so every spelling of the same entry fingerprints
+    // (and reports) identically.
+    drifts_ = spec_.drifts;
+    if (drifts_.empty())
+        drifts_.push_back(DriftSpec{});
+    for (DriftSpec &d : drifts_) {
+        d.model = fault::DriftModelSpec::parse(d.model).name();
+        d.policy = core::RecalPolicy::parse(d.policy).name();
+        requireSpec(d.guardband >= 0.0 && d.guardband < 0.9,
+                    "drift guardband must be in [0, 0.9)");
+    }
 }
 
 uint64_t
@@ -304,12 +319,26 @@ ExperimentRunner::cellSeed(const SweepCell &c) const
 }
 
 uint64_t
+ExperimentRunner::driftSeed(const SweepCell &c) const
+{
+    const DriftSpec &d = drifts_[c.drift];
+    HashStream h;
+    h.mix(std::string("svard-drift-v1"));
+    h.mix(spec_.baseSeed);
+    h.mix(c.geom).mix(c.threshold).mix(c.provider);
+    h.mix(d.model).mix(d.epochs).mix(d.guardband);
+    return h.value();
+}
+
+uint64_t
 ExperimentRunner::cellFingerprint(const CellResult &r) const
 {
     const ProviderSpec &prov = spec_.providers[r.cell.provider];
     const sim::WorkloadMix &mix = spec_.mixes[r.cell.mix];
     HashStream h;
-    h.mix(std::string("svard-cell-v1"));
+    // v2: the drift axis joined the cell identity (and the cache
+    // format moved to SVC4); v1 records predate temporal drift.
+    h.mix(std::string("svard-cell-v2"));
     h.mix(r.seed); // covers baseSeed and the coordinate-derived RNG
     hashConfig(h, geoms_[r.cell.geom]);
     h.mix(spec_.requestsPerCore);
@@ -320,6 +349,11 @@ ExperimentRunner::cellFingerprint(const CellResult &r) const
     for (uint32_t b : mix.benchIdx)
         h.mix(b);
     hashParams(h, r.params);
+    // Canonicalized drift entry: the default axis hashes exactly like
+    // an explicit static entry, so a spec that never mentions drift
+    // and one that spells out {"none","none",0,0} share fingerprints.
+    const DriftSpec &ds = drifts_[r.cell.drift];
+    h.mix(ds.model).mix(ds.policy).mix(ds.epochs).mix(ds.guardband);
     return h.value();
 }
 
@@ -334,6 +368,11 @@ ExperimentRunner::resolveCellMeta(const SweepCell &c,
     out->threshold = spec_.thresholds[c.threshold];
     out->provider = spec_.providers[c.provider].name;
     out->mix = spec_.mixes[c.mix].name;
+    const DriftSpec &ds = drifts_[c.drift];
+    out->driftModel = ds.model;
+    out->driftPolicy = ds.policy;
+    out->driftEpochs = ds.epochs;
+    out->guardband = ds.guardband;
     out->params.assign(spec_.defenseParams.begin(),
                        spec_.defenseParams.end());
     out->fingerprint = cellFingerprint(*out);
@@ -431,11 +470,16 @@ sim::MixMetrics
 ExperimentRunner::runMixCell(
     uint32_t geom, uint32_t mix, const std::string &defense_name,
     std::shared_ptr<const core::ThresholdProvider> provider,
-    uint64_t seed) const
+    uint64_t seed, double recal_duty) const
 {
+    // Drift cells charge their policy's recalibration duty to the
+    // controller; zero duty leaves the config (and every schedule
+    // decision) exactly as the static path computes it.
+    sim::SimConfig cfg = geoms_[geom];
+    cfg.recalDuty = recal_duty;
     // Copy the prebuilt traces: System consumes them, and cells
     // sharing a mix run concurrently.
-    sim::System sys(geoms_[geom], mixTraces_[mix],
+    sim::System sys(cfg, mixTraces_[mix],
                     spec_.requestsPerCore, defense_name,
                     std::move(provider), seed, spec_.defenseParams);
     const auto &alone = aloneIpc_[geom];
@@ -577,12 +621,16 @@ ExperimentRunner::prepareCells()
     if (prepared_)
         return cells_.size();
     // Enumerate the grid, axis order fixed by the spec.
+    // The drift axis nests between provider and mix, keeping cells
+    // mix-contiguous — summarize() groups on that invariant.
     for (uint32_t g = 0; g < geoms_.size(); ++g)
         for (uint32_t d = 0; d < spec_.defenses.size(); ++d)
             for (uint32_t t = 0; t < spec_.thresholds.size(); ++t)
                 for (uint32_t p = 0; p < spec_.providers.size(); ++p)
-                    for (uint32_t m = 0; m < spec_.mixes.size(); ++m)
-                        cells_.push_back({g, d, t, p, m});
+                    for (uint32_t dr = 0; dr < drifts_.size(); ++dr)
+                        for (uint32_t m = 0; m < spec_.mixes.size();
+                             ++m)
+                            cells_.push_back({g, d, t, p, m, dr});
     // Resolve metadata serially: coordinates, seeds, and fingerprints
     // always come from the *current* spec, so they stay consistent
     // even when a cached record predates a spec edit. The spec
@@ -628,16 +676,45 @@ ExperimentRunner::executeCell(size_t i)
         spec_.cache->lookup(out.seed, out.fingerprint, &cached)) {
         out.metrics = cached.metrics;
         out.normalized = cached.normalized;
+        out.drift = cached.drift;
         return false;
     }
     // Kill/stall drills at cell granularity (no bytes in flight
     // here, so eio/short/torn outcomes are ignored).
     faults::check("runner.cell");
+    const DriftSpec &ds = drifts_[c.drift];
+    double recal_duty = 0.0;
+    if (!ds.isStatic()) {
+        // Drift evaluation first: it is pure and cheap, and its
+        // recalibration cost parameterizes the mix simulation below.
+        DriftEvalInput in;
+        in.model = fault::DriftModelSpec::parse(ds.model);
+        in.policy = core::RecalPolicy::parse(ds.policy);
+        in.epochs = ds.epochs;
+        in.guardband = ds.guardband;
+        in.seed = driftSeed(c);
+        const sim::SimConfig &cfg = geoms_[c.geom];
+        in.banks = cfg.banksPerRank();
+        in.rowsPerBank = cfg.rowsPerBank;
+        const std::string &label =
+            spec_.providers[c.provider].moduleLabel;
+        std::shared_ptr<const core::VulnProfile> prof;
+        if (!label.empty()) {
+            prof = baseProfile(c.geom, label);
+            in.profile = prof.get();
+        }
+        in.tRcPs = static_cast<double>(cfg.timing.tRC);
+        in.tRefwPs = static_cast<double>(cfg.timing.tREFW);
+        out.drift = evaluateDrift(in);
+        recal_duty = out.drift.recalCost;
+        watchdog_.recordEscapes(out.drift.escapes);
+        watchdog_.recordRecalibrations(out.drift.recalibrations);
+    }
     out.metrics = runMixCell(
         c.geom, c.mix, out.defense,
         makeProvider(c.geom, spec_.providers[c.provider],
                      out.threshold),
-        out.seed);
+        out.seed, recal_duty);
     const sim::MixMetrics &base = mixBase_[c.geom][c.mix];
     out.normalized.weightedSpeedup =
         safeRatio(out.metrics.weightedSpeedup, base.weightedSpeedup);
@@ -646,8 +723,13 @@ ExperimentRunner::executeCell(size_t i)
     out.normalized.maxSlowdown =
         safeRatio(out.metrics.maxSlowdown, base.maxSlowdown);
     executed_.fetch_add(1);
-    if (spec_.cache)
+    if (spec_.cache) {
+        // The recalibration write path: storing a drift-annotated
+        // record is what a mid-recal kill drill must tear.
+        if (!ds.isStatic())
+            faults::check("recal.write");
         spec_.cache->store(out);
+    }
     return true;
 }
 
@@ -683,6 +765,7 @@ ExperimentRunner::run()
                                     &cached)) {
                 out.metrics = cached.metrics;
                 out.normalized = cached.normalized;
+                out.drift = cached.drift;
                 hit[i] = 1;
             } else {
                 pending.push_back(i);
@@ -696,6 +779,14 @@ ExperimentRunner::run()
 
     obs::ProgressMeter progress(spec_.progressLabel, cells_.size());
     progress.addCached(cachedHits_);
+    // Cached drift cells surface their escape/recal counts in the
+    // heartbeat immediately; executed cells add theirs as they land.
+    for (size_t i = 0; i < cells_.size(); ++i)
+        if (hit[i]) {
+            progress.addEscapes(results_[i].drift.escapes);
+            progress.addRecalibrations(
+                results_[i].drift.recalibrations);
+        }
 
     // A fully cached re-run executes nothing: no baselines, no
     // profiles, zero simulated cells.
@@ -744,6 +835,9 @@ ExperimentRunner::run()
         try {
             executeCell(i);
             emitter.complete(i);
+            progress.addEscapes(results_[i].drift.escapes);
+            progress.addRecalibrations(
+                results_[i].drift.recalibrations);
         } catch (...) {
             io_errors.capture();
             emitter.disable();
@@ -784,6 +878,16 @@ ExperimentRunner::run()
         m.sinkQueueHighWater = sinkQueueHighWater(spec_.sink.get());
         m.interrupted = interrupted_;
         m.fabricWorkers = fabricWorkers_;
+        // Drift observability: policy axis plus run-wide totals,
+        // summed over the full result table so cached cells count
+        // too (a resumed sweep reports the same totals as a cold
+        // one).
+        for (const DriftSpec &d : drifts_)
+            m.driftPolicies.push_back(d.name());
+        for (const CellResult &r : results_) {
+            m.escapes += r.drift.escapes;
+            m.recalibrations += r.drift.recalibrations;
+        }
         if (spec_.cache)
             m.cachePath = spec_.cache->path();
         writeManifest(spec_.manifestPath, m, obs::snapshot());
@@ -797,7 +901,9 @@ ExperimentRunner::summarize()
     run();
     std::vector<SummaryRow> rows;
     const size_t mixes = spec_.mixes.size();
-    // Cells are mix-contiguous in enumeration order.
+    // Cells are mix-contiguous in enumeration order (the drift axis
+    // nests outside mix), so each group is one (geometry, defense,
+    // threshold, provider, drift) configuration.
     for (size_t start = 0; start < results_.size(); start += mixes) {
         const CellResult &first = results_[start];
         SummaryRow row;
@@ -805,16 +911,27 @@ ExperimentRunner::summarize()
         row.defense = first.defense;
         row.threshold = first.threshold;
         row.provider = first.provider;
+        row.drift = drifts_[first.cell.drift].name();
         row.mixCount = static_cast<uint32_t>(mixes);
         for (size_t m = 0; m < mixes; ++m) {
             const sim::MixMetrics &n = results_[start + m].normalized;
             row.meanNormalized.weightedSpeedup += n.weightedSpeedup;
             row.meanNormalized.harmonicSpeedup += n.harmonicSpeedup;
             row.meanNormalized.maxSlowdown += n.maxSlowdown;
+            row.driftMetrics.escapeRate +=
+                results_[start + m].drift.escapeRate;
+            row.driftMetrics.recalCost +=
+                results_[start + m].drift.recalCost;
         }
         row.meanNormalized.weightedSpeedup /= mixes;
         row.meanNormalized.harmonicSpeedup /= mixes;
         row.meanNormalized.maxSlowdown /= mixes;
+        row.driftMetrics.escapeRate /= mixes;
+        row.driftMetrics.recalCost /= mixes;
+        // The trajectory is shared across a group's mixes, so the
+        // counts of any member cell are the group's counts.
+        row.driftMetrics.escapes = first.drift.escapes;
+        row.driftMetrics.recalibrations = first.drift.recalibrations;
         rows.push_back(std::move(row));
     }
     return rows;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "core/recal.h"
 #include "core/vuln_profile.h"
 #include "engine/sweep.h"
 #include "obs/manifest.h"
@@ -123,6 +124,18 @@ class ExperimentRunner
 
     const SweepSpec &spec() const { return spec_; }
 
+    /** The drift axis after defaulting and canonicalization (one
+     *  static entry when the spec sets none). */
+    const std::vector<DriftSpec> &drifts() const { return drifts_; }
+
+    /** Run-wide escape/recalibration totals of executed cells (the
+     *  manifest sums *all* cells, cached ones included, from the
+     *  result table instead). */
+    const core::GuardbandWatchdog &watchdog() const
+    {
+        return watchdog_;
+    }
+
     /** The geometry axis after defaulting (spec.geometries or config). */
     const std::vector<sim::SimConfig> &geometries() const
     {
@@ -135,8 +148,18 @@ class ExperimentRunner
     double aloneIpc(uint32_t geom, uint32_t bench_idx) const;
 
   private:
-    /** Deterministic seed of a cell from its grid coordinates. */
+    /** Deterministic seed of a cell from its grid coordinates.
+     *  Excludes the drift coordinate: the static entry of a drift
+     *  axis must reproduce the pre-drift RNG streams bit for bit. */
     uint64_t cellSeed(const SweepCell &c) const;
+
+    /** Seed of a cell's drift trajectory. Hashes the drift entry's
+     *  *identity* (model, epochs, guardband) plus the geometry /
+     *  threshold / provider coordinates — but neither defense nor
+     *  mix, so every defense and workload is judged against the same
+     *  physical trajectory, and not the policy, so policies compare
+     *  on identical drift. */
+    uint64_t driftSeed(const SweepCell &c) const;
 
     /**
      * Cache fingerprint of a metadata-resolved cell: hashes the
@@ -172,10 +195,13 @@ class ExperimentRunner
                                std::shared_ptr<
                                    const core::ThresholdProvider>
                                    provider,
-                               uint64_t seed) const;
+                               uint64_t seed,
+                               double recal_duty = 0.0) const;
 
     SweepSpec spec_;
     std::vector<sim::SimConfig> geoms_;
+    std::vector<DriftSpec> drifts_; ///< defaulted + canonicalized
+    core::GuardbandWatchdog watchdog_;
     std::map<std::pair<uint32_t, std::string>,
              std::shared_ptr<const core::VulnProfile>>
         profiles_; ///< built before sharding; read-only afterwards

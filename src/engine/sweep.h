@@ -54,9 +54,44 @@ struct ProviderSpec
 };
 
 /**
+ * One entry of the temporal-drift sweep axis: how per-row HC_first
+ * moves over tREFW-sized epochs (fault/drift.h grammar), which
+ * recalibration policy the defense runs (core/recal.h grammar), how
+ * many drifted epochs the cell covers, and the calibration guardband.
+ * The default entry is the static path: no drift, no policy, and the
+ * engine reproduces pre-drift results bit for bit.
+ */
+struct DriftSpec
+{
+    std::string model = "none";  ///< fault::DriftModelSpec grammar
+    std::string policy = "none"; ///< core::RecalPolicy grammar
+    uint32_t epochs = 0;         ///< drifted tREFW epochs (0 = static)
+    double guardband = 0.0;      ///< fractional threshold headroom
+
+    bool
+    isStatic() const
+    {
+        return model == "none" && policy == "none" && epochs == 0 &&
+               guardband == 0.0;
+    }
+
+    /** Axis display name ("aging:64/periodic:8/e32/g0.05"). */
+    std::string name() const;
+};
+
+/** Drift outcome of one cell (zero on the static path). */
+struct DriftMetrics
+{
+    uint64_t escapes = 0;        ///< stale-profile threshold escapes
+    uint64_t recalibrations = 0; ///< policy-triggered recals
+    double escapeRate = 0.0;     ///< escapes / (epochs x sampled rows)
+    double recalCost = 0.0;      ///< refresh-duty fraction charged
+};
+
+/**
  * The full grid: geometries x defenses x thresholds x providers x
- * mixes. Axes with one entry are fixed; the engine runs the cross
- * product of the rest.
+ * drifts x mixes. Axes with one entry are fixed; the engine runs the
+ * cross product of the rest.
  */
 struct SweepSpec
 {
@@ -84,6 +119,15 @@ struct SweepSpec
     std::vector<double> thresholds;     ///< worst-case HC_first sweep
     std::vector<ProviderSpec> providers;
     std::vector<sim::WorkloadMix> mixes;
+
+    /**
+     * Optional temporal-drift axis (model x policy x epochs x
+     * guardband per entry). Empty defaults to a single static entry,
+     * which reproduces the pre-drift engine byte for byte. Malformed
+     * model/policy grammar throws std::invalid_argument at
+     * construction.
+     */
+    std::vector<DriftSpec> drifts;
 
     size_t requestsPerCore = 6000;
     uint64_t baseSeed = 11;
@@ -154,6 +198,9 @@ struct SweepCell
     uint32_t threshold = 0;
     uint32_t provider = 0;
     uint32_t mix = 0;
+    /** Drift-axis index; last field so the pre-drift five-coordinate
+     *  aggregate initializers keep meaning the static entry. */
+    uint32_t drift = 0;
 };
 
 /** One executed cell. */
@@ -167,10 +214,16 @@ struct CellResult
     double threshold = 0.0;
     std::string provider;
     std::string mix;
+    /** Resolved drift-axis values ("none"/"none"/0/0 when static). */
+    std::string driftModel = "none";
+    std::string driftPolicy = "none";
+    uint32_t driftEpochs = 0;
+    double guardband = 0.0;
     /** Defense parameter bag the cell ran under (sorted by name). */
     std::vector<std::pair<std::string, double>> params;
     sim::MixMetrics metrics;    ///< raw paper metrics
     sim::MixMetrics normalized; ///< vs. same-geometry/mix no-defense run
+    DriftMetrics drift;         ///< escapes / recals (static: zeros)
 };
 
 /** Mean normalized metrics of one configuration across its mixes. */
@@ -180,8 +233,10 @@ struct SummaryRow
     std::string defense;
     double threshold = 0.0;
     std::string provider;
+    std::string drift = "none"; ///< DriftSpec::name() of the group
     uint32_t mixCount = 0;
     sim::MixMetrics meanNormalized;
+    DriftMetrics driftMetrics;  ///< per-mix means (counts: first cell)
 };
 
 // ------------------------------------------------------------------

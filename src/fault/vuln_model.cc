@@ -40,11 +40,8 @@ hashNormal(std::initializer_list<uint64_t> parts)
     return rng.normal();
 }
 
-/**
- * Probability that 68 days of continuous hammering lowers a row's
- * HC_first by one tested step, keyed by the row's pre-aging quantized
- * HC_first. Values follow the populations annotated in Fig. 10.
- */
+} // anonymous namespace
+
 double
 agingDropProbability(int64_t quantized_hc)
 {
@@ -63,7 +60,19 @@ agingDropProbability(int64_t quantized_hc)
     }
 }
 
-} // anonymous namespace
+double
+agingDropFactor(double hc_first)
+{
+    const int64_t q = VulnerabilityModel::quantizeHc(hc_first);
+    const auto &labels = dram::testedHammerCounts();
+    int64_t prev = labels.front();
+    for (int64_t l : labels) {
+        if (l >= q)
+            break;
+        prev = l;
+    }
+    return 0.99 * static_cast<double>(prev) / hc_first;
+}
 
 VulnerabilityModel::VulnerabilityModel(
     const dram::ModuleSpec &spec,
@@ -193,14 +202,7 @@ VulnerabilityModel::agingFactor(uint32_t bank, uint32_t phys_row,
         return 1.0;
     // Drop the row to just under the previous tested hammer count so
     // its quantized HC_first moves down exactly one step.
-    const auto &labels = dram::testedHammerCounts();
-    int64_t prev = labels.front();
-    for (int64_t l : labels) {
-        if (l >= q)
-            break;
-        prev = l;
-    }
-    return 0.99 * static_cast<double>(prev) / hc_unaged;
+    return agingDropFactor(hc_unaged);
 }
 
 double

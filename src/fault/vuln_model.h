@@ -33,6 +33,18 @@
 
 namespace svard::fault {
 
+/**
+ * Fig. 10 stress transform, shared between the static aging mode and
+ * the temporal drift model (fault/drift.h): probability that one full
+ * 68-day stress period lowers a row's HC_first by one tested step,
+ * keyed by the row's pre-stress quantized HC_first.
+ */
+double agingDropProbability(int64_t quantized_hc);
+
+/** Multiplicative HC_first factor of a one-step Fig. 10 drop: lands
+ *  the row just under the previous tested hammer count. */
+double agingDropFactor(double hc_first);
+
 /** Concrete DisturbanceModel calibrated per module (see file header). */
 class VulnerabilityModel : public dram::DisturbanceModel
 {

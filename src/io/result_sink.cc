@@ -15,12 +15,15 @@ namespace svard::io {
 
 namespace {
 
-/** Record framing magic ("SVC3" on disk). v2 fixed the on-disk
+/** Record framing magic ("SVC4" on disk). v2 fixed the on-disk
  *  convention to little-endian regardless of host (v1 records were
  *  host-endian); v3 added the geometry label to every record so
- *  multi-geometry sweeps are attributable. Older records are treated
- *  as a torn tail on load. */
-constexpr uint32_t kRecordMagic = 0x33435653u;
+ *  multi-geometry sweeps are attributable; v4 added the temporal
+ *  drift axis (model/policy/epochs/guardband identity plus
+ *  escape/recalibration metrics). Older records are treated as a
+ *  torn tail on load; whole older cache files are loudly rejected by
+ *  SweepCache instead. */
+constexpr uint32_t kRecordMagic = 0x34435653u;
 /** Defensive cap: no serialized cell is remotely this large. */
 constexpr uint32_t kMaxPayload = 1u << 20;
 
@@ -241,9 +244,11 @@ const char *
 CsvSink::header()
 {
     return "coords,seed,fingerprint,geometry,defense,threshold,"
-           "provider,mix,weighted_speedup,harmonic_speedup,"
+           "provider,mix,drift_model,drift_policy,drift_epochs,"
+           "guardband,weighted_speedup,harmonic_speedup,"
            "max_slowdown,norm_weighted_speedup,norm_harmonic_speedup,"
-           "norm_max_slowdown,params";
+           "norm_max_slowdown,escapes,escape_rate,recalibrations,"
+           "recal_cost,params";
 }
 
 CsvSink::CsvSink(const std::string &path)
@@ -266,22 +271,32 @@ CsvSink::write(const engine::CellResult &r)
     checkFieldClean(r.defense);
     checkFieldClean(r.provider);
     checkFieldClean(r.mix);
+    checkFieldClean(r.driftModel);
+    checkFieldClean(r.driftPolicy);
     // Materialize the row, then one retryable fwrite: a transient
     // failure retries the whole line, never splicing half a row in.
     char coords[96];
     std::snprintf(coords, sizeof(coords),
-                  "%u.%u.%u.%u.%u,%" PRIu64 ",%" PRIu64, r.cell.geom,
-                  r.cell.defense, r.cell.threshold, r.cell.provider,
-                  r.cell.mix, r.seed, r.fingerprint);
+                  "%u.%u.%u.%u.%u.%u,%" PRIu64 ",%" PRIu64,
+                  r.cell.geom, r.cell.defense, r.cell.threshold,
+                  r.cell.provider, r.cell.mix, r.cell.drift, r.seed,
+                  r.fingerprint);
     std::string row(coords);
     row += "," + r.geometry + "," + r.defense + "," +
            formatDouble(r.threshold) + "," + r.provider + "," + r.mix +
-           "," + formatDouble(r.metrics.weightedSpeedup) + "," +
+           "," + r.driftModel + "," + r.driftPolicy + "," +
+           std::to_string(r.driftEpochs) + "," +
+           formatDouble(r.guardband) + "," +
+           formatDouble(r.metrics.weightedSpeedup) + "," +
            formatDouble(r.metrics.harmonicSpeedup) + "," +
            formatDouble(r.metrics.maxSlowdown) + "," +
            formatDouble(r.normalized.weightedSpeedup) + "," +
            formatDouble(r.normalized.harmonicSpeedup) + "," +
            formatDouble(r.normalized.maxSlowdown) + "," +
+           std::to_string(r.drift.escapes) + "," +
+           formatDouble(r.drift.escapeRate) + "," +
+           std::to_string(r.drift.recalibrations) + "," +
+           formatDouble(r.drift.recalCost) + "," +
            formatParams(r.params) + "\n";
     appendWithRetry(file_, path_, "csv.write", row);
 }
@@ -316,14 +331,14 @@ readCsvResults(const std::string &path)
         if (s.empty())
             continue;
         const auto fields = splitOn(s, ',');
-        if (fields.size() != 15)
+        if (fields.size() != 23)
             throw std::runtime_error("malformed CSV row in \"" + path +
                                      "\": " + s);
         engine::CellResult r;
-        if (std::sscanf(fields[0].c_str(), "%u.%u.%u.%u.%u",
+        if (std::sscanf(fields[0].c_str(), "%u.%u.%u.%u.%u.%u",
                         &r.cell.geom, &r.cell.defense,
                         &r.cell.threshold, &r.cell.provider,
-                        &r.cell.mix) != 5)
+                        &r.cell.mix, &r.cell.drift) != 6)
             throw std::runtime_error("malformed coords in \"" + path +
                                      "\": " + fields[0]);
         r.seed = parseU64(fields[1]);
@@ -333,14 +348,22 @@ readCsvResults(const std::string &path)
         r.threshold = parseDouble(fields[5]);
         r.provider = fields[6];
         r.mix = fields[7];
-        r.metrics.weightedSpeedup = parseDouble(fields[8]);
-        r.metrics.harmonicSpeedup = parseDouble(fields[9]);
-        r.metrics.maxSlowdown = parseDouble(fields[10]);
-        r.normalized.weightedSpeedup = parseDouble(fields[11]);
-        r.normalized.harmonicSpeedup = parseDouble(fields[12]);
-        r.normalized.maxSlowdown = parseDouble(fields[13]);
-        if (!fields[14].empty())
-            for (const auto &kv : splitOn(fields[14], '|')) {
+        r.driftModel = fields[8];
+        r.driftPolicy = fields[9];
+        r.driftEpochs = static_cast<uint32_t>(parseU64(fields[10]));
+        r.guardband = parseDouble(fields[11]);
+        r.metrics.weightedSpeedup = parseDouble(fields[12]);
+        r.metrics.harmonicSpeedup = parseDouble(fields[13]);
+        r.metrics.maxSlowdown = parseDouble(fields[14]);
+        r.normalized.weightedSpeedup = parseDouble(fields[15]);
+        r.normalized.harmonicSpeedup = parseDouble(fields[16]);
+        r.normalized.maxSlowdown = parseDouble(fields[17]);
+        r.drift.escapes = parseU64(fields[18]);
+        r.drift.escapeRate = parseDouble(fields[19]);
+        r.drift.recalibrations = parseU64(fields[20]);
+        r.drift.recalCost = parseDouble(fields[21]);
+        if (!fields[22].empty())
+            for (const auto &kv : splitOn(fields[22], '|')) {
                 const size_t eq = kv.find('=');
                 if (eq == std::string::npos)
                     throw std::runtime_error("malformed params in \"" +
@@ -380,17 +403,27 @@ JsonlSink::write(const engine::CellResult &r)
     params += "}";
     char head[160];
     std::snprintf(head, sizeof(head),
-                  "{\"coords\":[%u,%u,%u,%u,%u],\"seed\":%" PRIu64
+                  "{\"coords\":[%u,%u,%u,%u,%u,%u],\"seed\":%" PRIu64
                   ",\"fingerprint\":%" PRIu64,
                   r.cell.geom, r.cell.defense, r.cell.threshold,
-                  r.cell.provider, r.cell.mix, r.seed, r.fingerprint);
+                  r.cell.provider, r.cell.mix, r.cell.drift, r.seed,
+                  r.fingerprint);
     std::string line(head);
     line += ",\"geometry\":\"" + jsonEscape(r.geometry) +
             "\",\"defense\":\"" + jsonEscape(r.defense) +
             "\",\"threshold\":" + formatDouble(r.threshold) +
             ",\"provider\":\"" + jsonEscape(r.provider) +
             "\",\"mix\":\"" + jsonEscape(r.mix) +
-            "\",\"ws\":" + formatDouble(r.metrics.weightedSpeedup) +
+            "\",\"drift_model\":\"" + jsonEscape(r.driftModel) +
+            "\",\"drift_policy\":\"" + jsonEscape(r.driftPolicy) +
+            "\",\"drift_epochs\":" + std::to_string(r.driftEpochs) +
+            ",\"guardband\":" + formatDouble(r.guardband) +
+            ",\"escapes\":" + std::to_string(r.drift.escapes) +
+            ",\"escape_rate\":" + formatDouble(r.drift.escapeRate) +
+            ",\"recalibrations\":" +
+            std::to_string(r.drift.recalibrations) +
+            ",\"recal_cost\":" + formatDouble(r.drift.recalCost) +
+            ",\"ws\":" + formatDouble(r.metrics.weightedSpeedup) +
             ",\"hs\":" + formatDouble(r.metrics.harmonicSpeedup) +
             ",\"max_slowdown\":" +
             formatDouble(r.metrics.maxSlowdown) +
@@ -430,6 +463,15 @@ encodeCellResult(const engine::CellResult &r)
     putF64(b, r.threshold);
     putStr(b, r.provider);
     putStr(b, r.mix);
+    putU32(b, r.cell.drift);
+    putStr(b, r.driftModel);
+    putStr(b, r.driftPolicy);
+    putU32(b, r.driftEpochs);
+    putF64(b, r.guardband);
+    putU64(b, r.drift.escapes);
+    putU64(b, r.drift.recalibrations);
+    putF64(b, r.drift.escapeRate);
+    putF64(b, r.drift.recalCost);
     putU32(b, static_cast<uint32_t>(r.params.size()));
     for (const auto &[name, value] : r.params) {
         putStr(b, name);
@@ -456,7 +498,13 @@ decodeCellResult(const std::string &payload, engine::CellResult *out)
         !c.getU64(&r.fingerprint) || !c.getStr(&r.geometry) ||
         !c.getStr(&r.defense) ||
         !c.getF64(&r.threshold) || !c.getStr(&r.provider) ||
-        !c.getStr(&r.mix) || !c.getU32(&nparams))
+        !c.getStr(&r.mix) || !c.getU32(&r.cell.drift) ||
+        !c.getStr(&r.driftModel) || !c.getStr(&r.driftPolicy) ||
+        !c.getU32(&r.driftEpochs) || !c.getF64(&r.guardband) ||
+        !c.getU64(&r.drift.escapes) ||
+        !c.getU64(&r.drift.recalibrations) ||
+        !c.getF64(&r.drift.escapeRate) ||
+        !c.getF64(&r.drift.recalCost) || !c.getU32(&nparams))
         return false;
     for (uint32_t i = 0; i < nparams; ++i) {
         std::string name;
@@ -506,7 +554,7 @@ readRecords(std::FILE *f, RecordReadStats *stats)
     for (size_t n; (n = std::fread(chunk, 1, sizeof(chunk), f)) > 0;)
         buf.append(chunk, n);
 
-    static const char magicBytes[4] = {'S', 'V', 'C', '3'};
+    static const char magicBytes[4] = {'S', 'V', 'C', '4'};
     constexpr size_t kHeader = 24, kChecksum = 8;
     std::vector<engine::CellResult> out;
     RecordReadStats st;

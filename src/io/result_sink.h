@@ -104,7 +104,7 @@ class BinarySink : public ResultSink
 };
 
 /** Serialize one CellResult into the binary payload. The on-disk
- *  layout is explicitly little-endian (format "SVC3"); big-endian
+ *  layout is explicitly little-endian (format "SVC4"); big-endian
  *  hosts byte-swap on encode/decode, so cache and checkpoint files
  *  are portable between machines. */
 std::string encodeCellResult(const engine::CellResult &row);

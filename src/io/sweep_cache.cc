@@ -23,18 +23,20 @@ SweepCache::SweepCache(const std::string &path)
     RecordReadStats stats;
     if (std::FILE *f = std::fopen(path_.c_str(), "rb")) {
         // A retired-format checkpoint (v1 host-endian, v2 without
-        // the geometry column) would otherwise be mistaken for a
-        // torn tail and truncated to nothing; fail loudly instead so
-        // the user can delete or regenerate it deliberately.
+        // the geometry column, v3 without the drift axis) would
+        // otherwise be mistaken for a torn tail and truncated to
+        // nothing; fail loudly instead so the user can delete or
+        // regenerate it deliberately.
         char magic[4] = {0, 0, 0, 0};
         if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
             magic[0] == 'S' && magic[1] == 'V' && magic[2] == 'C' &&
-            (magic[3] == '1' || magic[3] == '2'))
+            (magic[3] == '1' || magic[3] == '2' || magic[3] == '3'))
             SVARD_FATAL(std::string("sweep cache \"") + path_ +
                         "\" uses the retired v" + magic[3] +
                         " format (" +
-                        (magic[3] == '1' ? "host-endian records"
-                                         : "no geometry column") +
+                        (magic[3] == '1'   ? "host-endian records"
+                         : magic[3] == '2' ? "no geometry column"
+                                           : "no drift axis") +
                         "); delete it to recompute");
         std::rewind(f);
         for (auto &r : readRecords(f, &stats)) {

@@ -89,6 +89,13 @@ writeManifest(const std::string &path, const RunManifest &m,
         geoms += quoted(m.geometries[i]);
     }
     geoms += "]";
+    std::string drifts = "[";
+    for (size_t i = 0; i < m.driftPolicies.size(); ++i) {
+        if (i)
+            drifts += ", ";
+        drifts += quoted(m.driftPolicies[i]);
+    }
+    drifts += "]";
     std::string workers;
     if (!m.fabricWorkers.empty()) {
         workers = "  \"fabric_workers\": [\n";
@@ -130,6 +137,9 @@ writeManifest(const std::string &path, const RunManifest &m,
                  "  \"out_path\": %s,\n"
                  "  \"cache_path\": %s,\n"
                  "  \"interrupted\": %s,\n"
+                 "  \"drift_policies\": %s,\n"
+                 "  \"escapes\": %llu,\n"
+                 "  \"recalibrations\": %llu,\n"
                  "%s"
                  "  \"metrics\": %s\n"
                  "}\n",
@@ -148,8 +158,10 @@ writeManifest(const std::string &path, const RunManifest &m,
                  static_cast<unsigned long long>(m.baselinesCached),
                  static_cast<unsigned long long>(m.sinkQueueHighWater),
                  quoted(m.outPath).c_str(), quoted(m.cachePath).c_str(),
-                 m.interrupted ? "true" : "false", workers.c_str(),
-                 metrics.toJson(4).c_str());
+                 m.interrupted ? "true" : "false", drifts.c_str(),
+                 static_cast<unsigned long long>(m.escapes),
+                 static_cast<unsigned long long>(m.recalibrations),
+                 workers.c_str(), metrics.toJson(4).c_str());
     bool ok = std::fflush(f) == 0 && !std::ferror(f);
     std::fclose(f);
     if (faults::check("manifest.write"))
@@ -205,6 +217,12 @@ readManifest(const std::string &path, RunManifest *out, std::string *err)
     out->cachePath = strField(doc, "cache_path");
     if (const json::Value *i = doc.find("interrupted"))
         out->interrupted = i->asBool();
+    out->driftPolicies.clear();
+    if (const json::Value *d = doc.find("drift_policies"))
+        for (const json::Value &item : d->items())
+            out->driftPolicies.push_back(item.asString());
+    out->escapes = u64Field(doc, "escapes");
+    out->recalibrations = u64Field(doc, "recalibrations");
     out->fabricWorkers.clear();
     if (const json::Value *ws = doc.find("fabric_workers"))
         for (const json::Value &item : ws->items()) {

@@ -59,6 +59,11 @@ struct RunManifest
     bool interrupted = false;
     /** Per-worker split of a multi-process run (empty otherwise). */
     std::vector<FabricWorkerStats> fabricWorkers;
+    /** Temporal-drift axis (DriftSpec names; empty = no drift axis)
+     *  and run-wide totals over every cell, cached ones included. */
+    std::vector<std::string> driftPolicies;
+    uint64_t escapes = 0;         ///< stale-profile threshold escapes
+    uint64_t recalibrations = 0;  ///< policy-triggered recals
 };
 
 /** Build-flag summary of this binary (for the manifest/perf records). */

@@ -93,7 +93,8 @@ ensureEnvPath(HeartbeatSink &s)
 void
 emitHeartbeat(const std::string &phase, const std::string &unit,
               uint64_t done, uint64_t cached, uint64_t total,
-              double perSec, double etaS, bool final)
+              double perSec, double etaS, uint64_t escapes,
+              uint64_t recals, bool final)
 {
     HeartbeatSink &s = heartbeatSink();
     std::lock_guard<std::mutex> lock(s.mu);
@@ -118,7 +119,8 @@ emitHeartbeat(const std::string &phase, const std::string &unit,
                  "{\"schema\": \"svard-heartbeat-v1\", \"ts_ms\": %lld, "
                  "\"phase\": \"%s\", \"unit\": \"%s\", \"done\": %llu, "
                  "\"cached\": %llu, \"total\": %llu, \"per_sec\": %s, "
-                 "\"eta_s\": %s, \"final\": %s}\n",
+                 "\"eta_s\": %s, \"escapes\": %llu, "
+                 "\"recalibrations\": %llu, \"final\": %s}\n",
                  static_cast<long long>(tsMs),
                  json::escape(phase).c_str(), json::escape(unit).c_str(),
                  static_cast<unsigned long long>(done),
@@ -126,6 +128,8 @@ emitHeartbeat(const std::string &phase, const std::string &unit,
                  static_cast<unsigned long long>(total),
                  json::formatNumber(perSec).c_str(),
                  json::formatNumber(etaS).c_str(),
+                 static_cast<unsigned long long>(escapes),
+                 static_cast<unsigned long long>(recals),
                  final ? "true" : "false");
     std::fflush(s.file);
 }
@@ -198,6 +202,20 @@ ProgressMeter::tick(uint64_t n)
 }
 
 void
+ProgressMeter::addEscapes(uint64_t n)
+{
+    if (n)
+        escapes_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ProgressMeter::addRecalibrations(uint64_t n)
+{
+    if (n)
+        recals_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
 ProgressMeter::finish()
 {
     bool expected = false;
@@ -240,6 +258,8 @@ ProgressMeter::maybeEmit(bool force)
     }
     if (claimEmit(lastBeatMs_, nowMs, heartbeatIntervalMs(), force))
         emitHeartbeat(phase_, unit_, done, cached, total_, perSec, etaS,
+                      escapes_.load(std::memory_order_relaxed),
+                      recals_.load(std::memory_order_relaxed),
                       force && finished_.load(std::memory_order_relaxed));
 }
 

@@ -19,7 +19,12 @@
  * Heartbeat schema (one JSON object per line):
  *   {"schema": "svard-heartbeat-v1", "ts_ms": <unix ms>,
  *    "phase": "...", "unit": "cells", "done": N, "cached": N,
- *    "total": N, "per_sec": R, "eta_s": E, "final": true|false}
+ *    "total": N, "per_sec": R, "eta_s": E,
+ *    "escapes": N, "recalibrations": N, "final": true|false}
+ *
+ * The escapes/recalibrations counters surface the temporal-drift
+ * robustness layer (engine/drift_eval.h) in flight; they stay 0 for
+ * non-drift runs.
  */
 #ifndef SVARD_OBS_PROGRESS_H
 #define SVARD_OBS_PROGRESS_H
@@ -59,6 +64,12 @@ class ProgressMeter
     /** One (or more) items completed by execution. */
     void tick(uint64_t n = 1);
 
+    /** Guardband escapes observed so far (drift sweeps). */
+    void addEscapes(uint64_t n);
+
+    /** Policy-triggered recalibrations so far (drift sweeps). */
+    void addRecalibrations(uint64_t n);
+
     /** Emit the final line/heartbeat; idempotent. */
     void finish();
 
@@ -75,6 +86,8 @@ class ProgressMeter
     const uint64_t total_;
     std::atomic<uint64_t> done_{0};
     std::atomic<uint64_t> cached_{0};
+    std::atomic<uint64_t> escapes_{0};
+    std::atomic<uint64_t> recals_{0};
     std::atomic<int64_t> lastLineMs_{-1000000}; ///< stderr throttle
     std::atomic<int64_t> lastBeatMs_{-1000000}; ///< heartbeat throttle
     std::atomic<bool> finished_{false};

@@ -52,6 +52,15 @@ struct SimConfig
 
     dram::TimingParams timing = dram::ddr4Timing(3200);
 
+    /**
+     * Online-recalibration duty: fraction of each tREFI the rank
+     * spends re-characterizing rows (engine/drift_eval.h charges the
+     * policy's amortized ACT cost here). 0 — the only value the
+     * static path ever sees — adds exactly zero ticks, so pre-drift
+     * schedules are bit-identical.
+     */
+    double recalDuty = 0.0;
+
     /** Banks of one rank (the space vulnerability profiles cover). */
     uint32_t
     banksPerRank() const

@@ -187,6 +187,14 @@ MemController::refreshIfDue()
     // due time and is refreshed whenever either source advances.
     if (now_ < maintenanceDue_)
         return;
+    // Recalibration duty (drift sweeps): the policy's amortized
+    // re-characterization ACTs extend every refresh stall. Zero duty
+    // — the static path — adds exactly zero ticks.
+    const dram::Tick recal_extra =
+        cfg_.recalDuty > 0.0
+            ? static_cast<dram::Tick>(cfg_.recalDuty *
+                                      cfg_.timing.tREFI)
+            : 0;
     for (uint32_t r = 0; r < cfg_.ranks; ++r) {
         Rank &rank = ranks_[r];
         if (now_ < rank.refreshDue)
@@ -202,7 +210,8 @@ MemController::refreshIfDue()
                 bank.hitStreak = 0;
             }
             bank.readyAct = std::max(bank.readyAct,
-                                     base + cfg_.timing.tRFC);
+                                     base + cfg_.timing.tRFC +
+                                         recal_extra);
         }
         rank.refreshDue += cfg_.timing.tREFI;
         ++stats_.refreshes;

@@ -316,7 +316,9 @@ TEST_F(Degradation, OpenOrNullWarnsInsteadOfThrowing)
     auto cache = io::SweepCache::openOrNull(
         "/nonexistent-svard-dir/cache.svc");
     EXPECT_EQ(cache, nullptr);
-    auto ok = io::SweepCache::openOrNull(tmpPath("degrade_ok.svc"));
+    const std::string ok_path = tmpPath("degrade_ok.svc");
+    std::remove(ok_path.c_str()); // a stale old-format file is fatal
+    auto ok = io::SweepCache::openOrNull(ok_path);
     ASSERT_NE(ok, nullptr);
     ok->store(makeRow(1));
     EXPECT_EQ(ok->size(), 1u);
