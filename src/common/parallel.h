@@ -18,13 +18,13 @@
 #define SVARD_COMMON_PARALLEL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace svard {
 
@@ -76,11 +76,11 @@ class ParallelPool
         // One job at a time: concurrent parallelFor calls from
         // different caller threads serialize instead of racing on
         // the shared job slot.
-        std::lock_guard<std::mutex> run_lock(runMu_);
+        MutexLock run_lock(runMu_);
         size_t chunk = n / (static_cast<size_t>(workers) * 4);
         if (chunk == 0)
             chunk = 1;
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         // Grow to the requested width (caller participates too).
         while (threads_.size() + 1 < workers)
             spawnLocked();
@@ -106,7 +106,8 @@ class ParallelPool
         inPoolWorker() = was_worker;
 
         lock.lock();
-        doneCv_.wait(lock, [&] { return active_ == 0; });
+        while (active_ != 0)
+            doneCv_.wait(lock);
         fn_ = nullptr;
         if (error_) {
             std::exception_ptr e = error_;
@@ -122,7 +123,7 @@ class ParallelPool
     ~ParallelPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             stop_ = true;
         }
         cv_.notify_all();
@@ -131,7 +132,7 @@ class ParallelPool
     }
 
     void
-    spawnLocked()
+    spawnLocked() SVARD_REQUIRES(mu_)
     {
         const uint64_t seen = jobId_;
         threads_.emplace_back([this, seen] { threadMain(seen); });
@@ -141,10 +142,10 @@ class ParallelPool
     threadMain(uint64_t seen)
     {
         inPoolWorker() = true;
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         for (;;) {
-            cv_.wait(lock,
-                     [&] { return stop_ || jobId_ != seen; });
+            while (!stop_ && jobId_ == seen)
+                cv_.wait(lock);
             if (stop_)
                 return;
             seen = jobId_;
@@ -174,7 +175,7 @@ class ParallelPool
                 try {
                     (*fn_)(i);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(mu_);
+                    MutexLock lock(mu_);
                     if (!error_)
                         error_ = std::current_exception();
                 }
@@ -182,22 +183,31 @@ class ParallelPool
         }
     }
 
-    std::mutex runMu_; ///< serializes whole jobs
-    std::mutex mu_;
-    std::condition_variable cv_;     ///< job-start signal
-    std::condition_variable doneCv_; ///< participants-finished signal
-    std::vector<std::thread> threads_;
-    bool stop_ = false;
-    uint64_t jobId_ = 0;
-    unsigned tickets_ = 0; ///< pool participants still to claim the job
-    unsigned active_ = 0;  ///< pool participants inside the job
+    Mutex runMu_; ///< serializes whole jobs
+    Mutex mu_;
+    CondVar cv_;     ///< job-start signal
+    CondVar doneCv_; ///< participants-finished signal
+    /** Grown under mu_ (spawnLocked); the destructor's join loop runs
+     *  un-locked, which is safe because no other thread can still be
+     *  running (ctors/dtors are exempt from the analysis). */
+    std::vector<std::thread> threads_ SVARD_GUARDED_BY(mu_);
+    bool stop_ SVARD_GUARDED_BY(mu_) = false;
+    uint64_t jobId_ SVARD_GUARDED_BY(mu_) = 0;
+    /** Pool participants still to claim the job. */
+    unsigned tickets_ SVARD_GUARDED_BY(mu_) = 0;
+    /** Pool participants inside the job. */
+    unsigned active_ SVARD_GUARDED_BY(mu_) = 0;
 
-    // Current job (readable by workers after the cv handshake).
+    // Current job. Written under mu_ before the cv_ handshake and
+    // read lock-free by workers afterwards: the waking worker's mu_
+    // acquisition inside cv_.wait orders those writes before its
+    // reads, and run() only rewrites the slots after doneCv_ reports
+    // every reader finished — so the fields stay un-annotated.
     const std::function<void(size_t)> *fn_ = nullptr;
     size_t n_ = 0;
     size_t chunk_ = 1;
     std::atomic<size_t> next_{0};
-    std::exception_ptr error_;
+    std::exception_ptr error_ SVARD_GUARDED_BY(mu_);
 };
 
 } // namespace detail

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/simd.h"
@@ -57,7 +57,7 @@ class ErrorLatch
     void
     capture()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!error_)
             error_ = std::current_exception();
     }
@@ -65,13 +65,18 @@ class ErrorLatch
     void
     rethrow()
     {
-        if (error_)
-            std::rethrow_exception(error_);
+        std::exception_ptr err;
+        {
+            MutexLock lock(mu_);
+            err = error_;
+        }
+        if (err)
+            std::rethrow_exception(err);
     }
 
   private:
-    std::mutex mu_;
-    std::exception_ptr error_;
+    Mutex mu_;
+    std::exception_ptr error_ SVARD_GUARDED_BY(mu_);
 };
 
 /**
@@ -94,7 +99,7 @@ class OrderedEmitter
     {
         if (!sink_)
             return;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         done_[i] = 1;
         while (cursor_ < done_.size() && done_[cursor_]) {
             sink_->write(results_[cursor_]);
@@ -106,16 +111,16 @@ class OrderedEmitter
     void
     disable()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         sink_ = nullptr;
     }
 
   private:
     const std::vector<CellResult> &results_;
     io::ResultSink *sink_;
-    std::vector<char> done_;
-    size_t cursor_ = 0;
-    std::mutex mu_;
+    std::vector<char> done_ SVARD_GUARDED_BY(mu_);
+    size_t cursor_ SVARD_GUARDED_BY(mu_) = 0;
+    Mutex mu_;
 };
 
 /** Fold the full system configuration (geometry + timing) into a

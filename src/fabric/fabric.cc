@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -60,9 +58,18 @@ class HeartbeatThread
         const auto period = std::chrono::milliseconds(
             std::max<uint64_t>(1, ledger.leaseMs() / 3));
         thread_ = std::thread([this, period] {
-            std::unique_lock<std::mutex> lk(mu_);
-            while (!cv_.wait_for(lk, period,
-                                 [this] { return stop_; })) {
+            UniqueLock lk(mu_);
+            while (!stop_) {
+                // Spurious wakes re-wait only the remaining slice, so
+                // beats keep their cadence.
+                const auto deadline =
+                    std::chrono::steady_clock::now() + period;
+                while (!stop_ &&
+                       cv_.wait_until(lk, deadline) !=
+                           std::cv_status::timeout) {
+                }
+                if (stop_)
+                    break;
                 try {
                     if (!ledger_.heartbeat())
                         fenced_.store(true);
@@ -79,7 +86,7 @@ class HeartbeatThread
     ~HeartbeatThread()
     {
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             stop_ = true;
         }
         cv_.notify_one();
@@ -89,9 +96,9 @@ class HeartbeatThread
   private:
     WorkLedger &ledger_;
     std::atomic<bool> &fenced_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar cv_;
+    bool stop_ SVARD_GUARDED_BY(mu_) = false;
     std::thread thread_;
 };
 

@@ -267,7 +267,7 @@ WorkLedger::claimNext()
         obs::counter("fabric.claims");
     static const obs::MetricId reclaims =
         obs::counter("fabric.reclaims");
-    std::lock_guard<std::mutex> mu(mu_);
+    MutexLock mu(mu_);
     FileLock lock(fd_);
     const Replay r = replay(readAll(fd_), cfg_.path);
     const int64_t now = nowMs();
@@ -318,7 +318,7 @@ WorkLedger::heartbeat()
     // Stall drills: a heartbeat that sleeps past the lease lets
     // another worker reclaim mid-computation (fencing path).
     faults::check("ledger.beat");
-    std::lock_guard<std::mutex> mu(mu_);
+    MutexLock mu(mu_);
     FileLock lock(fd_);
     const Replay r = replay(readAll(fd_), cfg_.path);
     const int64_t now = nowMs();
@@ -347,7 +347,7 @@ WorkLedger::heartbeat()
 bool
 WorkLedger::markDone(const CellRange &range)
 {
-    std::lock_guard<std::mutex> mu(mu_);
+    MutexLock mu(mu_);
     FileLock lock(fd_);
     const Replay r = replay(readAll(fd_), cfg_.path);
     held_.erase(range.begin);
@@ -363,7 +363,7 @@ WorkLedger::markDone(const CellRange &range)
 LedgerState
 WorkLedger::state() const
 {
-    std::lock_guard<std::mutex> mu(mu_);
+    MutexLock mu(mu_);
     FileLock lock(fd_);
     return stateFromReplay(replay(readAll(fd_), cfg_.path));
 }

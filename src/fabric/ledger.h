@@ -46,10 +46,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/manifest.h"
 
 namespace svard::fabric {
@@ -153,9 +153,9 @@ class WorkLedger
      *  other processes but is a no-op between threads sharing one
      *  open file description (the heartbeat thread and the claim
      *  loop), so a plain mutex does intra-process duty. */
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     /** Ranges this worker believes it holds (begin -> range). */
-    std::map<uint64_t, CellRange> held_;
+    std::map<uint64_t, CellRange> held_ SVARD_GUARDED_BY(mu_);
 };
 
 } // namespace svard::fabric

@@ -6,12 +6,12 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/log.h"
+#include "common/mutex.h"
 
 namespace svard::faults {
 
@@ -46,7 +46,7 @@ plan()
 }
 
 std::atomic<bool> g_active{false};
-std::mutex g_mu;
+Mutex g_mu;
 
 const char *
 actionName(Action a)
@@ -183,7 +183,7 @@ check(const char *point)
 void
 configure(const std::string &spec)
 {
-    std::lock_guard<std::mutex> lock(g_mu);
+    MutexLock lock(g_mu);
     g_active.store(false, std::memory_order_relaxed);
     plan().clear();
     size_t start = 0;
@@ -204,7 +204,7 @@ configure(const std::string &spec)
 void
 reset()
 {
-    std::lock_guard<std::mutex> lock(g_mu);
+    MutexLock lock(g_mu);
     g_active.store(false, std::memory_order_relaxed);
     plan().clear();
 }

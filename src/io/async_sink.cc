@@ -51,7 +51,7 @@ AsyncSink::AsyncSink(std::unique_ptr<ResultSink> inner,
 AsyncSink::~AsyncSink()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
     canPop_.notify_all();
@@ -64,26 +64,23 @@ AsyncSink::~AsyncSink()
 }
 
 void
-AsyncSink::rethrowLocked(std::unique_lock<std::mutex> &lock)
-{
-    if (!error_)
-        return;
-    const std::exception_ptr err = error_;
-    lock.unlock();
-    std::rethrow_exception(err);
-}
-
-void
 AsyncSink::write(const engine::CellResult &row)
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    canPush_.wait(lock, [this] {
-        return queue_.size() < capacity_ || error_ != nullptr;
-    });
-    rethrowLocked(lock);
-    queue_.push_back(row);
-    maxDepth_ = std::max(maxDepth_, queue_.size());
-    obs::gaugeMax(queueHighWaterGauge(), maxDepth_);
+    std::exception_ptr err;
+    {
+        UniqueLock lock(mu_);
+        while (queue_.size() >= capacity_ && !error_)
+            canPush_.wait(lock);
+        if (error_) {
+            err = error_;
+        } else {
+            queue_.push_back(row);
+            maxDepth_ = std::max(maxDepth_, queue_.size());
+            obs::gaugeMax(queueHighWaterGauge(), maxDepth_);
+        }
+    }
+    if (err)
+        std::rethrow_exception(err);
     canPop_.notify_one();
 }
 
@@ -92,17 +89,25 @@ AsyncSink::flush()
 {
     obs::Span span("io", "async_flush");
     const auto start = std::chrono::steady_clock::now();
-    std::unique_lock<std::mutex> lock(mu_);
-    span.arg("queued", static_cast<uint64_t>(queue_.size()));
-    drained_.wait(lock, [this] {
-        return (queue_.empty() && !writing_) || error_ != nullptr;
-    });
-    rethrowLocked(lock);
-    // Keep the lock across the inner flush: releasing it would let a
-    // concurrent producer wake the writer into inner_->write() while
-    // we are inside inner_->flush() — a data race on the inner sink,
-    // which is promised single-threaded access.
-    inner_->flush();
+    std::exception_ptr err;
+    {
+        UniqueLock lock(mu_);
+        span.arg("queued", static_cast<uint64_t>(queue_.size()));
+        while (!(queue_.empty() && !writing_) && !error_)
+            drained_.wait(lock);
+        if (error_) {
+            err = error_;
+        } else {
+            // Keep the lock across the inner flush: releasing it
+            // would let a concurrent producer wake the writer into
+            // inner_->write() while we are inside inner_->flush() — a
+            // data race on the inner sink, which is promised
+            // single-threaded access.
+            inner_->flush();
+        }
+    }
+    if (err)
+        std::rethrow_exception(err);
     obs::observe(flushLatencyHistogram(),
                  static_cast<uint64_t>(
                      std::chrono::duration_cast<std::chrono::microseconds>(
@@ -113,21 +118,21 @@ AsyncSink::flush()
 size_t
 AsyncSink::maxDepthSeen() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return maxDepth_;
 }
 
 size_t
 AsyncSink::queueDepth() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.size() + (writing_ ? 1 : 0);
 }
 
 uint64_t
 AsyncSink::rowsWritten() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return rowsWritten_;
 }
 
@@ -135,19 +140,23 @@ void
 AsyncSink::writerLoop()
 {
     for (;;) {
-        std::unique_lock<std::mutex> lock(mu_);
-        canPop_.wait(lock,
-                     [this] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) {
-            // stop_ and drained: exit after the last row is written.
-            return;
+        engine::CellResult row;
+        {
+            UniqueLock lock(mu_);
+            while (!stop_ && queue_.empty())
+                canPop_.wait(lock);
+            if (queue_.empty()) {
+                // stop_ and drained: exit after the last row is
+                // written.
+                return;
+            }
+            row = std::move(queue_.front());
+            queue_.pop_front();
+            writing_ = true;
         }
-        engine::CellResult row = std::move(queue_.front());
-        queue_.pop_front();
-        writing_ = true;
-        lock.unlock();
         canPush_.notify_one();
 
+        std::exception_ptr werr;
         try {
             // Bounded retry before latching: one transient inner-sink
             // failure used to abort the whole sweep; now only a
@@ -160,20 +169,23 @@ AsyncSink::writerLoop()
                         "injected fault at sink.write");
                 inner_->write(row);
             });
-            obs::add(rowsWrittenCounter());
-            lock.lock();
-            writing_ = false;
-            ++rowsWritten_;
         } catch (...) {
-            lock.lock();
-            writing_ = false;
-            error_ = std::current_exception();
+            werr = std::current_exception();
+        }
+        if (!werr)
+            obs::add(rowsWrittenCounter());
+
+        UniqueLock lock(mu_);
+        writing_ = false;
+        if (werr) {
+            error_ = werr;
             queue_.clear(); // unblock producers; rows are lost anyway
             lock.unlock();
             canPush_.notify_all();
             drained_.notify_all();
             return;
         }
+        ++rowsWritten_;
         if (queue_.empty())
             drained_.notify_all();
     }

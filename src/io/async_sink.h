@@ -11,13 +11,12 @@
 #ifndef SVARD_IO_ASYNC_SINK_H
 #define SVARD_IO_ASYNC_SINK_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "io/result_sink.h"
 
 namespace svard::io {
@@ -46,21 +45,25 @@ class AsyncSink : public ResultSink
 
   private:
     void writerLoop();
-    void rethrowLocked(std::unique_lock<std::mutex> &lock);
 
+    /** Touched by the writer thread lock-free (inner_->write between
+     *  pop and re-lock) and by flush() under mu_; the writing_ flag
+     *  in the drained_ handshake is what keeps the two exclusive, so
+     *  the pointer itself stays un-annotated. */
     std::unique_ptr<ResultSink> inner_;
     const size_t capacity_;
 
-    mutable std::mutex mu_;
-    std::condition_variable canPush_;
-    std::condition_variable canPop_;
-    std::condition_variable drained_;
-    std::deque<engine::CellResult> queue_;
-    bool stop_ = false;
-    bool writing_ = false; ///< a row is between pop and inner write
-    size_t maxDepth_ = 0;
-    uint64_t rowsWritten_ = 0;
-    std::exception_ptr error_;
+    mutable Mutex mu_;
+    CondVar canPush_;
+    CondVar canPop_;
+    CondVar drained_;
+    std::deque<engine::CellResult> queue_ SVARD_GUARDED_BY(mu_);
+    bool stop_ SVARD_GUARDED_BY(mu_) = false;
+    /** A row is between pop and inner write. */
+    bool writing_ SVARD_GUARDED_BY(mu_) = false;
+    size_t maxDepth_ SVARD_GUARDED_BY(mu_) = 0;
+    uint64_t rowsWritten_ SVARD_GUARDED_BY(mu_) = 0;
+    std::exception_ptr error_ SVARD_GUARDED_BY(mu_);
 
     std::thread writer_;
 };

@@ -92,7 +92,7 @@ SweepCache::lookup(uint64_t seed, uint64_t fingerprint,
     static const obs::MetricId misses = obs::counter("cache.misses");
     static const obs::MetricId invalidated =
         obs::counter("cache.invalidated");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = cells_.find({seed, fingerprint});
     if (it == cells_.end()) {
         obs::add(misses);
@@ -113,7 +113,7 @@ SweepCache::store(const engine::CellResult &row)
 {
     static const obs::MetricId stores = obs::counter("cache.stores");
     obs::add(stores);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const std::pair<uint64_t, uint64_t> key{row.seed,
                                             row.fingerprint};
     if (!cells_.emplace(key, row).second)
@@ -133,7 +133,7 @@ SweepCache::store(const engine::CellResult &row)
 size_t
 SweepCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cells_.size();
 }
 

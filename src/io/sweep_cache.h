@@ -32,10 +32,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "engine/sweep.h"
 
 namespace svard::io {
@@ -84,11 +84,12 @@ class SweepCache
 
   private:
     std::string path_;
-    std::FILE *file_ = nullptr; ///< append handle
+    /** Append handle (opened in the ctor, written under mu_). */
+    std::FILE *file_ SVARD_GUARDED_BY(mu_) = nullptr;
     bool fsyncPerStore_ = false; ///< SVARD_CACHE_FSYNC=1
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     std::map<std::pair<uint64_t, uint64_t>, engine::CellResult>
-        cells_;
+        cells_ SVARD_GUARDED_BY(mu_);
 };
 
 } // namespace svard::io

@@ -6,10 +6,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/log.h"
+#include "common/mutex.h"
 #include "obs/json.h"
 
 namespace svard::obs {
@@ -42,12 +42,16 @@ struct MetricDef
 
 struct Registry
 {
-    std::mutex mu;
-    std::vector<MetricDef> defs;                    // registration order
-    std::unordered_map<std::string, size_t> byName; // name -> defs index
-    uint32_t nextSlot = 0;
-    // deque: shard addresses stay stable as threads attach.
-    std::deque<Shard> shards;
+    Mutex mu;
+    /** Registration order. */
+    std::vector<MetricDef> defs SVARD_GUARDED_BY(mu);
+    /** name -> defs index. */
+    std::unordered_map<std::string, size_t> byName SVARD_GUARDED_BY(mu);
+    uint32_t nextSlot SVARD_GUARDED_BY(mu) = 0;
+    /** deque: shard addresses stay stable as threads attach. Grown
+     *  under mu; hot-path access goes through each thread's cached
+     *  tlsShard pointer, never through this container. */
+    std::deque<Shard> shards SVARD_GUARDED_BY(mu);
     std::atomic<bool> enabled{[] {
         const char *e = std::getenv("SVARD_METRICS");
         return !(e && e[0] == '0' && e[1] == '\0');
@@ -68,7 +72,7 @@ myShard()
 {
     if (!tlsShard) {
         Registry &r = registry();
-        std::lock_guard<std::mutex> lock(r.mu);
+        MutexLock lock(r.mu);
         r.shards.emplace_back();
         tlsShard = &r.shards.back();
     }
@@ -85,7 +89,7 @@ MetricId
 registerMetric(const std::string &name, MetricKind kind)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     auto it = r.byName.find(name);
     if (it != r.byName.end()) {
         const MetricDef &d = r.defs[it->second];
@@ -185,7 +189,7 @@ Snapshot
 snapshot()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     Snapshot snap;
     snap.metrics.reserve(r.defs.size());
     for (const MetricDef &d : r.defs) {
@@ -229,7 +233,7 @@ void
 resetMetrics()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     for (Shard &s : r.shards)
         for (auto &slot : s.slots)
             slot.store(0, std::memory_order_relaxed);

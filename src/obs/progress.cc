@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 #ifdef _WIN32
 #include <io.h>
@@ -65,10 +66,10 @@ heartbeatIntervalMs()
 /** Append-mode heartbeat file shared by every meter in the process. */
 struct HeartbeatSink
 {
-    std::mutex mu;
-    std::string path;
-    FILE *file = nullptr;
-    bool envRead = false;
+    Mutex mu;
+    std::string path SVARD_GUARDED_BY(mu);
+    FILE *file SVARD_GUARDED_BY(mu) = nullptr;
+    bool envRead SVARD_GUARDED_BY(mu) = false;
 };
 
 HeartbeatSink &
@@ -80,7 +81,7 @@ heartbeatSink()
 
 /** Resolve the path from env exactly once (programmatic set wins). */
 void
-ensureEnvPath(HeartbeatSink &s)
+ensureEnvPath(HeartbeatSink &s) SVARD_REQUIRES(s.mu)
 {
     if (s.envRead)
         return;
@@ -97,7 +98,7 @@ emitHeartbeat(const std::string &phase, const std::string &unit,
               uint64_t recals, bool final)
 {
     HeartbeatSink &s = heartbeatSink();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     ensureEnvPath(s);
     if (s.path.empty())
         return;
@@ -156,7 +157,7 @@ void
 setHeartbeatPath(const std::string &path)
 {
     HeartbeatSink &s = heartbeatSink();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.envRead = true; // programmatic choice wins over the env var
     if (s.file) {
         std::fclose(s.file);
@@ -169,7 +170,7 @@ std::string
 heartbeatPath()
 {
     HeartbeatSink &s = heartbeatSink();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     ensureEnvPath(s);
     return s.path;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/mutex.h"
 #include "obs/json.h"
 
 namespace svard::obs {
@@ -30,12 +31,15 @@ struct Event
 struct Recorder
 {
     std::atomic<bool> enabled{false};
-    std::mutex mu;
-    std::string path;
+    Mutex mu;
+    std::string path SVARD_GUARDED_BY(mu);
+    /** Reset only between traces (startTrace); read lock-free by
+     *  sinceEpochNs on span-close paths. Callers must not start or
+     *  stop traces while spans are open on other threads. */
     Clock::time_point epoch;
-    std::vector<Event> events;
+    std::vector<Event> events SVARD_GUARDED_BY(mu);
     std::atomic<uint32_t> nextLane{1};
-    uint32_t lanesSeen = 0;
+    uint32_t lanesSeen SVARD_GUARDED_BY(mu) = 0;
 };
 
 Recorder &
@@ -57,7 +61,7 @@ myLane()
 }
 
 void
-writeTraceFile(Recorder &r)
+writeTraceFile(Recorder &r) SVARD_REQUIRES(r.mu)
 {
     FILE *f = std::fopen(r.path.c_str(), "wb");
     if (!f) {
@@ -116,7 +120,7 @@ record(const char *category, const char *name, uint64_t tsNs,
 {
     Recorder &r = recorder();
     const uint32_t lane = myLane();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     if (!r.enabled.load(std::memory_order_relaxed))
         return; // stopped while the span was open: drop it
     r.lanesSeen = std::max(r.lanesSeen, lane);
@@ -147,7 +151,7 @@ startTrace(const std::string &path)
 {
     stopTrace(); // flush any active trace first
     Recorder &r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     r.path = path;
     r.epoch = Clock::now();
     r.events.clear();
@@ -159,7 +163,7 @@ void
 stopTrace()
 {
     Recorder &r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     if (!r.enabled.load(std::memory_order_relaxed))
         return;
     r.enabled.store(false, std::memory_order_relaxed);
@@ -172,7 +176,7 @@ std::string
 tracePath()
 {
     Recorder &r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     return r.enabled.load(std::memory_order_relaxed) ? r.path
                                                      : std::string();
 }
