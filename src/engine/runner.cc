@@ -97,9 +97,12 @@ class OrderedEmitter
     void
     complete(size_t i)
     {
+        // The disabled check belongs under the lock: the unlocked
+        // early-return it replaced raced a concurrent disable() on
+        // the sink_ pointer (caught by thread-safety annotation).
+        MutexLock lock(mu_);
         if (!sink_)
             return;
-        MutexLock lock(mu_);
         done_[i] = 1;
         while (cursor_ < done_.size() && done_[cursor_]) {
             sink_->write(results_[cursor_]);
@@ -117,7 +120,7 @@ class OrderedEmitter
 
   private:
     const std::vector<CellResult> &results_;
-    io::ResultSink *sink_;
+    io::ResultSink *sink_ SVARD_GUARDED_BY(mu_);
     std::vector<char> done_ SVARD_GUARDED_BY(mu_);
     size_t cursor_ SVARD_GUARDED_BY(mu_) = 0;
     Mutex mu_;

@@ -524,6 +524,34 @@ TEST(SweepCache, SinkFailureSurfacesAsExceptionAndKeepsCheckpoint)
     EXPECT_GT(cache->size(), 0u);
 }
 
+TEST(SweepCache, ConcurrentSinkFailureDoesNotRaceEmission)
+{
+    // Regression: the ordered emitter's disabled check used to read
+    // the sink pointer without its lock, racing the disable() a
+    // failing sink triggers on another worker. With every worker
+    // still completing cells while one latches the error, TSan (and
+    // clang's thread-safety analysis) must see only locked accesses.
+    class FailLate : public io::ResultSink
+    {
+      public:
+        void
+        write(const engine::CellResult &) override
+        {
+            if (written_.fetch_add(1) >= 5)
+                throw std::runtime_error("sink broke late");
+        }
+
+      private:
+        std::atomic<int> written_{0};
+    };
+
+    engine::SweepSpec spec = ioSpec(4);
+    spec.mixes = sim::workloadMixes(4, spec.config.cores);
+    spec.sink = std::make_shared<FailLate>();
+    engine::ExperimentRunner runner(std::move(spec));
+    EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
 // -----------------------------------------------------------------
 // Defense parameter bag through the registry
 // -----------------------------------------------------------------
