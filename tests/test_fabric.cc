@@ -354,14 +354,18 @@ TEST(Fabric, KillStormRecoversWithZeroDoubleExecutes)
     const std::string ledger = dir + "/storm.ledger";
     const uint64_t lease_ms = 500;
 
-    // Round 1: four workers, every one killed at an injected point —
+    // Round 1: five workers, every one killed at an injected point —
     // mid-claim, before executing a cell, after checkpointing cells,
-    // and mid-record (a torn shard tail the reload must repair).
+    // mid-record (a torn shard tail the reload must repair), and
+    // between finishing a range and writing its done record (the
+    // donor-skip path: the range is fully checkpointed but looks
+    // unfinished, so a survivor reclaims it and must skip every cell).
     const std::vector<std::pair<std::string, std::string>> doomed = {
         {"wa", "ledger.claim:kill@1"},
         {"wb", "runner.cell:kill@1"},
         {"wc", "runner.cell:kill@3"},
         {"wd", "cache.store:torn@2"},
+        {"we", "ledger.done:kill@1"},
     };
     std::vector<pid_t> pids;
     for (const auto &[id, fault] : doomed)
