@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the svard sources using the exported compilation
+# database. Usage:
+#
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir defaults to the first of build/ build-*/ that contains
+# compile_commands.json (CMakeLists.txt exports it unconditionally).
+# Exits nonzero on any warning: .clang-tidy sets WarningsAsErrors '*',
+# so a clean run is the only green run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_tidy: '$TIDY' not found (set CLANG_TIDY=...)" >&2
+    exit 2
+fi
+
+BUILD_DIR=""
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+    BUILD_DIR="$1"
+    shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+    shift
+fi
+if [[ -z "$BUILD_DIR" ]]; then
+    for d in build build-*; do
+        if [[ -f "$d/compile_commands.json" ]]; then
+            BUILD_DIR="$d"
+            break
+        fi
+    done
+fi
+if [[ -z "$BUILD_DIR" || ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "run_tidy: no compile_commands.json found (configure with cmake first)" >&2
+    exit 2
+fi
+
+echo "run_tidy: using $BUILD_DIR/compile_commands.json"
+
+# Sources only — headers are checked transitively via
+# HeaderFilterRegex, which keeps each header's findings attached to a
+# TU that actually compiles it.
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+
+JOBS="${TIDY_JOBS:-$(nproc)}"
+STATUS=0
+printf '%s\0' "${SOURCES[@]}" |
+    xargs -0 -P "$JOBS" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet "$@" ||
+    STATUS=$?
+
+if [[ $STATUS -ne 0 ]]; then
+    echo "run_tidy: FAILED (warnings above; .clang-tidy documents the profile)" >&2
+else
+    echo "run_tidy: clean (${#SOURCES[@]} files)"
+fi
+exit $STATUS
