@@ -1,0 +1,493 @@
+#!/usr/bin/env python3
+"""svard_lint: repo-invariant linter for the svard tree.
+
+Enforces invariants that the compiler cannot see and that earlier PRs
+established by hand:
+
+  defense-no-node-maps   Node-based maps (std::map / std::unordered_map)
+                         are banned in src/defense/: defense hot paths
+                         (onActivate and friends) moved to FlatTable /
+                         dense arrays for determinism and speed, and a
+                         map reintroduced "just for setup" has a way of
+                         creeping into the per-activation path.
+  no-wallclock           rand()/std::random_device and the std::chrono
+                         wall/monotonic clocks are banned in src/ except
+                         where timing is observability-only: simulation
+                         results must be a pure function of (spec, seed)
+                         via common/rng.h, or sweeps stop being
+                         reproducible.
+  raw-io-fault-points    Raw write()/fwrite()/rename() in src/io/ and
+                         src/fabric/ must route through io/retry.cc's
+                         registered fault-injection wrappers (or carry an
+                         explicit allow next to a faults::check point) so
+                         the crash-tolerance suite can reach every
+                         durability path.
+  metric-init-only       obs:: metric registration must be a
+                         `static const obs::MetricId` initializer
+                         (function-local static = once, on first use);
+                         re-registering per call would take the registry
+                         lock on hot paths and can resize tables
+                         mid-sweep.
+  include-guard          Every header under src/ carries the canonical
+                         guard SVARD_<DIR>_<NAME>_H; duplicated or stale
+                         guards silently drop declarations.
+
+Escapes, in order of preference:
+
+  1. Inline, same line or the line above the finding:
+         // svard-lint: allow(<rule-id>) <reason>
+  2. Per-rule path allowlist with rationale: tools/svard_lint_allow.txt
+
+Usage:
+    tools/svard_lint.py               lint the tree (exit 1 on findings)
+    tools/svard_lint.py FILE...       lint specific files
+    tools/svard_lint.py --self-test   run the fixture suite
+    tools/svard_lint.py --list-rules  print the rule table
+
+No compiler, no build tree: a full-tree run is a few hundred
+milliseconds, cheap enough for CI and pre-commit alike.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ALLOWLIST_PATH = os.path.join(REPO, "tools", "svard_lint_allow.txt")
+ALLOW_RE = re.compile(r"svard-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str       # repo-relative
+    line: int       # 1-based
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Rule:
+    id: str
+    paths: list[str]          # repo-relative fnmatch globs
+    message: str
+    pattern: re.Pattern | None = None
+    exts: tuple[str, ...] = (".h", ".cc")
+    # Custom per-file check; receives (rule, relpath, raw_lines,
+    # code_lines) and yields Findings. When set, `pattern` is unused.
+    check: object = None
+
+    def applies_to(self, relpath: str) -> bool:
+        if not relpath.endswith(self.exts):
+            return False
+        return any(fnmatch.fnmatch(relpath, g) for g in self.paths)
+
+
+def strip_comments(lines: list[str]) -> list[str]:
+    """Blank out // and /* */ comment text (same line count), so rules
+    match code, not prose about code. String literals are not parsed —
+    the banned tokens don't plausibly appear inside them."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            buf.append(line[i])
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def pattern_check(rule: Rule, relpath: str, raw: list[str],
+                  code: list[str]):
+    for idx, line in enumerate(code):
+        if rule.pattern.search(line):
+            yield Finding(rule.id, relpath, idx + 1, rule.message)
+
+
+def metric_init_check(rule: Rule, relpath: str, raw: list[str],
+                      code: list[str]):
+    """Registration must be the initializer of a `static const
+    obs::MetricId` (the statement may wrap, so look back two lines)."""
+    decl = re.compile(r"static\s+const\s+obs::MetricId\b")
+    for idx, line in enumerate(code):
+        if not rule.pattern.search(line):
+            continue
+        window = "".join(code[max(0, idx - 2): idx + 1])
+        if not decl.search(window):
+            yield Finding(rule.id, relpath, idx + 1, rule.message)
+
+
+def include_guard_check(rule: Rule, relpath: str, raw: list[str],
+                        code: list[str]):
+    stem = relpath[len("src/"):-len(".h")]
+    expect = "SVARD_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H"
+    ifndef = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+    for idx, line in enumerate(code):
+        m = ifndef.match(line)
+        if m is None:
+            continue
+        if m.group(1) != expect:
+            yield Finding(rule.id, relpath, idx + 1,
+                          f"include guard is '{m.group(1)}', canonical "
+                          f"form is '{expect}'")
+        # Only the first #ifndef is the guard; later ones are nested
+        # conditionals.
+        break
+    else:
+        if any("#pragma once" in l for l in code):
+            yield Finding(rule.id, relpath, 1,
+                          f"uses #pragma once; this tree standardizes on "
+                          f"the guard '{expect}'")
+        else:
+            yield Finding(rule.id, relpath, 1,
+                          f"missing include guard '{expect}'")
+
+
+RULES = [
+    Rule(
+        id="defense-no-node-maps",
+        paths=["src/defense/*"],
+        pattern=re.compile(r"\bstd::(unordered_map|map)\s*<"),
+        message="std::map/std::unordered_map banned in src/defense/ "
+                "(onActivate paths use FlatTable / dense arrays; see "
+                "common/flat_table.h)",
+    ),
+    Rule(
+        id="no-wallclock",
+        paths=["src/*", "src/*/*"],
+        pattern=re.compile(
+            r"(?<![\w:])rand\s*\(\s*\)|std::random_device"
+            r"|\b(?:std::chrono::)?(?:system_clock|steady_clock)\b"),
+        message="wall/monotonic clocks and ambient randomness banned in "
+                "src/ (results must be pure in (spec, seed); use "
+                "common/rng.h — timing-only uses go in the allowlist)",
+    ),
+    Rule(
+        id="raw-io-fault-points",
+        paths=["src/io/*", "src/fabric/*"],
+        # `::write(` only at global scope: `ClassName::write(` is a
+        # method definition/call, not the POSIX syscall.
+        pattern=re.compile(
+            r"(?:std::|::)?\b(?:fwrite|rename)\s*\("
+            r"|(?<![\w)>])::write\s*\("),
+        message="raw write/fwrite/rename must go through io/retry.cc's "
+                "fault-injected wrappers (or sit on a faults::check "
+                "point with an inline allow)",
+    ),
+    Rule(
+        id="metric-init-only",
+        paths=["src/*", "src/*/*"],
+        pattern=re.compile(r"obs::(counter|gauge|histogram)\s*\("),
+        message="metric registration outside a `static const "
+                "obs::MetricId` initializer (registration is "
+                "init-path-only; per-call registration locks the "
+                "registry on hot paths)",
+        check=metric_init_check,
+    ),
+    Rule(
+        id="include-guard",
+        paths=["src/*", "src/*/*"],
+        exts=(".h",),
+        message="",  # composed per finding
+        check=include_guard_check,
+    ),
+]
+
+
+def load_allowlist(path: str) -> list[tuple[str, str]]:
+    """Returns (rule-id, path-glob) pairs. Format, one per line:
+         <rule-id>  <repo-relative-glob>   # rationale
+    """
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for ln, line in enumerate(f, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                sys.exit(f"{path}:{ln}: malformed allowlist entry "
+                         f"(want '<rule-id> <glob>')")
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowed(finding: Finding, raw: list[str],
+            allowlist: list[tuple[str, str]]) -> bool:
+    for where in (finding.line - 1, finding.line - 2):
+        if 0 <= where < len(raw):
+            m = ALLOW_RE.search(raw[where])
+            if m and m.group(1) == finding.rule:
+                return True
+    return any(rule == finding.rule and
+               fnmatch.fnmatch(finding.path, glob)
+               for rule, glob in allowlist)
+
+
+def lint_file(abspath: str, relpath: str,
+              allowlist: list[tuple[str, str]]) -> list[Finding]:
+    try:
+        with open(abspath, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        return [Finding("io-error", relpath, 1, str(e))]
+    code = strip_comments(raw)
+    findings = []
+    for rule in RULES:
+        if not rule.applies_to(relpath):
+            continue
+        checker = rule.check or pattern_check
+        for finding in checker(rule, relpath, raw, code):
+            if not allowed(finding, raw, allowlist):
+                findings.append(finding)
+    return findings
+
+
+def iter_tree() -> list[str]:
+    out = []
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+        for name in files:
+            if name.endswith((".h", ".cc")):
+                out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def run_lint(paths: list[str]) -> int:
+    allowlist = load_allowlist(ALLOWLIST_PATH)
+    known = {r.id for r in RULES}
+    for rule_id, _glob in allowlist:
+        if rule_id not in known:
+            sys.exit(f"{ALLOWLIST_PATH}: unknown rule '{rule_id}'")
+    files = [os.path.abspath(p) for p in paths] if paths else iter_tree()
+    findings = []
+    for abspath in files:
+        relpath = os.path.relpath(abspath, REPO).replace(os.sep, "/")
+        findings.extend(lint_file(abspath, relpath, allowlist))
+    for f in findings:
+        print(f)
+    n = len(files)
+    if findings:
+        print(f"svard_lint: {len(findings)} finding(s) in {n} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"svard_lint: clean ({n} files, {len(RULES)} rules)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Self-test: every rule gets a seeded violation fixture (must fire with
+# the exact rule id) and an allow-escape fixture (must stay quiet), plus
+# negative fixtures for the sharper edges of each matcher.
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fixture:
+    name: str          # fake repo-relative path (drives rule routing)
+    content: str
+    expect: list[str]  # exact rule ids expected, [] = must be clean
+
+
+FIXTURES = [
+    # -- defense-no-node-maps ------------------------------------------
+    Fixture(
+        "src/defense/fixture.cc",
+        "#include <map>\nstd::map<int, int> counts_;\n",
+        ["defense-no-node-maps"]),
+    Fixture(
+        "src/defense/fixture.cc",
+        "#include <unordered_map>\n"
+        "std::unordered_map<uint32_t, uint32_t> remap;\n",
+        ["defense-no-node-maps"]),
+    Fixture(
+        "src/defense/fixture.cc",
+        "// svard-lint: allow(defense-no-node-maps) init-path only\n"
+        "std::map<int, int> factories_;\n",
+        []),
+    Fixture(  # comments about maps are not findings
+        "src/defense/fixture.cc",
+        "// replaced the std::unordered_map implementation\n"
+        "int x;\n",
+        []),
+    Fixture(  # outside src/defense/, maps are fine
+        "src/engine/fixture.cc",
+        "std::map<int, int> counts_;\n",
+        []),
+    # -- no-wallclock --------------------------------------------------
+    Fixture(
+        "src/core/fixture.cc",
+        "auto t = std::chrono::steady_clock::now();\n",
+        ["no-wallclock"]),
+    Fixture(
+        "src/core/fixture.cc",
+        "int r = rand();\n",
+        ["no-wallclock"]),
+    Fixture(
+        "src/core/fixture.cc",
+        "std::random_device rd;\n",
+        ["no-wallclock"]),
+    Fixture(
+        "src/core/fixture.cc",
+        "auto t = std::chrono::system_clock::now(); "
+        "// svard-lint: allow(no-wallclock) log stamp only\n",
+        []),
+    Fixture(  # xoshiro from common/rng.h is the sanctioned randomness
+        "src/core/fixture.cc",
+        "svard::Xoshiro256 rng(seed);\nauto v = rng.next();\n",
+        []),
+    Fixture(  # rng.srand()-style member names must not trip \brand\(
+        "src/core/fixture.cc",
+        "auto v = owner.brand();\n",
+        []),
+    # -- raw-io-fault-points -------------------------------------------
+    Fixture(
+        "src/io/fixture.cc",
+        "std::fwrite(buf, 1, n, f);\n",
+        ["raw-io-fault-points"]),
+    Fixture(
+        "src/fabric/fixture.cc",
+        "if (::write(fd, p, n) != (ssize_t)n) fail();\n",
+        ["raw-io-fault-points"]),
+    Fixture(
+        "src/io/fixture.cc",
+        "std::rename(tmp.c_str(), path.c_str());\n",
+        ["raw-io-fault-points"]),
+    Fixture(
+        "src/io/fixture.cc",
+        "faults::check(\"fixture.write\");\n"
+        "// svard-lint: allow(raw-io-fault-points) on a check point\n"
+        "std::fwrite(buf, 1, n, f);\n",
+        []),
+    Fixture(  # sink->write(row) is a method call, not raw I/O
+        "src/io/fixture.cc",
+        "sink_->write(row);\nouter.write(row);\n",
+        []),
+    Fixture(  # qualified method definitions are not the syscall
+        "src/io/fixture.cc",
+        "void\nAsyncSink::write(const engine::CellResult &row)\n{\n}\n",
+        []),
+    Fixture(  # raw I/O outside io/fabric is out of scope for this rule
+        "src/obs/fixture.cc",
+        "std::fwrite(buf, 1, n, f);\n",
+        []),
+    # -- metric-init-only ----------------------------------------------
+    Fixture(
+        "src/sim/fixture.cc",
+        "void tick() {\n  obs::add(obs::counter(\"sim.ticks\"));\n}\n",
+        ["metric-init-only"]),
+    Fixture(
+        "src/sim/fixture.cc",
+        "static const obs::MetricId ticks =\n"
+        "    obs::counter(\"sim.ticks\");\n",
+        []),
+    Fixture(
+        "src/sim/fixture.cc",
+        "const auto id = obs::gauge(\"sim.depth\"); "
+        "// svard-lint: allow(metric-init-only) test scaffolding\n",
+        []),
+    # -- include-guard -------------------------------------------------
+    Fixture(
+        "src/core/fixture.h",
+        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+        ["include-guard"]),
+    Fixture(
+        "src/core/fixture.h",
+        "#pragma once\nint x;\n",
+        ["include-guard"]),
+    Fixture(
+        "src/core/fixture.h",
+        "int x;\n",
+        ["include-guard"]),
+    Fixture(
+        "src/core/fixture.h",
+        "#ifndef SVARD_CORE_FIXTURE_H\n"
+        "#define SVARD_CORE_FIXTURE_H\n"
+        "#ifdef SVARD_SIMD_OFF\n#endif\n"  # nested #ifndef-adjacent ok
+        "#endif\n",
+        []),
+    # -- multi-rule ----------------------------------------------------
+    Fixture(
+        "src/defense/fixture.cc",
+        "std::map<int, int> m;\nint r = rand();\n",
+        ["defense-no-node-maps", "no-wallclock"]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    import tempfile
+    for i, fx in enumerate(FIXTURES):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=os.path.basename(fx.name),
+                delete=False) as tmp:
+            tmp.write(fx.content)
+            tmp_path = tmp.name
+        try:
+            # Empty allowlist: self-test exercises rules and inline
+            # escapes only, independent of the tree's allow file.
+            found = lint_file(tmp_path, fx.name, [])
+        finally:
+            os.unlink(tmp_path)
+        got = sorted(f.rule for f in found)
+        want = sorted(fx.expect)
+        if got != want:
+            failures += 1
+            print(f"self-test FAIL [{i}] {fx.name}: expected "
+                  f"{want or 'clean'}, got {got or 'clean'}")
+            for f in found:
+                print(f"    {f}")
+    total = len(FIXTURES)
+    if failures:
+        print(f"svard_lint --self-test: {failures}/{total} fixtures "
+              f"FAILED", file=sys.stderr)
+        return 1
+    print(f"svard_lint --self-test: {total} fixtures passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*",
+                    help="files to lint (default: the whole src/ tree)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture suite and exit")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    args = ap.parse_args()
+    if args.list_rules:
+        for r in RULES:
+            print(f"{r.id}: {r.message or 'canonical include guards'}")
+            print(f"    scope: {', '.join(r.paths)}  "
+                  f"exts: {', '.join(r.exts)}")
+        return 0
+    if args.self_test:
+        return self_test()
+    return run_lint(args.files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
